@@ -1,0 +1,97 @@
+//! Criterion micro-benchmarks for the SVC building blocks: hashing,
+//! operator evaluation, IVM vs recomputation, sample cleaning, and
+//! estimation. Sample sizes are kept small so `cargo bench` completes
+//! quickly; the paper-shaped experiments live in `src/bin/figNN`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use svc_core::query::AggQuery;
+use svc_core::{SvcConfig, SvcView};
+use svc_relalg::scalar::{col, lit};
+use svc_sampling::operator::sample_by_key;
+use svc_storage::{HashSpec, Value};
+use svc_workloads::tpcd::{TpcdConfig, TpcdData};
+use svc_workloads::tpcd_views::{join_view, revenue_expr};
+
+fn data() -> TpcdData {
+    TpcdData::generate(TpcdConfig { scale: 0.05, skew: 2.0, seed: 42 }).unwrap()
+}
+
+fn bench_hash(c: &mut Criterion) {
+    let spec = HashSpec::default();
+    let keys: Vec<Vec<Value>> = (0..1000i64).map(|i| vec![Value::Int(i)]).collect();
+    c.bench_function("hash01_1k_int_keys", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for k in &keys {
+                acc += spec.hash01(black_box(k));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_eval_join_view(c: &mut Criterion) {
+    let data = data();
+    c.bench_function("materialize_join_view", |b| {
+        b.iter(|| {
+            black_box(svc_bench::materialize(&join_view(), &data.db));
+        })
+    });
+}
+
+fn bench_ivm_vs_clean(c: &mut Criterion) {
+    let data = data();
+    let deltas = data.updates(0.1, 7).unwrap();
+    c.bench_function("ivm_full_maintenance", |b| {
+        b.iter(|| {
+            let mut svc = svc_bench::join_view_svc(&data, 1.0);
+            svc.view.maintain(&data.db, black_box(&deltas)).unwrap();
+        })
+    });
+    c.bench_function("svc_clean_sample_10pct", |b| {
+        let svc = svc_bench::join_view_svc(&data, 0.1);
+        b.iter(|| {
+            black_box(svc.clean_sample(&data.db, black_box(&deltas)).unwrap());
+        })
+    });
+}
+
+fn bench_sampling(c: &mut Criterion) {
+    let data = data();
+    let view = svc_bench::materialize(&join_view(), &data.db);
+    c.bench_function("sample_by_key_10pct", |b| {
+        b.iter(|| black_box(sample_by_key(&view, 0.1, HashSpec::default())))
+    });
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let data = data();
+    let deltas = data.updates(0.1, 7).unwrap();
+    let svc = svc_bench::join_view_svc(&data, 0.1);
+    let cleaned = svc.clean_sample(&data.db, &deltas).unwrap();
+    let q = AggQuery::sum(revenue_expr()).filter(col("o_orderdate").lt(lit(1500i64)));
+    c.bench_function("estimate_aqp_sum", |b| {
+        b.iter(|| black_box(svc.estimate_aqp(&cleaned, &q).unwrap()))
+    });
+    c.bench_function("estimate_corr_sum", |b| {
+        b.iter(|| black_box(svc.estimate_corr(&cleaned, &q).unwrap()))
+    });
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(500))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_hash, bench_eval_join_view, bench_ivm_vs_clean, bench_sampling, bench_estimators
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Figure 4 — Join view maintenance cost.
+//!
+//! (a) maintenance time of SVC vs sampling ratio, with the full-IVM line;
+//! (b) speedup of SVC-10% over IVM as the update size grows.
+
+use svc_bench::{join_view_svc, time, tpcd, Report};
+
+fn main() {
+    let data = tpcd(1.0, 2.0, 42);
+    println!(
+        "Join view over TPCD-Skew z=2: {} lineitems, {} orders",
+        data.lineitem_rows(),
+        data.db.table("orders").unwrap().len()
+    );
+
+    // (a) maintenance time vs sampling ratio, update size 10%.
+    let deltas = data.updates(0.10, 7).expect("updates");
+    let mut svc_full = join_view_svc(&data, 1.0);
+    let (_, t_ivm) = time(|| svc_full.view.maintain(&data.db, &deltas).expect("ivm"));
+
+    let mut report = Report::new("fig04a", &["sampling_ratio", "svc_seconds", "ivm_seconds"]);
+    for i in 1..=10 {
+        let m = i as f64 / 10.0;
+        let svc = join_view_svc(&data, m);
+        let (_, t_svc) = time(|| svc.clean_sample(&data.db, &deltas).expect("clean"));
+        report.row(vec![format!("{m:.1}"), Report::f(t_svc), Report::f(t_ivm)]);
+    }
+    report.finish("maintenance time vs sampling ratio (update size 10%)");
+
+    // (b) speedup of SVC-10% vs update size.
+    let mut report = Report::new(
+        "fig04b",
+        &["update_pct", "ivm_seconds", "svc10_seconds", "speedup"],
+    );
+    for pct in [0.025, 0.05, 0.075, 0.10, 0.125, 0.15, 0.175, 0.20] {
+        let deltas = data.updates(pct, 11).expect("updates");
+        let mut ivm = join_view_svc(&data, 1.0);
+        let (_, t_ivm) = time(|| ivm.view.maintain(&data.db, &deltas).expect("ivm"));
+        let svc = join_view_svc(&data, 0.1);
+        let (_, t_svc) = time(|| svc.clean_sample(&data.db, &deltas).expect("clean"));
+        report.row(vec![
+            format!("{:.1}%", pct * 100.0),
+            Report::f(t_ivm),
+            Report::f(t_svc),
+            Report::f(t_ivm / t_svc),
+        ]);
+    }
+    report.finish("SVC-10% speedup vs update size");
+}

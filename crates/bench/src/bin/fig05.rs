@@ -1,0 +1,35 @@
+//! Figure 5 — Join view query accuracy: median relative error of the 12
+//! TPCD query analogs under Stale / SVC+AQP-10% / SVC+CORR-10%.
+
+use svc_bench::{bench_queries, error_triples, join_view_svc, median_of, rng, tpcd, Report};
+use svc_workloads::tpcd_views::join_view_queries;
+
+fn main() {
+    let data = tpcd(1.0, 2.0, 42);
+    let deltas = data.updates(0.10, 7).expect("updates");
+    let svc = join_view_svc(&data, 0.1);
+    let n_instances = bench_queries();
+    let mut r = rng(5);
+
+    let mut report = Report::new(
+        "fig05",
+        &["query", "stale_err", "svc_aqp10_err", "svc_corr10_err"],
+    );
+    for template in join_view_queries() {
+        let queries: Vec<_> = (0..n_instances).map(|_| template.instance(&mut r)).collect();
+        let triples = error_triples(&svc, &data.db, &deltas, &queries);
+        let stale: Vec<f64> = triples.iter().map(|t| t.stale).collect();
+        let aqp: Vec<f64> = triples.iter().map(|t| t.aqp).collect();
+        let corr: Vec<f64> = triples.iter().map(|t| t.corr).collect();
+        report.row(vec![
+            template.id.to_string(),
+            Report::f(median_of(&stale)),
+            Report::f(median_of(&aqp)),
+            Report::f(median_of(&corr)),
+        ]);
+    }
+    report.finish(format!(
+        "median relative error, {} instances/query, m=10%, updates=10%",
+        n_instances
+    ));
+}

@@ -1,0 +1,61 @@
+//! Figure 6 — (a) total time (maintenance + query) for IVM vs SVC+CORR vs
+//! SVC+AQP; (b) the CORR/AQP accuracy crossover as the update size grows
+//! (Section 5.2.2's break-even analysis).
+
+use svc_bench::{
+    answer_times, bench_queries, error_triples, join_view_svc, median_of, rng, tpcd, Report,
+};
+use svc_core::Method;
+use svc_workloads::tpcd_views::join_view_queries;
+
+fn main() {
+    let data = tpcd(1.0, 2.0, 42);
+    let deltas = data.updates(0.10, 7).expect("updates");
+    let mut r = rng(6);
+    let q = join_view_queries()[0].instance(&mut r); // a Q3-style sum
+
+    // (a) maintenance + query time per method.
+    let mut report =
+        Report::new("fig06a", &["method", "maintain_seconds", "query_seconds", "total"]);
+    for (label, method) in [
+        ("IVM", Method::Stale), // full maintenance + exact query
+        ("SVC+CORR-10%", Method::Correction),
+        ("SVC+AQP-10%", Method::AqpDirect),
+    ] {
+        let mut svc = join_view_svc(&data, 0.1);
+        let (tm, tq) = answer_times(&mut svc, &data.db, &deltas, &q, method);
+        report.row(vec![
+            label.to_string(),
+            Report::f(tm),
+            Report::f(tq),
+            Report::f(tm + tq),
+        ]);
+    }
+    report.finish("total time: maintenance + query (1 query, updates 10%)");
+
+    // (b) error vs update size: CORR is better until a break-even point.
+    let n_instances = (bench_queries() / 2).max(8);
+    let templates = join_view_queries();
+    let mut report =
+        Report::new("fig06b", &["update_pct", "svc_corr10_err", "svc_aqp10_err"]);
+    for pct in [0.03, 0.08, 0.13, 0.18, 0.23, 0.28, 0.33, 0.38, 0.43] {
+        let deltas = data.updates(pct, 13).expect("updates");
+        let svc = join_view_svc(&data, 0.1);
+        let mut corr_all = Vec::new();
+        let mut aqp_all = Vec::new();
+        for template in templates.iter().take(4) {
+            let queries: Vec<_> =
+                (0..n_instances).map(|_| template.instance(&mut r)).collect();
+            for t in error_triples(&svc, &data.db, &deltas, &queries) {
+                corr_all.push(t.corr);
+                aqp_all.push(t.aqp);
+            }
+        }
+        report.row(vec![
+            format!("{:.0}%", pct * 100.0),
+            Report::f(median_of(&corr_all)),
+            Report::f(median_of(&aqp_all)),
+        ]);
+    }
+    report.finish("SVC+CORR vs SVC+AQP accuracy as updates grow (break-even)");
+}

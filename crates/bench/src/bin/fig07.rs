@@ -1,0 +1,56 @@
+//! Figure 7 — Complex views: (a) maintenance time of IVM vs SVC-10%
+//! (V21/V22 benefit less: push-down blockers); (b) query accuracy
+//! Stale / SVC+AQP / SVC+CORR per view.
+
+use svc_bench::{bench_queries, error_triples, median_of, rng, time, tpcd, Report};
+use svc_core::{SvcConfig, SvcView};
+use svc_workloads::querygen::random_queries;
+use svc_workloads::tpcd_views::complex_views;
+
+fn main() {
+    let data = tpcd(1.0, 2.0, 42);
+    let deltas = data.updates(0.10, 7).expect("updates");
+    let mut r = rng(7);
+    let n_queries = bench_queries();
+
+    let mut timing = Report::new(
+        "fig07a",
+        &["view", "ivm_seconds", "svc10_seconds", "fully_pushed"],
+    );
+    let mut accuracy = Report::new(
+        "fig07b",
+        &["view", "stale_err", "svc_aqp10_err", "svc_corr10_err"],
+    );
+
+    for v in complex_views() {
+        let mut ivm = SvcView::create(v.id, v.plan.clone(), &data.db, SvcConfig::with_ratio(1.0))
+            .expect("view");
+        let (_, t_ivm) = time(|| ivm.view.maintain(&data.db, &deltas).expect("ivm"));
+
+        let svc = SvcView::create(v.id, v.plan.clone(), &data.db, SvcConfig::with_ratio(0.1))
+            .expect("view");
+        let (cleaned, t_svc) = time(|| svc.clean_sample(&data.db, &deltas).expect("clean"));
+        timing.row(vec![
+            v.id.to_string(),
+            Report::f(t_ivm),
+            Report::f(t_svc),
+            format!("{}", cleaned.report.fully_pushed()),
+        ]);
+
+        let public = svc.view.public_table().expect("public");
+        let queries =
+            random_queries(&public, &v.dims, &v.measures, n_queries, &mut r).expect("queries");
+        let triples = error_triples(&svc, &data.db, &deltas, &queries);
+        let stale: Vec<f64> = triples.iter().map(|t| t.stale).collect();
+        let aqp: Vec<f64> = triples.iter().map(|t| t.aqp).collect();
+        let corr: Vec<f64> = triples.iter().map(|t| t.corr).collect();
+        accuracy.row(vec![
+            v.id.to_string(),
+            Report::f(median_of(&stale)),
+            Report::f(median_of(&aqp)),
+            Report::f(median_of(&corr)),
+        ]);
+    }
+    timing.finish("complex views: maintenance time (updates 10%)");
+    accuracy.finish("complex views: generated-query accuracy (m=10%)");
+}

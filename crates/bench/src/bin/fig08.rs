@@ -1,0 +1,141 @@
+//! Figure 8 — Outlier indexing: (a) 75th-percentile query error on V3 as
+//! the Zipf skew grows, with and without the index (K=100); (b) the
+//! maintenance-time overhead of index sizes K ∈ {0, 10, 100, 1000} on
+//! V3/V5/V10/V15 against full IVM.
+
+use svc_bench::{bench_queries, median_of, rng, time, tpcd, Report};
+use svc_core::outlier::{
+    estimate_aqp_with_outliers, estimate_corr_with_outliers, stale_rows_at, OutlierIndex,
+    OutlierIndexSpec, ThresholdPolicy,
+};
+use svc_core::query::relative_error;
+use svc_core::{SvcConfig, SvcView};
+use svc_stats::quantile::quantile;
+use svc_workloads::querygen::random_queries;
+use svc_workloads::tpcd_views::complex_views;
+
+fn index_spec(capacity: usize) -> OutlierIndexSpec {
+    OutlierIndexSpec {
+        table: "lineitem".into(),
+        attr: "l_extendedprice".into(),
+        policy: ThresholdPolicy::TopK,
+        capacity,
+    }
+}
+
+fn main() {
+    let n_queries = bench_queries();
+    let mut r = rng(8);
+
+    // (a) V3 error at the 75% quartile vs skew z, K = 100.
+    let mut report = Report::new(
+        "fig08a",
+        &["zipf_z", "stale", "svc_aqp", "svc_aqp_out", "svc_corr", "svc_corr_out"],
+    );
+    for z in [1.0, 2.0, 3.0, 4.0] {
+        let data = tpcd(0.7, z, 42);
+        let deltas = data.updates(0.10, 7).expect("updates");
+        let v3 = complex_views().into_iter().find(|v| v.id == "V3").unwrap();
+        let svc =
+            SvcView::create("V3", v3.plan.clone(), &data.db, SvcConfig::with_ratio(0.1))
+                .expect("view");
+        let idx = OutlierIndex::build(index_spec(100), &data.db, &deltas).expect("index");
+        let cleaned = svc.clean_sample(&data.db, &deltas).expect("clean");
+        assert!(idx.eligible(&cleaned.report.sampled_leaves));
+        let o_fresh = svc
+            .view
+            .public_of(&idx.push_up(&svc.view, &data.db, &deltas).expect("push up"))
+            .expect("public O");
+        let o_stale = stale_rows_at(&svc.view.public_table().expect("pub"), &o_fresh);
+
+        let fresh = svc
+            .view
+            .public_of(&svc.view.recompute_fresh(&data.db, &deltas).expect("fresh"))
+            .expect("public fresh");
+        let stale_view = svc.view.public_table().expect("stale");
+        let queries = random_queries(&stale_view, &v3.dims, &["revenue"], n_queries, &mut r)
+            .expect("queries");
+
+        let mut e = [Vec::new(), Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+        for q in &queries {
+            let Ok(truth) = q.exact(&fresh) else { continue };
+            if !truth.is_finite() || truth == 0.0 {
+                continue;
+            }
+            let stale_res = q.exact(&stale_view).expect("stale");
+            e[0].push(relative_error(stale_res, truth));
+            if let Ok(est) = svc.estimate_aqp(&cleaned, q) {
+                e[1].push(relative_error(est.value, truth));
+            }
+            if let Ok(est) =
+                estimate_aqp_with_outliers(&cleaned.public, &o_fresh, q, 0.1, &svc.config)
+            {
+                e[2].push(relative_error(est.value, truth));
+            }
+            if let Ok(est) = svc.estimate_corr(&cleaned, q) {
+                e[3].push(relative_error(est.value, truth));
+            }
+            if let Ok(est) = estimate_corr_with_outliers(
+                stale_res,
+                &svc.stale_sample_public().expect("ssp"),
+                &cleaned.public,
+                &o_fresh,
+                &o_stale,
+                q,
+                0.1,
+                &svc.config,
+            ) {
+                e[4].push(relative_error(est.value, truth));
+            }
+        }
+        let q75 = |xs: &Vec<f64>| {
+            if xs.is_empty() {
+                f64::NAN
+            } else {
+                quantile(xs, 0.75)
+            }
+        };
+        report.row(vec![
+            format!("{z}"),
+            Report::f(q75(&e[0])),
+            Report::f(q75(&e[1])),
+            Report::f(q75(&e[2])),
+            Report::f(q75(&e[3])),
+            Report::f(q75(&e[4])),
+        ]);
+    }
+    report.finish("V3 75th-percentile error vs skew, outlier index K=100");
+
+    // (b) overhead of the index vs its size on V3, V5, V10, V15.
+    let data = tpcd(0.7, 2.0, 42);
+    let deltas = data.updates(0.10, 7).expect("updates");
+    let mut report = Report::new(
+        "fig08b",
+        &["view", "k0", "k10", "k100", "k1000", "ivm"],
+    );
+    for id in ["V3", "V5", "V10", "V15"] {
+        let v = complex_views().into_iter().find(|v| v.id == id).unwrap();
+        let mut ivm =
+            SvcView::create(id, v.plan.clone(), &data.db, SvcConfig::with_ratio(1.0)).unwrap();
+        let (_, t_ivm) = time(|| ivm.view.maintain(&data.db, &deltas).expect("ivm"));
+        let svc =
+            SvcView::create(id, v.plan.clone(), &data.db, SvcConfig::with_ratio(0.1)).unwrap();
+        let mut cells = vec![id.to_string()];
+        for k in [0usize, 10, 100, 1000] {
+            let (_, t) = time(|| {
+                let _c = svc.clean_sample(&data.db, &deltas).expect("clean");
+                if k > 0 {
+                    let idx = OutlierIndex::build(index_spec(k), &data.db, &deltas)
+                        .expect("index");
+                    let _o = idx.push_up(&svc.view, &data.db, &deltas).expect("push up");
+                }
+            });
+            cells.push(Report::f(t));
+        }
+        cells.push(Report::f(t_ivm));
+        report.row(cells);
+    }
+    report.finish("outlier-index maintenance overhead vs index size");
+
+    let _ = median_of(&[]);
+}

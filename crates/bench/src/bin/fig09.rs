@@ -1,0 +1,52 @@
+//! Figure 9 — Conviva-like workload: (a) maintenance time IVM vs SVC-10%
+//! per view; (b) query accuracy Stale / SVC+AQP / SVC+CORR per view.
+
+use svc_bench::{bench_queries, bench_scale, error_triples, median_of, rng, time, Report};
+use svc_core::{SvcConfig, SvcView};
+use svc_workloads::conviva::{appended_updates, generate, views, ConvivaConfig};
+use svc_workloads::querygen::random_queries;
+
+fn main() {
+    let cfg = ConvivaConfig {
+        base_events: (30_000.0 * bench_scale()) as usize,
+        ..Default::default()
+    };
+    let db = generate(cfg).expect("conviva data");
+    // The paper derives views from 800GB and applies the next 10-20% as
+    // updates; we append 10% of the base volume.
+    let deltas = appended_updates(&db, cfg, cfg.base_events / 10, 3).expect("updates");
+    let n_queries = bench_queries();
+    let mut r = rng(9);
+
+    let mut timing = Report::new("fig09a", &["view", "ivm_seconds", "svc10_seconds"]);
+    let mut accuracy = Report::new(
+        "fig09b",
+        &["view", "stale_err", "svc_aqp10_err", "svc_corr10_err"],
+    );
+
+    for v in views() {
+        let mut ivm =
+            SvcView::create(v.id, v.plan.clone(), &db, SvcConfig::with_ratio(1.0)).unwrap();
+        let (_, t_ivm) = time(|| ivm.view.maintain(&db, &deltas).expect("ivm"));
+        let svc =
+            SvcView::create(v.id, v.plan.clone(), &db, SvcConfig::with_ratio(0.1)).unwrap();
+        let (_, t_svc) = time(|| svc.clean_sample(&db, &deltas).expect("clean"));
+        timing.row(vec![v.id.to_string(), Report::f(t_ivm), Report::f(t_svc)]);
+
+        let public = svc.view.public_table().expect("public");
+        let queries =
+            random_queries(&public, &v.dims, &v.measures, n_queries, &mut r).expect("queries");
+        let triples = error_triples(&svc, &db, &deltas, &queries);
+        let stale: Vec<f64> = triples.iter().map(|t| t.stale).collect();
+        let aqp: Vec<f64> = triples.iter().map(|t| t.aqp).collect();
+        let corr: Vec<f64> = triples.iter().map(|t| t.corr).collect();
+        accuracy.row(vec![
+            v.id.to_string(),
+            Report::f(median_of(&stale)),
+            Report::f(median_of(&aqp)),
+            Report::f(median_of(&corr)),
+        ]);
+    }
+    timing.finish("Conviva-like views: maintenance time for appended updates");
+    accuracy.finish("Conviva-like views: query accuracy (m=10%)");
+}

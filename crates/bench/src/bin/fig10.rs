@@ -1,0 +1,47 @@
+//! Figure 10 — Aggregate (cube) view: (a) maintenance time vs sampling
+//! ratio; (b) SVC-10% speedup vs update size (tending to the ideal 10x).
+
+use svc_bench::{time, tpcd, Report};
+use svc_core::{SvcConfig, SvcView};
+use svc_workloads::cube::base_cube;
+
+fn main() {
+    // The cube experiment uses plain TPCD (z = 1).
+    let data = tpcd(1.0, 1.0, 42);
+
+    let deltas = data.updates(0.10, 7).expect("updates");
+    let mut ivm = SvcView::create("cube", base_cube(), &data.db, SvcConfig::with_ratio(1.0))
+        .expect("cube");
+    let (_, t_ivm) = time(|| ivm.view.maintain(&data.db, &deltas).expect("ivm"));
+
+    let mut report = Report::new("fig10a", &["sampling_ratio", "svc_seconds", "ivm_seconds"]);
+    for i in 1..=10 {
+        let m = i as f64 / 10.0;
+        let svc = SvcView::create("cube", base_cube(), &data.db, SvcConfig::with_ratio(m))
+            .expect("cube");
+        let (_, t_svc) = time(|| svc.clean_sample(&data.db, &deltas).expect("clean"));
+        report.row(vec![format!("{m:.1}"), Report::f(t_svc), Report::f(t_ivm)]);
+    }
+    report.finish("aggregate view: maintenance time vs sampling ratio");
+
+    let mut report = Report::new(
+        "fig10b",
+        &["update_pct", "ivm_seconds", "svc10_seconds", "speedup"],
+    );
+    for pct in [0.03, 0.05, 0.08, 0.10, 0.13, 0.15, 0.18, 0.20] {
+        let deltas = data.updates(pct, 19).expect("updates");
+        let mut ivm =
+            SvcView::create("cube", base_cube(), &data.db, SvcConfig::with_ratio(1.0)).unwrap();
+        let (_, t_ivm) = time(|| ivm.view.maintain(&data.db, &deltas).expect("ivm"));
+        let svc =
+            SvcView::create("cube", base_cube(), &data.db, SvcConfig::with_ratio(0.1)).unwrap();
+        let (_, t_svc) = time(|| svc.clean_sample(&data.db, &deltas).expect("clean"));
+        report.row(vec![
+            format!("{:.0}%", pct * 100.0),
+            Report::f(t_ivm),
+            Report::f(t_svc),
+            Report::f(t_ivm / t_svc),
+        ]);
+    }
+    report.finish("aggregate view: SVC-10% speedup vs update size");
+}

@@ -1,0 +1,22 @@
+//! Figure 11 — Cube roll-up accuracy: median relative error per roll-up
+//! query Q1..Q13 under Stale / SVC+AQP-10 / SVC+Corr-10.
+
+use svc_bench::{rollup_errors, Report};
+use svc_core::query::QueryAgg;
+
+fn main() {
+    let rows = rollup_errors(QueryAgg::Sum, 30);
+    let mut report = Report::new(
+        "fig11",
+        &["rollup", "stale_err", "svc_aqp10_err", "svc_corr10_err"],
+    );
+    for r in rows {
+        report.row(vec![
+            r.id,
+            Report::f(r.stale_median),
+            Report::f(r.aqp_median),
+            Report::f(r.corr_median),
+        ]);
+    }
+    report.finish("cube roll-ups: median group error, sum(revenue), m=10%, updates=10%");
+}

@@ -1,0 +1,22 @@
+//! Figure 13 — Cube roll-ups with the `median` aggregate: bootstrap-bounded
+//! estimates; less sensitive to variance than sums.
+
+use svc_bench::{rollup_errors, Report};
+use svc_core::query::QueryAgg;
+
+fn main() {
+    let rows = rollup_errors(QueryAgg::Median, 12);
+    let mut report = Report::new(
+        "fig13",
+        &["rollup", "stale_err", "svc_aqp10_err", "svc_corr10_err"],
+    );
+    for r in rows {
+        report.row(vec![
+            r.id,
+            Report::f(r.stale_median),
+            Report::f(r.aqp_median),
+            Report::f(r.corr_median),
+        ]);
+    }
+    report.finish("cube roll-ups: median group error, median(revenue), m=10%");
+}

@@ -1,0 +1,29 @@
+//! Figure 14 — Mini-batch throughput vs batch size on the Spark stand-in:
+//! (a) one maintenance pipeline; (b) two concurrent pipelines (IVM + SVC)
+//! contending for the cluster.
+
+use svc_bench::Report;
+use svc_cluster::BatchPipeline;
+
+fn main() {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get().clamp(2, 4))
+        .unwrap_or(2);
+    let pipeline = BatchPipeline::new(workers);
+    let total = 40_000;
+    let batch_sizes = [500usize, 1_000, 2_500, 5_000, 10_000, 20_000, 40_000];
+
+    let mut report = Report::new("fig14a", &["batch_size", "records_per_sec"]);
+    for &b in &batch_sizes {
+        let tp = pipeline.run(total, b);
+        report.row(vec![b.to_string(), format!("{tp:.0}")]);
+    }
+    report.finish("throughput vs batch size (single maintenance thread)");
+
+    let mut report = Report::new("fig14b", &["batch_size", "records_per_sec_contended"]);
+    for &b in &batch_sizes {
+        let tp = pipeline.throughput_with_contention(total, b);
+        report.row(vec![b.to_string(), format!("{tp:.0}")]);
+    }
+    report.finish("throughput vs batch size (two concurrent maintenance threads)");
+}

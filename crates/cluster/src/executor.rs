@@ -1,0 +1,210 @@
+//! A worker pool with stage barriers and per-worker busy-time accounting —
+//! the synchronous-parallelism model whose idle gaps Figure 16 visualizes.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+
+/// One recorded busy interval of one worker, in seconds since the trace
+/// epoch.
+#[derive(Debug, Clone, Copy)]
+pub struct BusyInterval {
+    /// Worker index.
+    pub worker: usize,
+    /// Interval start (s).
+    pub start: f64,
+    /// Interval end (s).
+    pub end: f64,
+}
+
+/// The execution record of one or more stages on the pool.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutionTrace {
+    /// All busy intervals.
+    pub intervals: Vec<BusyInterval>,
+    /// Total wall-clock duration (s).
+    pub wall: f64,
+    /// Number of workers.
+    pub workers: usize,
+}
+
+impl ExecutionTrace {
+    /// Average CPU utilization in `buckets` equal time slices: the fraction
+    /// of worker-time spent busy per slice (the Figure 16 series).
+    pub fn utilization(&self, buckets: usize) -> Vec<f64> {
+        assert!(buckets > 0);
+        let mut out = vec![0.0; buckets];
+        if self.wall <= 0.0 || self.workers == 0 {
+            return out;
+        }
+        let width = self.wall / buckets as f64;
+        for iv in &self.intervals {
+            // Distribute the interval over the buckets it spans.
+            let first = ((iv.start / width) as usize).min(buckets - 1);
+            let last = ((iv.end / width) as usize).min(buckets - 1);
+            for (b, slot) in out.iter_mut().enumerate().take(last + 1).skip(first) {
+                let lo = (b as f64 * width).max(iv.start);
+                let hi = ((b + 1) as f64 * width).min(iv.end);
+                if hi > lo {
+                    *slot += hi - lo;
+                }
+            }
+        }
+        let capacity = width * self.workers as f64;
+        for v in out.iter_mut() {
+            *v /= capacity;
+        }
+        out
+    }
+
+    /// Overall busy fraction.
+    pub fn overall_utilization(&self) -> f64 {
+        if self.wall <= 0.0 || self.workers == 0 {
+            return 0.0;
+        }
+        let busy: f64 = self.intervals.iter().map(|iv| iv.end - iv.start).sum();
+        busy / (self.wall * self.workers as f64)
+    }
+}
+
+/// A fixed-size worker pool executing stages of closures with a barrier
+/// after each stage (the synchronous shuffle model of the paper's Spark
+/// setup).
+#[derive(Debug)]
+pub struct WorkerPool {
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Create a pool with `workers` threads per stage.
+    pub fn new(workers: usize) -> WorkerPool {
+        assert!(workers > 0);
+        WorkerPool { workers }
+    }
+
+    /// Number of workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Run `stages` sequentially; within a stage, tasks are pulled from a
+    /// shared queue by all workers, and the stage ends when every task
+    /// completed (the barrier). Returns the busy-interval trace.
+    pub fn run_stages(&self, stages: Vec<Vec<Box<dyn FnOnce() + Send>>>) -> ExecutionTrace {
+        let epoch = Instant::now();
+        let intervals: Mutex<Vec<BusyInterval>> = Mutex::new(Vec::new());
+
+        for stage in stages {
+            let tasks: Vec<Mutex<Option<Box<dyn FnOnce() + Send>>>> =
+                stage.into_iter().map(|t| Mutex::new(Some(t))).collect();
+            let next = AtomicUsize::new(0);
+            crossbeam::thread::scope(|s| {
+                for w in 0..self.workers {
+                    let tasks = &tasks;
+                    let next = &next;
+                    let intervals = &intervals;
+                    s.spawn(move |_| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= tasks.len() {
+                            break;
+                        }
+                        let task = tasks[i].lock().take().expect("task taken once");
+                        let start = epoch.elapsed().as_secs_f64();
+                        task();
+                        let end = epoch.elapsed().as_secs_f64();
+                        intervals.lock().push(BusyInterval { worker: w, start, end });
+                    });
+                }
+            })
+            .expect("worker panicked");
+        }
+
+        ExecutionTrace {
+            intervals: intervals.into_inner(),
+            wall: epoch.elapsed().as_secs_f64(),
+            workers: self.workers,
+        }
+    }
+}
+
+/// Deterministic CPU-bound busy work: `units` rounds of integer mixing.
+/// Used by the benchmarks to model per-record processing cost.
+pub fn spin(units: u64) -> u64 {
+    let mut x = 0x9e3779b97f4a7c15u64 ^ units;
+    for i in 0..units * 400 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(i);
+        x ^= x >> 29;
+    }
+    std::hint::black_box(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_tasks_run_once() {
+        let pool = WorkerPool::new(4);
+        let counter = std::sync::Arc::new(AtomicUsize::new(0));
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..64)
+            .map(|_| {
+                let c = counter.clone();
+                Box::new(move || {
+                    c.fetch_add(1, Ordering::Relaxed);
+                    spin(5);
+                }) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        let trace = pool.run_stages(vec![tasks]);
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        assert_eq!(trace.intervals.len(), 64);
+        assert!(trace.wall > 0.0);
+    }
+
+    #[test]
+    fn skewed_stages_leave_idle_time() {
+        // One straggler task per stage → utilization well below 1.
+        let pool = WorkerPool::new(4);
+        let mut stages = Vec::new();
+        for _ in 0..3 {
+            let mut tasks: Vec<Box<dyn FnOnce() + Send>> = vec![Box::new(|| {
+                spin(2000);
+            })];
+            for _ in 0..3 {
+                tasks.push(Box::new(|| {
+                    spin(50);
+                }));
+            }
+            stages.push(tasks);
+        }
+        let trace = pool.run_stages(stages);
+        let u = trace.overall_utilization();
+        assert!(u < 0.8, "expected idle time at barriers, utilization {u}");
+    }
+
+    #[test]
+    fn balanced_stage_is_well_utilized() {
+        // Tasks must be large enough that per-task bookkeeping is noise.
+        let pool = WorkerPool::new(4);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..16)
+            .map(|_| Box::new(|| { spin(20_000); }) as Box<dyn FnOnce() + Send>)
+            .collect();
+        let trace = pool.run_stages(vec![tasks]);
+        let u = trace.overall_utilization();
+        assert!(u > 0.5, "balanced work should keep workers busy, got {u}");
+    }
+
+    #[test]
+    fn utilization_buckets_sum_to_overall() {
+        let pool = WorkerPool::new(2);
+        let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..8)
+            .map(|_| Box::new(|| { spin(200); }) as Box<dyn FnOnce() + Send>)
+            .collect();
+        let trace = pool.run_stages(vec![tasks]);
+        let buckets = trace.utilization(10);
+        let mean = buckets.iter().sum::<f64>() / buckets.len() as f64;
+        assert!((mean - trace.overall_utilization()).abs() < 0.05);
+        assert!(buckets.iter().all(|&b| (0.0..=1.01).contains(&b)));
+    }
+}

@@ -1,0 +1,27 @@
+//! # svc-cluster
+//!
+//! The distributed-execution substrate for the paper's Spark experiments
+//! (Sections 7.5–7.6.2, Figures 14–16). Spark itself is not available here,
+//! so this crate reproduces the three mechanisms those experiments depend
+//! on:
+//!
+//! 1. **batch amortization** — per-batch fixed overhead makes small batches
+//!    slow (Figure 14a);
+//! 2. **contention** — two concurrent maintenance pipelines share the
+//!    worker pool and reduce each other's throughput, less so at large
+//!    batch sizes (Figure 14b);
+//! 3. **synchronization idle time** — stage barriers with skewed task sizes
+//!    leave workers idle, which SVC's small sampling tasks can absorb
+//!    (Figure 16).
+//!
+//! [`timeline`] drives the *real* SVC machinery through a simulated
+//! maintenance schedule to reproduce the max-error-vs-sampling-ratio
+//! trade-off of Figure 15.
+
+pub mod executor;
+pub mod minibatch;
+pub mod timeline;
+
+pub use executor::{ExecutionTrace, WorkerPool};
+pub use minibatch::{BatchPipeline, ThroughputPoint};
+pub use timeline::{timeline_max_error, TimelineConfig, TimelineResult};

@@ -1,0 +1,152 @@
+//! Mini-batch maintenance pipelines and the throughput / batch-size
+//! trade-off (Section 7.6.2, Figure 14).
+//!
+//! Spark amortizes per-batch overheads (task scheduling, shuffle setup,
+//! lineage checkpointing) over the records in the batch: "larger batch
+//! sizes amortize overheads better" and small batches lose ~10x throughput.
+//! [`BatchPipeline`] reproduces that with a fixed per-batch overhead (spun
+//! on-CPU, not slept, so contention is real) plus per-record work executed
+//! on a worker pool with a shuffle barrier. Running two pipelines
+//! concurrently (IVM + SVC, Figure 14b) contends for the same pool.
+
+use std::sync::Arc;
+
+use crate::executor::{spin, WorkerPool};
+
+/// One measured point of the throughput curve.
+#[derive(Debug, Clone, Copy)]
+pub struct ThroughputPoint {
+    /// Batch size in records.
+    pub batch_size: usize,
+    /// Records per second achieved.
+    pub throughput: f64,
+}
+
+/// A mini-batch maintenance pipeline.
+#[derive(Debug, Clone)]
+pub struct BatchPipeline {
+    /// Shared worker pool.
+    pub pool: Arc<WorkerPool>,
+    /// Fixed overhead per batch, in spin units (scheduling + shuffle setup).
+    pub overhead_units: u64,
+    /// Work per record, in spin units.
+    pub per_record_units: u64,
+    /// Number of map tasks per batch (partitions).
+    pub partitions: usize,
+}
+
+impl BatchPipeline {
+    /// Default pipeline on `workers` threads.
+    pub fn new(workers: usize) -> BatchPipeline {
+        BatchPipeline {
+            pool: Arc::new(WorkerPool::new(workers)),
+            overhead_units: 60_000,
+            per_record_units: 12,
+            partitions: workers * 2,
+        }
+    }
+
+    /// Process `total_records` in batches of `batch_size`; returns the
+    /// achieved throughput (records/s).
+    pub fn run(&self, total_records: usize, batch_size: usize) -> f64 {
+        assert!(batch_size > 0);
+        let start = std::time::Instant::now();
+        let mut remaining = total_records;
+        while remaining > 0 {
+            let this_batch = remaining.min(batch_size);
+            remaining -= this_batch;
+            // Fixed overhead: a serial task (driver-side scheduling).
+            spin(self.overhead_units);
+            // Map stage: records split across partitions, barrier at end.
+            let per_part = this_batch.div_ceil(self.partitions);
+            let unit = self.per_record_units;
+            let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..self.partitions)
+                .map(|p| {
+                    let records = per_part.min(this_batch.saturating_sub(p * per_part));
+                    Box::new(move || {
+                        spin(records as u64 * unit);
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            // Reduce stage: one merge task per worker-pair (smaller).
+            let merges: Vec<Box<dyn FnOnce() + Send>> = (0..self.partitions / 2)
+                .map(|_| {
+                    Box::new(move || {
+                        spin(unit * 40);
+                    }) as Box<dyn FnOnce() + Send>
+                })
+                .collect();
+            self.pool.run_stages(vec![tasks, merges]);
+        }
+        total_records as f64 / start.elapsed().as_secs_f64()
+    }
+
+    /// Measure throughput across batch sizes (Figure 14a).
+    pub fn throughput_curve(&self, total_records: usize, batch_sizes: &[usize]) -> Vec<ThroughputPoint> {
+        batch_sizes
+            .iter()
+            .map(|&b| ThroughputPoint {
+                batch_size: b,
+                throughput: self.run(total_records, b),
+            })
+            .collect()
+    }
+
+    /// Measure throughput with a second pipeline running concurrently on
+    /// its own pool of equal size — the two-maintenance-threads setup of
+    /// Figure 14b. Returns this pipeline's throughput.
+    pub fn throughput_with_contention(
+        &self,
+        total_records: usize,
+        batch_size: usize,
+    ) -> f64 {
+        let other = self.clone();
+        let mut main_tp = 0.0;
+        crossbeam::thread::scope(|s| {
+            let handle = s.spawn(move |_| {
+                other.run(total_records, batch_size);
+            });
+            main_tp = self.run(total_records, batch_size);
+            handle.join().expect("concurrent pipeline panicked");
+        })
+        .expect("scope");
+        main_tp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_batches_amortize_overhead() {
+        let p = BatchPipeline::new(2);
+        let n = 6_000;
+        let small = p.run(n, 200);
+        let large = p.run(n, 3_000);
+        assert!(
+            large > small * 1.5,
+            "large batches should be much faster: {large} vs {small}"
+        );
+    }
+
+    #[test]
+    fn contention_reduces_throughput() {
+        let p = BatchPipeline::new(2);
+        let n = 4_000;
+        let solo = p.run(n, 1_000);
+        let contended = p.throughput_with_contention(n, 1_000);
+        assert!(
+            contended < solo,
+            "two pipelines must contend: {contended} vs solo {solo}"
+        );
+    }
+
+    #[test]
+    fn throughput_curve_is_monotone_ish() {
+        let p = BatchPipeline::new(2);
+        let pts = p.throughput_curve(4_000, &[250, 1_000, 4_000]);
+        assert_eq!(pts.len(), 3);
+        assert!(pts[2].throughput > pts[0].throughput);
+    }
+}

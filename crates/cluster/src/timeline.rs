@@ -1,0 +1,238 @@
+//! Staleness-error timelines (Figure 15): drive the real SVC machinery
+//! through a periodic-maintenance schedule and record the *maximum* query
+//! error within maintenance periods.
+//!
+//! The paper's setup: at a fixed cluster throughput, IVM alone can refresh
+//! the view every `B` records, while IVM sharing the cluster with an SVC
+//! thread refreshes less often (larger effective batch) but gets cheap
+//! sample cleanings in between. Larger sampling ratios clean less often
+//! (same budget), so the max error is minimized at an intermediate ratio —
+//! the optimum the paper finds at 3% (V2) and 6% (V5).
+
+use svc_core::query::{relative_error, AggQuery};
+use svc_core::{Method, SvcConfig, SvcView};
+use svc_relalg::plan::Plan;
+use svc_storage::{Database, Deltas, Result};
+
+/// Schedule parameters for one timeline run.
+#[derive(Debug, Clone, Copy)]
+pub struct TimelineConfig {
+    /// Number of update chunks streamed.
+    pub total_chunks: usize,
+    /// Chunks between full IVM refreshes.
+    pub ivm_period: usize,
+    /// Chunks between SVC sample cleanings (`None` = SVC disabled).
+    pub svc_period: Option<usize>,
+    /// Sampling ratio for the SVC thread.
+    pub ratio: f64,
+    /// Seed for the SVC hash.
+    pub seed: u64,
+}
+
+/// Maximum (and mean) relative error observed over the timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct TimelineResult {
+    /// Maximum per-chunk median query error.
+    pub max_error: f64,
+    /// Mean per-chunk median query error.
+    pub mean_error: f64,
+}
+
+/// Run the schedule: stream chunks produced by `make_chunk`, refresh with
+/// IVM every `ivm_period` chunks, clean the sample every `svc_period`
+/// chunks (answering queries by SVC+CORR in between), and report the error
+/// profile. `make_chunk(db, t)` must generate non-conflicting keys per `t`.
+pub fn timeline_max_error(
+    base: &Database,
+    view_def: Plan,
+    make_chunk: &mut dyn FnMut(&Database, usize) -> Result<Deltas>,
+    queries: &[AggQuery],
+    cfg: &TimelineConfig,
+) -> Result<TimelineResult> {
+    let mut db = base.clone();
+    let svc_cfg = SvcConfig::with_ratio(cfg.ratio).reseeded(cfg.seed);
+    let mut svc = SvcView::create("timeline", view_def, &db, svc_cfg)?;
+    let mut pending = Deltas::new();
+
+    // Current answers per query (refreshed by IVM or SVC cleanings).
+    let mut answers: Vec<f64> =
+        queries.iter().map(|q| svc.query_stale(q)).collect::<Result<_>>()?;
+
+    let mut max_error = 0.0f64;
+    let mut err_sum = 0.0f64;
+    let mut err_n = 0usize;
+
+    for t in 1..=cfg.total_chunks {
+        let chunk = make_chunk(&db, t)?;
+        pending.merge(chunk)?;
+
+        if t % cfg.ivm_period == 0 {
+            // Full refresh: view becomes exact, deltas commit.
+            svc.maintain_full(&db, &pending)?;
+            pending.apply_to(&mut db)?;
+            for (a, q) in answers.iter_mut().zip(queries) {
+                *a = svc.query_stale(q)?;
+            }
+        } else if let Some(p) = cfg.svc_period {
+            if t % p == 0 {
+                let cleaned = svc.clean_sample(&db, &pending)?;
+                for (a, q) in answers.iter_mut().zip(queries) {
+                    *a = svc.estimate_corr(&cleaned, q)?.value;
+                }
+            }
+        }
+
+        // Error of the current answers against the live truth.
+        let mut errs: Vec<f64> = Vec::with_capacity(queries.len());
+        for (a, q) in answers.iter().zip(queries) {
+            let truth = svc.query_fresh_oracle(&db, &pending, q)?;
+            errs.push(relative_error(*a, truth));
+        }
+        errs.sort_by(f64::total_cmp);
+        let median = errs[errs.len() / 2];
+        max_error = max_error.max(median);
+        err_sum += median;
+        err_n += 1;
+    }
+
+    Ok(TimelineResult { max_error, mean_error: err_sum / err_n.max(1) as f64 })
+}
+
+/// Convenience: answer mode used between refreshes (kept for reporting).
+pub fn between_refresh_method(svc_enabled: bool) -> Method {
+    if svc_enabled {
+        Method::Correction
+    } else {
+        Method::Stale
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svc_relalg::aggregate::AggSpec;
+    use svc_relalg::scalar::{col, lit};
+    use svc_storage::{DataType, Schema, Table, Value};
+
+    fn base_db() -> Database {
+        let mut db = Database::new();
+        let mut t = Table::new(
+            Schema::from_pairs(&[
+                ("id", DataType::Int),
+                ("grp", DataType::Int),
+                ("x", DataType::Float),
+            ])
+            .unwrap(),
+            &["id"],
+        )
+        .unwrap();
+        // Enough groups that a hash sample of the view is statistically
+        // meaningful (the paper excludes small-cardinality views).
+        for i in 0..4000i64 {
+            t.insert(vec![
+                Value::Int(i),
+                Value::Int(i % 400),
+                Value::Float((i % 97) as f64),
+            ])
+            .unwrap();
+        }
+        db.create_table("events", t);
+        db
+    }
+
+    fn view_def() -> Plan {
+        Plan::scan("events").aggregate(
+            &["grp"],
+            vec![
+                AggSpec::count_all("n"),
+                AggSpec::new("total", svc_relalg::aggregate::AggFunc::Sum, col("x")),
+            ],
+        )
+    }
+
+    fn chunk(db: &Database, t: usize) -> Result<Deltas> {
+        let mut deltas = Deltas::new();
+        let base = 1_000_000 + (t as i64) * 1000;
+        for i in 0..200i64 {
+            deltas.insert(
+                db,
+                "events",
+                vec![
+                    Value::Int(base + i),
+                    Value::Int(i % 100), // skew toward low groups
+                    Value::Float(60.0),
+                ],
+            )?;
+        }
+        Ok(deltas)
+    }
+
+    fn queries() -> Vec<AggQuery> {
+        vec![
+            AggQuery::sum(col("total")).filter(col("grp").lt(lit(100i64))),
+            AggQuery::sum(col("n")),
+        ]
+    }
+
+    #[test]
+    fn svc_between_refreshes_reduces_max_error() {
+        let db = base_db();
+        let ivm_only = timeline_max_error(
+            &db,
+            view_def(),
+            &mut chunk,
+            &queries(),
+            &TimelineConfig {
+                total_chunks: 12,
+                ivm_period: 6,
+                svc_period: None,
+                ratio: 0.1,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        // SVC shares throughput: IVM period doubles, but the sample is
+        // cleaned every 2 chunks.
+        let with_svc = timeline_max_error(
+            &db,
+            view_def(),
+            &mut chunk,
+            &queries(),
+            &TimelineConfig {
+                total_chunks: 12,
+                ivm_period: 12,
+                svc_period: Some(2),
+                ratio: 0.2,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        assert!(
+            with_svc.max_error < ivm_only.max_error,
+            "SVC should cap staleness error: {} vs {}",
+            with_svc.max_error,
+            ivm_only.max_error
+        );
+    }
+
+    #[test]
+    fn errors_are_finite_and_bounded() {
+        let db = base_db();
+        let r = timeline_max_error(
+            &db,
+            view_def(),
+            &mut chunk,
+            &queries(),
+            &TimelineConfig {
+                total_chunks: 6,
+                ivm_period: 3,
+                svc_period: Some(1),
+                ratio: 0.3,
+                seed: 1,
+            },
+        )
+        .unwrap();
+        assert!(r.max_error.is_finite());
+        assert!(r.mean_error <= r.max_error);
+    }
+}

@@ -1,0 +1,94 @@
+//! The correspondence-subtract operator `−̇` of Definition 4.
+//!
+//! Given two *corresponding* relations keyed identically (the clean and
+//! dirty samples), compute row-by-row differences of a per-row statistic,
+//! treating a key missing on either side as contributing 0 — the paper's
+//! "null values are represented as zero" full-outer-join formulation.
+
+use std::collections::HashMap;
+
+use svc_storage::{KeyTuple, Table};
+
+/// Per-row transformed values keyed by the relation's primary key — the
+/// paper's `trans` intermediate table (Section 5.2.1).
+pub type TransTable = HashMap<KeyTuple, f64>;
+
+/// Build a trans table by applying `f` to every row (rows mapping to `None`
+/// are omitted — e.g. predicate-failing rows of an `avg` query).
+pub fn trans_table(
+    table: &Table,
+    mut f: impl FnMut(&svc_storage::Row) -> Option<f64>,
+) -> TransTable {
+    let mut out = TransTable::with_capacity(table.len());
+    for (key, row) in table.iter_keyed() {
+        if let Some(v) = f(row) {
+            out.insert(key, v);
+        }
+    }
+    out
+}
+
+/// `clean −̇ dirty`: the row-by-row differences over the union of keys, with
+/// missing entries as 0. Output order is deterministic (sorted by key).
+pub fn correspondence_subtract(clean: &TransTable, dirty: &TransTable) -> Vec<f64> {
+    let mut keys: Vec<&KeyTuple> = clean.keys().chain(dirty.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    keys.into_iter()
+        .map(|k| clean.get(k).copied().unwrap_or(0.0) - dirty.get(k).copied().unwrap_or(0.0))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svc_storage::{DataType, Schema, Value};
+
+    fn table(rows: &[(i64, f64)]) -> Table {
+        let schema =
+            Schema::from_pairs(&[("id", DataType::Int), ("x", DataType::Float)]).unwrap();
+        let mut t = Table::new(schema, &["id"]).unwrap();
+        for &(id, x) in rows {
+            t.insert(vec![Value::Int(id), Value::Float(x)]).unwrap();
+        }
+        t
+    }
+
+    #[test]
+    fn paired_keys_subtract() {
+        let clean = trans_table(&table(&[(1, 5.0), (2, 7.0)]), |r| r[1].as_f64());
+        let dirty = trans_table(&table(&[(1, 4.0), (2, 7.0)]), |r| r[1].as_f64());
+        let mut d = correspondence_subtract(&clean, &dirty);
+        d.sort_by(f64::total_cmp);
+        assert_eq!(d, vec![0.0, 1.0]);
+    }
+
+    #[test]
+    fn missing_and_superfluous_keys_count_as_zero() {
+        // Key 3 only in clean (a missing row now sampled); key 9 only in
+        // dirty (a superfluous row removed by cleaning).
+        let clean = trans_table(&table(&[(1, 5.0), (3, 2.0)]), |r| r[1].as_f64());
+        let dirty = trans_table(&table(&[(1, 5.0), (9, 4.0)]), |r| r[1].as_f64());
+        let d = correspondence_subtract(&clean, &dirty);
+        assert_eq!(d.len(), 3);
+        let sum: f64 = d.iter().sum();
+        assert_eq!(sum, 2.0 - 4.0);
+    }
+
+    #[test]
+    fn filter_omits_rows() {
+        let t = table(&[(1, 5.0), (2, -3.0)]);
+        let trans = trans_table(&t, |r| r[1].as_f64().filter(|x| *x > 0.0));
+        assert_eq!(trans.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_order() {
+        let clean = trans_table(&table(&[(3, 1.0), (1, 2.0), (2, 3.0)]), |r| r[1].as_f64());
+        let dirty = TransTable::new();
+        let d1 = correspondence_subtract(&clean, &dirty);
+        let d2 = correspondence_subtract(&clean, &dirty);
+        assert_eq!(d1, d2);
+        assert_eq!(d1, vec![2.0, 3.0, 1.0]); // sorted by key 1,2,3
+    }
+}

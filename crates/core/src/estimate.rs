@@ -1,0 +1,492 @@
+//! Query result estimation (Section 5): SVC+AQP direct estimates and
+//! SVC+CORR corrections, with confidence machinery per aggregate class.
+//!
+//! * `sum`/`count`/`avg` — sample means: per-row `trans` transformation
+//!   (`1/m·attr·cond` for sum, `1/m·cond` for count, `attr where cond` for
+//!   avg) and CLT intervals (Section 5.2.1);
+//! * `median`/percentiles — statistical bootstrap (Section 5.2.5);
+//! * `min`/`max` — correction by extreme paired difference plus a Cantelli
+//!   probability that a more extreme unsampled element exists
+//!   (Appendix 12.1.1).
+
+use svc_stats::bootstrap::{bootstrap_ci, bootstrap_paired_diff};
+use svc_stats::clt::{mean_interval, sum_interval, ConfidenceInterval};
+use svc_stats::moments::Moments;
+use svc_stats::quantile::quantile;
+use svc_storage::{Result, StorageError, Table};
+
+use crate::config::SvcConfig;
+use crate::diff::{correspondence_subtract, trans_table, TransTable};
+use crate::query::{AggQuery, QueryAgg};
+
+/// How an answer was produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// The stale view's answer, unmodified (the "No Maintenance" baseline).
+    Stale,
+    /// SVC+AQP: direct estimate from the clean sample.
+    AqpDirect,
+    /// SVC+CORR: stale answer plus a sampled correction.
+    Correction,
+}
+
+/// An estimated query answer with its uncertainty.
+#[derive(Debug, Clone)]
+pub struct Estimate {
+    /// Point estimate of `q(S′)`.
+    pub value: f64,
+    /// Confidence interval, when the aggregate class provides one.
+    pub ci: Option<ConfidenceInterval>,
+    /// Estimation method.
+    pub method: Method,
+    /// Rows of the (clean) sample involved.
+    pub sample_size: usize,
+    /// Rows of the sample satisfying the predicate (effective sample size,
+    /// Section 5.2.3).
+    pub predicate_rows: usize,
+    /// For `min`/`max`: Cantelli bound on the probability that a more
+    /// extreme element exists outside the sample (Appendix 12.1.1).
+    pub exceedance_probability: Option<f64>,
+}
+
+fn err_empty(context: &str) -> StorageError {
+    StorageError::Invalid(format!("cannot estimate from an empty sample ({context})"))
+}
+
+/// Per-row `trans` values for the sample-mean class: every sample row gets
+/// an entry (predicate-failing rows map to 0), as in the paper's rewriting
+/// of `cond(*)` into the SELECT clause.
+fn trans_scaled(table: &Table, q: &AggQuery, m: f64) -> Result<TransTable> {
+    let bound = q.bind(table)?;
+    Ok(trans_table(table, |row| {
+        let cond = bound.matches(row);
+        Some(match q.agg {
+            QueryAgg::Sum => {
+                if cond {
+                    bound.attr.eval(row).as_f64().unwrap_or(0.0) / m
+                } else {
+                    0.0
+                }
+            }
+            QueryAgg::Count => {
+                if cond {
+                    1.0 / m
+                } else {
+                    0.0
+                }
+            }
+            _ => unreachable!("trans_scaled is for sum/count only"),
+        })
+    }))
+}
+
+/// Unscaled attribute values of predicate-satisfying rows keyed by row
+/// (the `avg`/order-statistic trans table).
+fn trans_plain(table: &Table, q: &AggQuery) -> Result<TransTable> {
+    let bound = q.bind(table)?;
+    Ok(trans_table(table, |row| {
+        if bound.matches(row) {
+            bound.attr.eval(row).as_f64()
+        } else {
+            None
+        }
+    }))
+}
+
+/// SVC+AQP: estimate `q(S′)` directly from the clean sample with scaling
+/// factor `1/m` for sum/count and 1 for avg (Section 5.1).
+pub fn svc_aqp(clean_sample: &Table, q: &AggQuery, m: f64, cfg: &SvcConfig) -> Result<Estimate> {
+    let k = clean_sample.len();
+    let bound = q.bind(clean_sample)?;
+    let matching = bound.matching_values(clean_sample);
+    let predicate_rows = matching.len();
+
+    let est = match q.agg {
+        QueryAgg::Sum | QueryAgg::Count => {
+            let trans = trans_scaled(clean_sample, q, m)?;
+            let moments = Moments::of(&trans.values().copied().collect::<Vec<_>>());
+            let value = moments.sum();
+            let ci = sum_interval(value, moments.variance(), moments.count(), cfg.confidence);
+            Estimate {
+                value,
+                ci: Some(ci),
+                method: Method::AqpDirect,
+                sample_size: k,
+                predicate_rows,
+                exceedance_probability: None,
+            }
+        }
+        QueryAgg::Avg => {
+            if matching.is_empty() {
+                return Err(err_empty("avg"));
+            }
+            let moments = Moments::of(&matching);
+            let ci = mean_interval(
+                moments.mean(),
+                moments.variance(),
+                moments.count(),
+                cfg.confidence,
+            );
+            Estimate {
+                value: moments.mean(),
+                ci: Some(ci),
+                method: Method::AqpDirect,
+                sample_size: k,
+                predicate_rows,
+                exceedance_probability: None,
+            }
+        }
+        QueryAgg::Median | QueryAgg::Percentile(_) => {
+            if matching.is_empty() {
+                return Err(err_empty("median/percentile"));
+            }
+            let p = match q.agg {
+                QueryAgg::Median => 0.5,
+                QueryAgg::Percentile(p) => p,
+                _ => unreachable!(),
+            };
+            let ci = bootstrap_ci(
+                &matching,
+                |xs| quantile(xs, p),
+                cfg.bootstrap_iterations,
+                cfg.confidence,
+                cfg.seed,
+            );
+            Estimate {
+                value: ci.estimate,
+                ci: Some(ci),
+                method: Method::AqpDirect,
+                sample_size: k,
+                predicate_rows,
+                exceedance_probability: None,
+            }
+        }
+        QueryAgg::Min | QueryAgg::Max => {
+            if matching.is_empty() {
+                return Err(err_empty("min/max"));
+            }
+            let value = extreme(&matching, q.agg);
+            let moments = Moments::of(&matching);
+            let eps = (value - moments.mean()).abs();
+            let p = svc_stats::cantelli::cantelli_exceedance(moments.variance(), eps);
+            Estimate {
+                value,
+                ci: None,
+                method: Method::AqpDirect,
+                sample_size: k,
+                predicate_rows,
+                exceedance_probability: Some(p),
+            }
+        }
+    };
+    Ok(est)
+}
+
+fn extreme(vals: &[f64], agg: QueryAgg) -> f64 {
+    match agg {
+        QueryAgg::Min => vals.iter().copied().fold(f64::INFINITY, f64::min),
+        QueryAgg::Max => vals.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        _ => unreachable!(),
+    }
+}
+
+/// SVC+CORR: estimate the correction `c = q(S′) − q(S)` from the
+/// corresponding samples and add it to the stale full-view answer
+/// (Section 5.1; bounds per Sections 5.2.1/5.2.5 and Appendix 12.1.1).
+pub fn svc_corr(
+    stale_result: f64,
+    stale_sample: &Table,
+    clean_sample: &Table,
+    q: &AggQuery,
+    m: f64,
+    cfg: &SvcConfig,
+) -> Result<Estimate> {
+    let k = clean_sample.len();
+    let clean_bound = q.bind(clean_sample)?;
+    let predicate_rows = clean_bound.matching_values(clean_sample).len();
+
+    let est = match q.agg {
+        QueryAgg::Sum | QueryAgg::Count => {
+            let clean_t = trans_scaled(clean_sample, q, m)?;
+            let stale_t = trans_scaled(stale_sample, q, m)?;
+            let diffs = correspondence_subtract(&clean_t, &stale_t);
+            let moments = Moments::of(&diffs);
+            let correction = moments.sum();
+            let ci0 =
+                sum_interval(correction, moments.variance(), moments.count(), cfg.confidence);
+            Estimate {
+                value: stale_result + correction,
+                ci: Some(ConfidenceInterval {
+                    estimate: stale_result + correction,
+                    half_width: ci0.half_width,
+                    confidence: cfg.confidence,
+                }),
+                method: Method::Correction,
+                sample_size: k,
+                predicate_rows,
+                exceedance_probability: None,
+            }
+        }
+        QueryAgg::Avg => {
+            let clean_t = trans_plain(clean_sample, q)?;
+            let stale_t = trans_plain(stale_sample, q)?;
+            if clean_t.is_empty() {
+                return Err(err_empty("avg correction"));
+            }
+            let clean_mean =
+                clean_t.values().sum::<f64>() / clean_t.len() as f64;
+            let stale_mean = if stale_t.is_empty() {
+                clean_mean
+            } else {
+                stale_t.values().sum::<f64>() / stale_t.len() as f64
+            };
+            let correction = clean_mean - stale_mean;
+            let diffs = correspondence_subtract(&clean_t, &stale_t);
+            let dm = Moments::of(&diffs);
+            let ci0 = mean_interval(correction, dm.variance(), dm.count(), cfg.confidence);
+            Estimate {
+                value: stale_result + correction,
+                ci: Some(ConfidenceInterval {
+                    estimate: stale_result + correction,
+                    half_width: ci0.half_width,
+                    confidence: cfg.confidence,
+                }),
+                method: Method::Correction,
+                sample_size: k,
+                predicate_rows,
+                exceedance_probability: None,
+            }
+        }
+        QueryAgg::Median | QueryAgg::Percentile(_) => {
+            let p = match q.agg {
+                QueryAgg::Median => 0.5,
+                QueryAgg::Percentile(p) => p,
+                _ => unreachable!(),
+            };
+            let clean_vals: Vec<f64> =
+                trans_plain(clean_sample, q)?.into_values().collect();
+            let stale_vals: Vec<f64> =
+                trans_plain(stale_sample, q)?.into_values().collect();
+            if clean_vals.is_empty() {
+                return Err(err_empty("median correction"));
+            }
+            let correction = if stale_vals.is_empty() {
+                0.0
+            } else {
+                quantile(&clean_vals, p) - quantile(&stale_vals, p)
+            };
+            let value = stale_result + correction;
+            // Bootstrap the correction's distribution (the SVC+CORR variant
+            // of Section 5.2.5).
+            let ci = if stale_vals.is_empty() {
+                None
+            } else {
+                let mut dist = bootstrap_paired_diff(
+                    &clean_vals,
+                    &stale_vals,
+                    |xs| quantile(xs, p),
+                    cfg.bootstrap_iterations,
+                    cfg.seed,
+                );
+                dist.sort_by(f64::total_cmp);
+                let alpha = 1.0 - cfg.confidence;
+                let lo = quantile(&dist, alpha / 2.0);
+                let hi = quantile(&dist, 1.0 - alpha / 2.0);
+                Some(ConfidenceInterval {
+                    estimate: value,
+                    half_width: ((hi - lo) / 2.0).abs(),
+                    confidence: cfg.confidence,
+                })
+            };
+            Estimate {
+                value,
+                ci,
+                method: Method::Correction,
+                sample_size: k,
+                predicate_rows,
+                exceedance_probability: None,
+            }
+        }
+        QueryAgg::Min | QueryAgg::Max => {
+            // Appendix 12.1.1: correct the stale extreme by the extreme
+            // row-by-row difference, bound by Cantelli.
+            let clean_t = trans_plain(clean_sample, q)?;
+            let stale_t = trans_plain(stale_sample, q)?;
+            if clean_t.is_empty() {
+                return Err(err_empty("min/max correction"));
+            }
+            // Appendix 12.1.1: the row-by-row difference is taken over rows
+            // present in BOTH samples.
+            let diffs: Vec<f64> = clean_t
+                .iter()
+                .filter_map(|(k, v)| stale_t.get(k).map(|s| v - s))
+                .collect();
+            let c = if diffs.is_empty() {
+                0.0
+            } else {
+                extreme(&diffs, if q.agg == QueryAgg::Max { QueryAgg::Max } else { QueryAgg::Min })
+            };
+            let value = stale_result + c;
+            let clean_vals: Vec<f64> = clean_t.values().copied().collect();
+            let moments = Moments::of(&clean_vals);
+            let eps = (value - moments.mean()).abs();
+            let p = svc_stats::cantelli::cantelli_exceedance(moments.variance(), eps);
+            Estimate {
+                value,
+                ci: None,
+                method: Method::Correction,
+                sample_size: k,
+                predicate_rows,
+                exceedance_probability: Some(p),
+            }
+        }
+    };
+    Ok(est)
+}
+
+/// The stale baseline as an [`Estimate`] (for uniform reporting).
+pub fn stale_answer(stale_result: f64) -> Estimate {
+    Estimate {
+        value: stale_result,
+        ci: None,
+        method: Method::Stale,
+        sample_size: 0,
+        predicate_rows: 0,
+        exceedance_probability: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svc_relalg::scalar::{col, lit};
+    use svc_sampling::operator::sample_by_key;
+    use svc_storage::{DataType, HashSpec, Schema, Value};
+
+    /// Population with mean 50 over ids 0..1000; "fresh" version shifts a
+    /// slice of rows and adds new ones.
+    fn stale_and_fresh() -> (Table, Table) {
+        let schema =
+            Schema::from_pairs(&[("id", DataType::Int), ("x", DataType::Float)]).unwrap();
+        let mut stale = Table::new(schema.clone(), &["id"]).unwrap();
+        let mut fresh = Table::new(schema, &["id"]).unwrap();
+        for i in 0..1000i64 {
+            let x = (i % 101) as f64;
+            stale.insert(vec![Value::Int(i), Value::Float(x)]).unwrap();
+            // Fresh: rows 0..200 updated (+10), rest unchanged.
+            let fx = if i < 200 { x + 10.0 } else { x };
+            fresh.insert(vec![Value::Int(i), Value::Float(fx)]).unwrap();
+        }
+        for i in 1000..1200i64 {
+            fresh
+                .insert(vec![Value::Int(i), Value::Float(((i * 7) % 101) as f64)])
+                .unwrap();
+        }
+        (stale, fresh)
+    }
+
+    fn samples(m: f64) -> (Table, Table, Table, Table) {
+        let (stale, fresh) = stale_and_fresh();
+        let spec = HashSpec::with_seed(99);
+        let s_hat = sample_by_key(&stale, m, spec);
+        let f_hat = sample_by_key(&fresh, m, spec);
+        (stale, fresh, s_hat, f_hat)
+    }
+
+    #[test]
+    fn aqp_sum_is_close_and_covered() {
+        let (_, fresh, _, f_hat) = samples(0.2);
+        let q = AggQuery::sum(col("x"));
+        let truth = q.exact(&fresh).unwrap();
+        let est = svc_aqp(&f_hat, &q, 0.2, &SvcConfig::default()).unwrap();
+        let rel = (est.value - truth).abs() / truth;
+        assert!(rel < 0.15, "AQP sum rel err {rel}");
+        assert!(est.ci.unwrap().contains(truth) || rel < 0.05);
+    }
+
+    #[test]
+    fn corr_beats_stale_for_sum_count_avg() {
+        let (stale, fresh, s_hat, f_hat) = samples(0.2);
+        let cfg = SvcConfig::default();
+        for q in [
+            AggQuery::sum(col("x")),
+            AggQuery::count().filter(col("x").gt(lit(50.0))),
+            AggQuery::avg(col("x")),
+        ] {
+            let truth = q.exact(&fresh).unwrap();
+            let stale_res = q.exact(&stale).unwrap();
+            let est = svc_corr(stale_res, &s_hat, &f_hat, &q, 0.2, &cfg).unwrap();
+            let stale_err = (stale_res - truth).abs();
+            let corr_err = (est.value - truth).abs();
+            assert!(
+                corr_err <= stale_err,
+                "{q:?}: corr err {corr_err} vs stale err {stale_err}"
+            );
+        }
+    }
+
+    #[test]
+    fn corr_is_exact_when_nothing_changed() {
+        let (stale, _, s_hat, _) = samples(0.3);
+        let cfg = SvcConfig::default();
+        let q = AggQuery::sum(col("x"));
+        let stale_res = q.exact(&stale).unwrap();
+        // Clean sample == dirty sample → correction must be exactly 0.
+        let est = svc_corr(stale_res, &s_hat, &s_hat, &q, 0.3, &cfg).unwrap();
+        assert_eq!(est.value, stale_res);
+        assert_eq!(est.ci.unwrap().half_width, 0.0);
+    }
+
+    #[test]
+    fn median_estimates_with_bootstrap_ci() {
+        let (stale, fresh, s_hat, f_hat) = samples(0.25);
+        let cfg = SvcConfig::default();
+        let q = AggQuery::median(col("x"));
+        let truth = q.exact(&fresh).unwrap();
+        let aqp = svc_aqp(&f_hat, &q, 0.25, &cfg).unwrap();
+        assert!((aqp.value - truth).abs() < 15.0);
+        assert!(aqp.ci.is_some());
+        let stale_res = q.exact(&stale).unwrap();
+        let corr = svc_corr(stale_res, &s_hat, &f_hat, &q, 0.25, &cfg).unwrap();
+        assert!((corr.value - truth).abs() < 15.0);
+    }
+
+    #[test]
+    fn max_correction_and_cantelli() {
+        let (stale, fresh, s_hat, f_hat) = samples(0.25);
+        let cfg = SvcConfig::default();
+        let q = AggQuery::max(col("x"));
+        let stale_res = q.exact(&stale).unwrap();
+        let est = svc_corr(stale_res, &s_hat, &f_hat, &q, 0.25, &cfg).unwrap();
+        let p = est.exceedance_probability.unwrap();
+        assert!((0.0..=1.0).contains(&p));
+        // The corrected max must be at least the stale max here (values only
+        // increased).
+        assert!(est.value >= stale_res);
+        let truth = q.exact(&fresh).unwrap();
+        assert!((est.value - truth).abs() <= 15.0);
+    }
+
+    #[test]
+    fn selectivity_widens_intervals() {
+        // Section 5.2.3: a more selective predicate → larger CI.
+        let (_, _, _, f_hat) = samples(0.25);
+        let cfg = SvcConfig::default();
+        let broad = AggQuery::avg(col("x"));
+        let narrow = AggQuery::avg(col("x")).filter(col("id").rem(lit(10i64)).eq(lit(0i64)));
+        let b = svc_aqp(&f_hat, &broad, 0.25, &cfg).unwrap();
+        let n = svc_aqp(&f_hat, &narrow, 0.25, &cfg).unwrap();
+        assert!(n.predicate_rows < b.predicate_rows);
+        assert!(
+            n.ci.unwrap().half_width > b.ci.unwrap().half_width,
+            "narrow CI should be wider"
+        );
+    }
+
+    #[test]
+    fn empty_sample_errors() {
+        let (_, _, _, f_hat) = samples(0.25);
+        let q = AggQuery::avg(col("x")).filter(col("id").gt(lit(10_000i64)));
+        assert!(svc_aqp(&f_hat, &q, 0.25, &SvcConfig::default()).is_err());
+    }
+}

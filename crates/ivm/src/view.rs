@@ -1,0 +1,390 @@
+//! Materialized views: definition + canonical materialized state +
+//! maintenance.
+
+use svc_storage::{Database, Deltas, Result, Table};
+
+use svc_relalg::derive::{derive_project, Derived};
+use svc_relalg::eval::{evaluate, Bindings};
+use svc_relalg::plan::Plan;
+use svc_relalg::scalar::Expr;
+
+use crate::canon::{canonicalize, Canonical};
+use crate::delta::{del_leaf, ins_leaf, DeltaInfo};
+use crate::strategy::{maintenance_plan, MaintCatalog, PlanKind, STALE_LEAF};
+
+/// A materialized view: the user-facing definition, its canonical
+/// (change-table maintainable) form, and the materialized canonical state.
+///
+/// The *canonical* table is what SVC samples and maintains; the *public*
+/// projection (e.g. recombining `avg = sum / count`) is applied on demand —
+/// both to the full view and to samples of it, which is sound because the
+/// projection is row-local and keeps the primary key (Definition 2).
+#[derive(Debug, Clone)]
+pub struct MaterializedView {
+    /// View name.
+    pub name: String,
+    /// The definition as written by the user.
+    pub definition: Plan,
+    canonical: Canonical,
+    table: Table,
+}
+
+/// Bind base tables, delta relations, and the stale view for evaluating a
+/// maintenance plan.
+pub fn maintenance_bindings<'a>(
+    db: &'a Database,
+    deltas: &'a Deltas,
+    stale: &'a Table,
+) -> Bindings<'a> {
+    let mut b = Bindings::from_database(db);
+    b.bind(STALE_LEAF, stale);
+    for (name, set) in deltas.iter() {
+        b.bind(ins_leaf(name), &set.insertions);
+        b.bind(del_leaf(name), &set.deletions);
+    }
+    b
+}
+
+impl MaterializedView {
+    /// Create and materialize a view from its definition against `db`.
+    pub fn create(name: impl Into<String>, definition: Plan, db: &Database) -> Result<Self> {
+        let canonical = canonicalize(&definition);
+        let bindings = Bindings::from_database(db);
+        let table = evaluate(&canonical.plan, &bindings)?;
+        Ok(MaterializedView { name: name.into(), definition, canonical, table })
+    }
+
+    /// The canonical (internal) materialized state.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// The canonicalization record (plan + public projection + merge rules).
+    pub fn canonical(&self) -> &Canonical {
+        &self.canonical
+    }
+
+    /// Primary-key column names of the canonical state.
+    pub fn key_names(&self) -> Vec<String> {
+        self.table.key_names().iter().map(|s| s.to_string()).collect()
+    }
+
+    /// Number of rows currently materialized.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True iff the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Apply the public projection to an arbitrary canonical-shaped table
+    /// (the full view or a sample of it).
+    pub fn public_of(&self, canonical_table: &Table) -> Result<Table> {
+        project_table(canonical_table, self.canonical.public.as_deref())
+    }
+
+    /// The user-facing view contents.
+    pub fn public_table(&self) -> Result<Table> {
+        self.public_of(&self.table)
+    }
+
+    /// Replace the materialized state (used by tests and by SVC's periodic
+    /// full maintenance).
+    pub fn set_table(&mut self, table: Table) {
+        self.table = table;
+    }
+
+    /// Build this view's maintenance plan for the given deltas without
+    /// executing it. Exposed so SVC can wrap it in η and push the hash down.
+    pub fn build_maintenance_plan(
+        &self,
+        db: &Database,
+        deltas: &Deltas,
+    ) -> Result<(Plan, PlanKind)> {
+        let info = DeltaInfo::of(deltas);
+        let cat = MaintCatalog {
+            db,
+            stale: Derived {
+                schema: self.table.schema().clone(),
+                key: self.table.key().to_vec(),
+            },
+        };
+        maintenance_plan(&self.canonical, &cat, &info)
+    }
+
+    /// Bring the view up to date with respect to `deltas` (which are *not*
+    /// consumed — the caller applies them to the base tables when the
+    /// maintenance period ends). Returns the strategy that was used.
+    pub fn maintain(&mut self, db: &Database, deltas: &Deltas) -> Result<PlanKind> {
+        let (plan, kind) = self.build_maintenance_plan(db, deltas)?;
+        let new_table = {
+            let bindings = maintenance_bindings(db, deltas, &self.table);
+            evaluate(&plan, &bindings)?
+        };
+        self.table = new_table;
+        Ok(kind)
+    }
+
+    /// Ground truth: evaluate the definition against the post-delta base
+    /// state. Used as the correctness oracle in tests and benchmarks.
+    pub fn recompute_fresh(&self, db: &Database, deltas: &Deltas) -> Result<Table> {
+        let mut db2 = db.clone();
+        let mut d2 = deltas.clone();
+        d2.apply_to(&mut db2)?;
+        let bindings = Bindings::from_database(&db2);
+        evaluate(&self.canonical.plan, &bindings)
+    }
+}
+
+/// Apply an optional projection to a table (row-local, key-preserving).
+pub fn project_table(table: &Table, columns: Option<&[(String, Expr)]>) -> Result<Table> {
+    let Some(columns) = columns else {
+        return Ok(table.clone());
+    };
+    let input = Derived { schema: table.schema().clone(), key: table.key().to_vec() };
+    let out = derive_project(&input, columns)?;
+    let bound: Vec<_> = columns
+        .iter()
+        .map(|(_, e)| e.bind(table.schema()))
+        .collect::<Result<_>>()?;
+    let rows = table
+        .rows()
+        .iter()
+        .map(|r| bound.iter().map(|e| e.eval(r)).collect())
+        .collect();
+    Table::from_rows(out.schema, out.key, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svc_relalg::aggregate::{AggFunc, AggSpec};
+    use svc_relalg::plan::JoinKind;
+    use svc_relalg::scalar::{col, lit};
+    use svc_storage::{DataType, Schema, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut video = Table::new(
+            Schema::from_pairs(&[
+                ("videoId", DataType::Int),
+                ("ownerId", DataType::Int),
+                ("duration", DataType::Float),
+            ])
+            .unwrap(),
+            &["videoId"],
+        )
+        .unwrap();
+        for v in 0..60i64 {
+            video
+                .insert(vec![
+                    Value::Int(v),
+                    Value::Int(v % 11),
+                    Value::Float(0.5 + (v % 9) as f64 * 0.3),
+                ])
+                .unwrap();
+        }
+        let mut log = Table::new(
+            Schema::from_pairs(&[("sessionId", DataType::Int), ("videoId", DataType::Int)])
+                .unwrap(),
+            &["sessionId"],
+        )
+        .unwrap();
+        for s in 0..700i64 {
+            log.insert(vec![Value::Int(s), Value::Int((s * 13 + 7) % 60)]).unwrap();
+        }
+        db.create_table("video", video);
+        db.create_table("log", log);
+        db
+    }
+
+    fn visit_view() -> Plan {
+        Plan::scan("log")
+            .join(Plan::scan("video"), JoinKind::Inner, &[("videoId", "videoId")])
+            .aggregate(
+                &["videoId"],
+                vec![
+                    AggSpec::count_all("visitCount"),
+                    AggSpec::new("avgDur", AggFunc::Avg, col("duration")),
+                ],
+            )
+    }
+
+    fn mixed_deltas(db: &Database) -> Deltas {
+        let mut deltas = Deltas::new();
+        for s in 700..800i64 {
+            deltas
+                .insert(db, "log", vec![Value::Int(s), Value::Int(s % 70)])
+                .unwrap();
+        }
+        for v in 60..70i64 {
+            deltas
+                .insert(
+                    db,
+                    "video",
+                    vec![Value::Int(v), Value::Int(3), Value::Float(2.5)],
+                )
+                .unwrap();
+        }
+        for s in 0..30i64 {
+            deltas.delete(db, "log", &vec![Value::Int(s * 3), Value::Null]).unwrap();
+        }
+        deltas.update(db, "log", vec![Value::Int(1), Value::Int(59)]).unwrap();
+        deltas
+            .update(db, "video", vec![Value::Int(10), Value::Int(5), Value::Float(9.9)])
+            .unwrap();
+        deltas
+    }
+
+    #[test]
+    fn change_table_matches_recompute_on_mixed_deltas() {
+        let db = db();
+        let mut view = MaterializedView::create("visitView", visit_view(), &db).unwrap();
+        let deltas = mixed_deltas(&db);
+        let expected = view.recompute_fresh(&db, &deltas).unwrap();
+        let kind = view.maintain(&db, &deltas).unwrap();
+        assert_eq!(kind, PlanKind::ChangeTable);
+        assert!(
+            view.table().approx_same_contents(&expected, 1e-9),
+            "IVM diverged from recompute: {} vs {} rows",
+            view.len(),
+            expected.len()
+        );
+    }
+
+    #[test]
+    fn insert_only_change_table() {
+        let db = db();
+        let mut view = MaterializedView::create("v", visit_view(), &db).unwrap();
+        let mut deltas = Deltas::new();
+        for s in 700..900i64 {
+            deltas
+                .insert(&db, "log", vec![Value::Int(s), Value::Int(s % 60)])
+                .unwrap();
+        }
+        let expected = view.recompute_fresh(&db, &deltas).unwrap();
+        let kind = view.maintain(&db, &deltas).unwrap();
+        assert_eq!(kind, PlanKind::ChangeTable);
+        assert!(view.table().approx_same_contents(&expected, 1e-9));
+    }
+
+    #[test]
+    fn deletion_removes_superfluous_groups() {
+        let db = db();
+        let view_def = Plan::scan("log").aggregate(
+            &["videoId"],
+            vec![AggSpec::count_all("n")],
+        );
+        let mut view = MaterializedView::create("v", view_def, &db).unwrap();
+        // Delete every session of video 0 (sessions where (s*13+7)%60 == 0).
+        let mut deltas = Deltas::new();
+        let victims: Vec<i64> =
+            (0..700i64).filter(|s| (s * 13 + 7) % 60 == 0).collect();
+        assert!(!victims.is_empty());
+        for s in &victims {
+            deltas.delete(&db, "log", &vec![Value::Int(*s), Value::Null]).unwrap();
+        }
+        let before = view.len();
+        let expected = view.recompute_fresh(&db, &deltas).unwrap();
+        let kind = view.maintain(&db, &deltas).unwrap();
+        assert_eq!(kind, PlanKind::ChangeTable);
+        assert!(view.table().approx_same_contents(&expected, 1e-9));
+        assert_eq!(view.len(), before - 1, "video 0's group must disappear");
+    }
+
+    #[test]
+    fn public_projection_recombines_avg() {
+        let db = db();
+        let view = MaterializedView::create("v", visit_view(), &db).unwrap();
+        let public = view.public_table().unwrap();
+        assert_eq!(public.schema().names(), vec!["videoId", "visitCount", "avgDur"]);
+        // Spot-check: avg equals sum/count computed directly.
+        let direct = evaluate(&visit_view(), &Bindings::from_database(&db)).unwrap();
+        assert!(public.same_contents(&direct));
+    }
+
+    #[test]
+    fn spj_view_delta_apply() {
+        let db = db();
+        let def = Plan::scan("log")
+            .join(Plan::scan("video"), JoinKind::Inner, &[("videoId", "videoId")])
+            .select(col("duration").gt(lit(1.0)));
+        let mut view = MaterializedView::create("v", def, &db).unwrap();
+        let deltas = mixed_deltas(&db);
+        let expected = view.recompute_fresh(&db, &deltas).unwrap();
+        let kind = view.maintain(&db, &deltas).unwrap();
+        assert_eq!(kind, PlanKind::DeltaApply);
+        assert!(view.table().approx_same_contents(&expected, 1e-9));
+    }
+
+    #[test]
+    fn median_view_falls_back_to_recompute() {
+        let db = db();
+        let def = Plan::scan("video").aggregate(
+            &["ownerId"],
+            vec![AggSpec::new("medDur", AggFunc::Median, col("duration"))],
+        );
+        let mut view = MaterializedView::create("v", def, &db).unwrap();
+        let mut deltas = Deltas::new();
+        deltas
+            .insert(&db, "video", vec![Value::Int(99), Value::Int(1), Value::Float(4.0)])
+            .unwrap();
+        let expected = view.recompute_fresh(&db, &deltas).unwrap();
+        let kind = view.maintain(&db, &deltas).unwrap();
+        assert_eq!(kind, PlanKind::Recompute);
+        assert!(view.table().approx_same_contents(&expected, 1e-9));
+    }
+
+    #[test]
+    fn min_max_insert_only_uses_change_table_but_deletes_force_recompute() {
+        let db = db();
+        let def = Plan::scan("video").aggregate(
+            &["ownerId"],
+            vec![AggSpec::new("maxDur", AggFunc::Max, col("duration"))],
+        );
+        let mut view = MaterializedView::create("v", def.clone(), &db).unwrap();
+        let mut ins_only = Deltas::new();
+        ins_only
+            .insert(&db, "video", vec![Value::Int(99), Value::Int(1), Value::Float(44.0)])
+            .unwrap();
+        let expected = view.recompute_fresh(&db, &ins_only).unwrap();
+        let kind = view.maintain(&db, &ins_only).unwrap();
+        assert_eq!(kind, PlanKind::ChangeTable);
+        assert!(view.table().approx_same_contents(&expected, 1e-9));
+
+        let mut view = MaterializedView::create("v", def, &db).unwrap();
+        let mut with_del = Deltas::new();
+        with_del.delete(&db, "video", &vec![Value::Int(7), Value::Null, Value::Null]).unwrap();
+        let expected = view.recompute_fresh(&db, &with_del).unwrap();
+        let kind = view.maintain(&db, &with_del).unwrap();
+        assert_eq!(kind, PlanKind::Recompute);
+        assert!(view.table().approx_same_contents(&expected, 1e-9));
+    }
+
+    #[test]
+    fn noop_when_no_deltas() {
+        let db = db();
+        let mut view = MaterializedView::create("v", visit_view(), &db).unwrap();
+        let before = view.table().clone();
+        let kind = view.maintain(&db, &Deltas::new()).unwrap();
+        assert_eq!(kind, PlanKind::NoOp);
+        assert!(view.table().same_contents(&before));
+    }
+
+    #[test]
+    fn nested_aggregate_view_recomputes_correctly() {
+        // The blocked V21-style shape: distribution of visit counts.
+        let db = db();
+        let def = Plan::scan("log")
+            .aggregate(&["videoId"], vec![AggSpec::count_all("c")])
+            .aggregate(&["c"], vec![AggSpec::count_all("n")]);
+        let mut view = MaterializedView::create("v", def, &db).unwrap();
+        let deltas = mixed_deltas(&db);
+        let expected = view.recompute_fresh(&db, &deltas).unwrap();
+        let kind = view.maintain(&db, &deltas).unwrap();
+        assert_eq!(kind, PlanKind::Recompute);
+        assert!(view.table().approx_same_contents(&expected, 1e-9));
+    }
+}

@@ -1,0 +1,250 @@
+//! Hash-based equi-join execution for all [`JoinKind`]s.
+
+use std::collections::HashMap;
+
+use svc_storage::{KeyTuple, Result, Row, Table, Value};
+
+use crate::derive::Derived;
+use crate::plan::JoinKind;
+
+/// Join key for probing: NULL keys never match (SQL semantics), which we
+/// encode by excluding rows with NULL join values from the build side and
+/// treating them as unmatched on the probe side.
+fn join_key(row: &Row, cols: &[usize]) -> Option<KeyTuple> {
+    if cols.iter().any(|&i| row[i].is_null()) {
+        return None;
+    }
+    Some(KeyTuple::of(row, cols))
+}
+
+/// Execute an equi-join. `on_idx` holds resolved `(left, right)` column
+/// positions; `out` is the derived output type from
+/// [`crate::derive::derive_join`].
+pub fn run_join(
+    left: &Table,
+    right: &Table,
+    kind: JoinKind,
+    on_idx: &[(usize, usize)],
+    out: &Derived,
+) -> Result<Table> {
+    let left_cols: Vec<usize> = on_idx.iter().map(|&(l, _)| l).collect();
+    let right_cols: Vec<usize> = on_idx.iter().map(|&(_, r)| r).collect();
+
+    // Fast path: when the right side is joined on exactly its primary key
+    // and no right-side bookkeeping is needed, probe its existing PK index
+    // instead of building a hash table — O(|left|) instead of
+    // O(|left| + |right|). This is what makes delta-sized probes against
+    // large base relations cheap (the FK-join pattern of every maintenance
+    // plan).
+    if right_cols == right.key()
+        && matches!(kind, JoinKind::Inner | JoinKind::Left | JoinKind::Semi | JoinKind::Anti)
+    {
+        return run_join_pk_probe(left, right, kind, &left_cols, out);
+    }
+
+    // Build side: right rows indexed by join key.
+    let mut build: HashMap<KeyTuple, Vec<usize>> = HashMap::new();
+    for (i, row) in right.rows().iter().enumerate() {
+        if let Some(k) = join_key(row, &right_cols) {
+            build.entry(k).or_default().push(i);
+        }
+    }
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut right_matched = vec![false; right.rows().len()];
+
+    let pad_right = right.schema().len();
+    let pad_left = left.schema().len();
+
+    for lrow in left.rows() {
+        let matches = join_key(lrow, &left_cols).and_then(|k| build.get(&k));
+        match kind {
+            JoinKind::Semi => {
+                if matches.is_some_and(|m| !m.is_empty()) {
+                    rows.push(lrow.clone());
+                }
+            }
+            JoinKind::Anti => {
+                if matches.is_none_or(|m| m.is_empty()) {
+                    rows.push(lrow.clone());
+                }
+            }
+            _ => match matches {
+                Some(idxs) => {
+                    for &ri in idxs {
+                        if matches!(kind, JoinKind::Full | JoinKind::Right) {
+                            right_matched[ri] = true;
+                        }
+                        let mut row = lrow.clone();
+                        row.extend_from_slice(&right.rows()[ri]);
+                        rows.push(row);
+                    }
+                }
+                None => {
+                    if matches!(kind, JoinKind::Left | JoinKind::Full) {
+                        let mut row = lrow.clone();
+                        row.extend(std::iter::repeat_n(Value::Null, pad_right));
+                        rows.push(row);
+                    }
+                }
+            },
+        }
+    }
+
+    if matches!(kind, JoinKind::Right | JoinKind::Full) {
+        for (ri, rrow) in right.rows().iter().enumerate() {
+            let unmatched = !right_matched[ri];
+            // Rows with NULL join keys never entered the build map; they are
+            // unmatched by construction.
+            let null_key = join_key(rrow, &right_cols).is_none();
+            if unmatched || (null_key && matches!(kind, JoinKind::Right | JoinKind::Full)) {
+                let mut row: Row = std::iter::repeat_n(Value::Null, pad_left).collect();
+                row.extend_from_slice(rrow);
+                rows.push(row);
+            }
+        }
+    }
+
+    Table::from_rows(out.schema.clone(), out.key.clone(), rows)
+}
+
+/// PK-probe variant: each left row looks up at most one right partner via
+/// the right table's primary-key index.
+fn run_join_pk_probe(
+    left: &Table,
+    right: &Table,
+    kind: JoinKind,
+    left_cols: &[usize],
+    out: &Derived,
+) -> Result<Table> {
+    let pad_right = right.schema().len();
+    let mut rows: Vec<svc_storage::Row> = Vec::new();
+    for lrow in left.rows() {
+        let partner = join_key(lrow, left_cols).and_then(|k| right.get(&k));
+        match kind {
+            JoinKind::Semi => {
+                if partner.is_some() {
+                    rows.push(lrow.clone());
+                }
+            }
+            JoinKind::Anti => {
+                if partner.is_none() {
+                    rows.push(lrow.clone());
+                }
+            }
+            JoinKind::Inner => {
+                if let Some(r) = partner {
+                    let mut row = lrow.clone();
+                    row.extend_from_slice(r);
+                    rows.push(row);
+                }
+            }
+            JoinKind::Left => match partner {
+                Some(r) => {
+                    let mut row = lrow.clone();
+                    row.extend_from_slice(r);
+                    rows.push(row);
+                }
+                None => {
+                    let mut row = lrow.clone();
+                    row.extend(std::iter::repeat_n(Value::Null, pad_right));
+                    rows.push(row);
+                }
+            },
+            JoinKind::Right | JoinKind::Full => unreachable!("generic path handles outer joins"),
+        }
+    }
+    Table::from_rows(out.schema.clone(), out.key.clone(), rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::derive::derive_join;
+    use svc_storage::{DataType, Schema};
+
+    fn left() -> Table {
+        let schema =
+            Schema::from_pairs(&[("sessionId", DataType::Int), ("videoId", DataType::Int)])
+                .unwrap();
+        let mut t = Table::new(schema, &["sessionId"]).unwrap();
+        for (s, v) in [(1, 10), (2, 10), (3, 20), (4, 99)] {
+            t.insert(vec![Value::Int(s), Value::Int(v)]).unwrap();
+        }
+        t
+    }
+
+    fn right() -> Table {
+        let schema =
+            Schema::from_pairs(&[("videoId", DataType::Int), ("ownerId", DataType::Int)])
+                .unwrap();
+        let mut t = Table::new(schema, &["videoId"]).unwrap();
+        for (v, o) in [(10, 100), (20, 200), (30, 300)] {
+            t.insert(vec![Value::Int(v), Value::Int(o)]).unwrap();
+        }
+        t
+    }
+
+    fn run(kind: JoinKind) -> Table {
+        let l = left();
+        let r = right();
+        let ld = Derived { schema: l.schema().clone(), key: l.key().to_vec() };
+        let rd = Derived { schema: r.schema().clone(), key: r.key().to_vec() };
+        let on = vec![("videoId".to_string(), "videoId".to_string())];
+        let (out, on_idx) = derive_join(&ld, &rd, kind, &on, "video").unwrap();
+        run_join(&l, &r, kind, &on_idx, &out).unwrap()
+    }
+
+    #[test]
+    fn inner_join_matches() {
+        let t = run(JoinKind::Inner);
+        assert_eq!(t.len(), 3); // sessions 1,2,3 match; 4 (video 99) does not
+    }
+
+    #[test]
+    fn left_join_pads_unmatched() {
+        let t = run(JoinKind::Left);
+        assert_eq!(t.len(), 4);
+        let unmatched: Vec<_> =
+            t.rows().iter().filter(|r| r[2].is_null()).collect();
+        assert_eq!(unmatched.len(), 1);
+        assert_eq!(unmatched[0][0], Value::Int(4));
+    }
+
+    #[test]
+    fn full_join_includes_both_sides() {
+        let t = run(JoinKind::Full);
+        // 3 matches + 1 unmatched left + 1 unmatched right (video 30)
+        assert_eq!(t.len(), 5);
+        let right_only: Vec<_> = t.rows().iter().filter(|r| r[0].is_null()).collect();
+        assert_eq!(right_only.len(), 1);
+        assert_eq!(right_only[0][2], Value::Int(30));
+    }
+
+    #[test]
+    fn semi_and_anti_partition_left() {
+        let semi = run(JoinKind::Semi);
+        let anti = run(JoinKind::Anti);
+        assert_eq!(semi.len(), 3);
+        assert_eq!(anti.len(), 1);
+        assert_eq!(semi.len() + anti.len(), left().len());
+        assert_eq!(anti.rows()[0][0], Value::Int(4));
+    }
+
+    #[test]
+    fn null_join_keys_never_match() {
+        let mut l = left();
+        l.insert(vec![Value::Int(5), Value::Null]).unwrap();
+        let r = right();
+        let ld = Derived { schema: l.schema().clone(), key: l.key().to_vec() };
+        let rd = Derived { schema: r.schema().clone(), key: r.key().to_vec() };
+        let on = vec![("videoId".to_string(), "videoId".to_string())];
+        let (out, on_idx) = derive_join(&ld, &rd, JoinKind::Inner, &on, "video").unwrap();
+        let t = run_join(&l, &r, JoinKind::Inner, &on_idx, &out).unwrap();
+        assert_eq!(t.len(), 3);
+        let (out, on_idx) = derive_join(&ld, &rd, JoinKind::Anti, &on, "video").unwrap();
+        let t = run_join(&l, &r, JoinKind::Anti, &on_idx, &out).unwrap();
+        // NULL-keyed row is kept by anti-join (NOT EXISTS semantics).
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,35 @@
+//! # svc-relalg
+//!
+//! Relational algebra for the Stale View Cleaning reproduction: the view
+//! definition language of Section 3.1 of the paper.
+//!
+//! * [`scalar`] — scalar expressions (column refs, literals, arithmetic,
+//!   comparisons, three-valued logic, `coalesce`/`least`/`greatest`) used in
+//!   selections and *generalized projections*.
+//! * [`plan`] — the relational expression tree: σ, Π, ⋈ (inner / left /
+//!   right / full / semi / anti equi-joins), γ group-by aggregates, ∪, ∩, −,
+//!   plus the SVC hashing operator η as a first-class node.
+//! * [`derive`] — output schema and **primary-key derivation** for every
+//!   node (Definition 2): every derived relation is keyed, which is the
+//!   provenance mechanism that makes hash push-down sound.
+//! * [`eval`] — a straightforward hash-based evaluator producing
+//!   [`svc_storage::Table`]s from plans bound to concrete relations.
+//!
+//! The η operator lives here (not in `svc-sampling`) because the evaluator
+//! must execute it; the *push-down rewrite* of Definition 3 lives in
+//! `svc-sampling`.
+
+pub mod aggregate;
+pub mod derive;
+pub mod display;
+pub mod eval;
+pub mod join;
+pub mod plan;
+pub mod scalar;
+pub mod setops;
+
+pub use aggregate::{AggFunc, AggSpec};
+pub use derive::{derive, Derived, LeafProvider};
+pub use eval::{evaluate, Bindings};
+pub use plan::{JoinKind, Plan};
+pub use scalar::{col, lit, BinOp, BoundExpr, Expr, Func};

@@ -1,0 +1,97 @@
+//! Set operations ∪, ∩, − with set (duplicate-eliminating) semantics over
+//! whole rows.
+
+use std::collections::HashSet;
+
+use svc_storage::{Result, Row, Table};
+
+use crate::derive::Derived;
+
+/// Union: all distinct rows from both inputs.
+pub fn run_union(left: &Table, right: &Table, out: &Derived) -> Result<Table> {
+    let mut seen: HashSet<Row> = HashSet::with_capacity(left.len() + right.len());
+    let mut rows = Vec::with_capacity(left.len() + right.len());
+    for row in left.rows().iter().chain(right.rows()) {
+        if seen.insert(row.clone()) {
+            rows.push(row.clone());
+        }
+    }
+    Table::from_rows(out.schema.clone(), out.key.clone(), rows)
+}
+
+/// Intersection: distinct rows present in both inputs.
+pub fn run_intersect(left: &Table, right: &Table, out: &Derived) -> Result<Table> {
+    let right_set: HashSet<&Row> = right.rows().iter().collect();
+    let mut seen: HashSet<Row> = HashSet::new();
+    let mut rows = Vec::new();
+    for row in left.rows() {
+        if right_set.contains(row) && seen.insert(row.clone()) {
+            rows.push(row.clone());
+        }
+    }
+    Table::from_rows(out.schema.clone(), out.key.clone(), rows)
+}
+
+/// Difference: distinct left rows not present in the right input.
+pub fn run_difference(left: &Table, right: &Table, out: &Derived) -> Result<Table> {
+    let right_set: HashSet<&Row> = right.rows().iter().collect();
+    let mut seen: HashSet<Row> = HashSet::new();
+    let mut rows = Vec::new();
+    for row in left.rows() {
+        if !right_set.contains(row) && seen.insert(row.clone()) {
+            rows.push(row.clone());
+        }
+    }
+    Table::from_rows(out.schema.clone(), out.key.clone(), rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svc_storage::{DataType, Schema, Value};
+
+    fn t(ids: &[i64]) -> Table {
+        let schema = Schema::from_pairs(&[("id", DataType::Int)]).unwrap();
+        let mut t = Table::new(schema, &["id"]).unwrap();
+        for &i in ids {
+            t.insert(vec![Value::Int(i)]).unwrap();
+        }
+        t
+    }
+
+    fn d() -> Derived {
+        let schema = Schema::from_pairs(&[("id", DataType::Int)]).unwrap();
+        Derived { schema, key: vec![0] }
+    }
+
+    fn ids(t: &Table) -> Vec<i64> {
+        let mut v: Vec<i64> = t.rows().iter().map(|r| r[0].as_i64().unwrap()).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn union_dedupes() {
+        let out = run_union(&t(&[1, 2, 3]), &t(&[2, 3, 4]), &d()).unwrap();
+        assert_eq!(ids(&out), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn intersect_keeps_common() {
+        let out = run_intersect(&t(&[1, 2, 3]), &t(&[2, 3, 4]), &d()).unwrap();
+        assert_eq!(ids(&out), vec![2, 3]);
+    }
+
+    #[test]
+    fn difference_removes_right() {
+        let out = run_difference(&t(&[1, 2, 3]), &t(&[2, 3, 4]), &d()).unwrap();
+        assert_eq!(ids(&out), vec![1]);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(run_union(&t(&[]), &t(&[1]), &d()).unwrap().len(), 1);
+        assert_eq!(run_intersect(&t(&[]), &t(&[1]), &d()).unwrap().len(), 0);
+        assert_eq!(run_difference(&t(&[1]), &t(&[]), &d()).unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,67 @@
+//! Exact quantiles of in-memory samples (linear interpolation between order
+//! statistics, the common "type 7" definition).
+
+/// The `q`-quantile (`q ∈ [0,1]`) of a *sorted* or unsorted slice; the input
+/// is copied and sorted internally. Panics on an empty slice.
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    assert!(!data.is_empty(), "quantile of empty data");
+    assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0,1]");
+    let mut v: Vec<f64> = data.to_vec();
+    v.sort_by(f64::total_cmp);
+    quantile_sorted(&v, q)
+}
+
+/// The `q`-quantile of an already-sorted slice (no copy).
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let pos = q * (n - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * frac
+}
+
+/// Exact median.
+pub fn median(data: &[f64]) -> f64 {
+    quantile(data, 0.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[5.0]), 5.0);
+    }
+
+    #[test]
+    fn quantile_endpoints() {
+        let d = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&d, 0.0), 1.0);
+        assert_eq!(quantile(&d, 1.0), 4.0);
+    }
+
+    #[test]
+    fn interpolation() {
+        let d = [0.0, 10.0];
+        assert!((quantile(&d, 0.75) - 7.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p75_of_uniform() {
+        let d: Vec<f64> = (0..101).map(|i| i as f64).collect();
+        assert!((quantile(&d, 0.75) - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_panics() {
+        median(&[]);
+    }
+}

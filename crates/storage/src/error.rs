@@ -1,0 +1,76 @@
+//! Error type shared by the storage layer.
+
+use std::fmt;
+
+use crate::value::DataType;
+
+/// Errors produced by the storage substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A column name could not be resolved against a schema.
+    ColumnNotFound {
+        /// The name that failed to resolve.
+        name: String,
+        /// A rendering of the schema it was resolved against.
+        schema: String,
+    },
+    /// A column name was resolved ambiguously (several suffix matches).
+    AmbiguousColumn {
+        /// The ambiguous name.
+        name: String,
+        /// The candidate matches.
+        candidates: Vec<String>,
+    },
+    /// Two columns in one schema share a name.
+    DuplicateColumn(String),
+    /// A primary key value occurred twice in one relation.
+    DuplicateKey(String),
+    /// A value had an unexpected type.
+    TypeMismatch {
+        /// The type that was required.
+        expected: DataType,
+        /// The type that was found.
+        found: String,
+        /// Where the mismatch happened.
+        context: String,
+    },
+    /// A table name could not be resolved.
+    UnknownTable(String),
+    /// A row's arity did not match its schema.
+    ArityMismatch {
+        /// Number of fields in the schema.
+        expected: usize,
+        /// Number of values in the row.
+        found: usize,
+    },
+    /// Any other invariant violation, with a description.
+    Invalid(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::ColumnNotFound { name, schema } => {
+                write!(f, "column `{name}` not found in schema [{schema}]")
+            }
+            StorageError::AmbiguousColumn { name, candidates } => {
+                write!(f, "column `{name}` is ambiguous; candidates: {candidates:?}")
+            }
+            StorageError::DuplicateColumn(name) => write!(f, "duplicate column `{name}`"),
+            StorageError::DuplicateKey(key) => write!(f, "duplicate primary key {key}"),
+            StorageError::TypeMismatch { expected, found, context } => {
+                write!(f, "type mismatch in {context}: expected {expected:?}, found {found}")
+            }
+            StorageError::UnknownTable(name) => write!(f, "unknown table `{name}`"),
+            StorageError::ArityMismatch { expected, found } => {
+                write!(f, "row arity {found} does not match schema arity {expected}")
+            }
+            StorageError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Result alias used across the storage crate.
+pub type Result<T> = std::result::Result<T, StorageError>;

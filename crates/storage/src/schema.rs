@@ -1,0 +1,200 @@
+//! Schemas: ordered, named, typed columns with qualified-name resolution.
+
+use std::fmt;
+
+use crate::error::{Result, StorageError};
+use crate::value::DataType;
+
+/// A named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name, possibly qualified (`"lineitem.l_orderkey"`).
+    pub name: String,
+    /// Declared type of the column.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Field {
+        Field { name: name.into(), dtype }
+    }
+}
+
+/// An ordered list of fields. Column resolution first tries an exact match,
+/// then a unique `".suffix"` match so that `"videoId"` resolves against a
+/// join output column `"video.videoId"`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate column names.
+    pub fn new(fields: Vec<Field>) -> Result<Schema> {
+        for (i, f) in fields.iter().enumerate() {
+            if fields[..i].iter().any(|g| g.name == f.name) {
+                return Err(StorageError::DuplicateColumn(f.name.clone()));
+            }
+        }
+        Ok(Schema { fields })
+    }
+
+    /// Build a schema from `(name, type)` pairs.
+    pub fn from_pairs(pairs: &[(&str, DataType)]) -> Result<Schema> {
+        Schema::new(pairs.iter().map(|(n, t)| Field::new(*n, *t)).collect())
+    }
+
+    /// The fields, in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True iff the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// The field at position `i`.
+    pub fn field(&self, i: usize) -> &Field {
+        &self.fields[i]
+    }
+
+    /// All column names, in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Resolve a column name to its position. Exact match wins; otherwise a
+    /// *unique* match on the unqualified suffix (`x` matches `t.x`) is
+    /// accepted. Ambiguity and absence are errors.
+    pub fn resolve(&self, name: &str) -> Result<usize> {
+        if let Some(i) = self.fields.iter().position(|f| f.name == name) {
+            return Ok(i);
+        }
+        let suffix = format!(".{name}");
+        let matches: Vec<usize> = self
+            .fields
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.name.ends_with(&suffix))
+            .map(|(i, _)| i)
+            .collect();
+        match matches.as_slice() {
+            [i] => Ok(*i),
+            [] => Err(StorageError::ColumnNotFound {
+                name: name.to_string(),
+                schema: self.to_string(),
+            }),
+            many => Err(StorageError::AmbiguousColumn {
+                name: name.to_string(),
+                candidates: many.iter().map(|&i| self.fields[i].name.clone()).collect(),
+            }),
+        }
+    }
+
+    /// Resolve several column names at once.
+    pub fn resolve_all(&self, names: &[impl AsRef<str>]) -> Result<Vec<usize>> {
+        names.iter().map(|n| self.resolve(n.as_ref())).collect()
+    }
+
+    /// Concatenate two schemas (join output). Columns of `right` whose names
+    /// collide with `left` are renamed to `"{right_prefix}.{name}"`; if that
+    /// still collides, a numeric suffix is appended.
+    pub fn concat(left: &Schema, right: &Schema, right_prefix: &str) -> Result<Schema> {
+        let mut fields = left.fields.clone();
+        for f in &right.fields {
+            let mut name = f.name.clone();
+            if fields.iter().any(|g| g.name == name) {
+                name = format!("{right_prefix}.{}", f.name);
+            }
+            let mut k = 2;
+            while fields.iter().any(|g| g.name == name) {
+                name = format!("{right_prefix}.{}#{k}", f.name);
+                k += 1;
+            }
+            fields.push(Field::new(name, f.dtype));
+        }
+        Schema::new(fields)
+    }
+
+    /// Project a subset of columns by position, preserving order of `idx`.
+    pub fn project(&self, idx: &[usize]) -> Schema {
+        Schema {
+            fields: idx.iter().map(|&i| self.fields[i].clone()).collect(),
+        }
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols: Vec<String> = self
+            .fields
+            .iter()
+            .map(|fd| format!("{}:{}", fd.name, fd.dtype))
+            .collect();
+        write!(f, "{}", cols.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::from_pairs(&[
+            ("a", DataType::Int),
+            ("t.b", DataType::Str),
+            ("u.c", DataType::Float),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn exact_resolution() {
+        let s = schema();
+        assert_eq!(s.resolve("a").unwrap(), 0);
+        assert_eq!(s.resolve("t.b").unwrap(), 1);
+    }
+
+    #[test]
+    fn suffix_resolution() {
+        let s = schema();
+        assert_eq!(s.resolve("b").unwrap(), 1);
+        assert_eq!(s.resolve("c").unwrap(), 2);
+    }
+
+    #[test]
+    fn missing_and_ambiguous() {
+        let s = Schema::from_pairs(&[("t.x", DataType::Int), ("u.x", DataType::Int)]).unwrap();
+        assert!(matches!(s.resolve("y"), Err(StorageError::ColumnNotFound { .. })));
+        assert!(matches!(s.resolve("x"), Err(StorageError::AmbiguousColumn { .. })));
+        assert_eq!(s.resolve("t.x").unwrap(), 0);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        assert!(Schema::from_pairs(&[("a", DataType::Int), ("a", DataType::Int)]).is_err());
+    }
+
+    #[test]
+    fn concat_renames_collisions() {
+        let l = Schema::from_pairs(&[("id", DataType::Int), ("x", DataType::Int)]).unwrap();
+        let r = Schema::from_pairs(&[("id", DataType::Int), ("y", DataType::Int)]).unwrap();
+        let j = Schema::concat(&l, &r, "r").unwrap();
+        assert_eq!(j.names(), vec!["id", "x", "r.id", "y"]);
+        assert_eq!(j.resolve("r.id").unwrap(), 2);
+    }
+
+    #[test]
+    fn project_subset() {
+        let s = schema();
+        let p = s.project(&[2, 0]);
+        assert_eq!(p.names(), vec!["u.c", "a"]);
+    }
+}

@@ -1,0 +1,329 @@
+//! Keyed tables: the physical representation of base relations, derived
+//! relations, and materialized views.
+//!
+//! Every table carries a *primary key* (a subset of columns) as required by
+//! Section 3.1 of the paper: "we assume that each of the base relations has
+//! a primary key; if this is not the case, we can always add an extra column
+//! that assigns an increasing sequence of integers to each record". Derived
+//! relations receive keys via the Definition 2 rules in `svc-relalg`.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::{Result, StorageError};
+use crate::schema::Schema;
+use crate::value::Value;
+use crate::Row;
+
+/// The value tuple of a row's primary key; hashable and comparable.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyTuple(pub Vec<Value>);
+
+impl KeyTuple {
+    /// Extract the key tuple of `row` given key column positions.
+    pub fn of(row: &Row, key_cols: &[usize]) -> KeyTuple {
+        KeyTuple(key_cols.iter().map(|&i| row[i].clone()).collect())
+    }
+}
+
+impl fmt::Display for KeyTuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// An in-memory relation: a schema, a primary key, and rows with a key
+/// index for point lookups, updates, and deletes.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    key: Vec<usize>,
+    rows: Vec<Row>,
+    index: HashMap<KeyTuple, usize>,
+}
+
+impl Table {
+    /// Create an empty table with the given schema and key column names.
+    pub fn new(schema: Schema, key_names: &[impl AsRef<str>]) -> Result<Table> {
+        let key = schema.resolve_all(key_names)?;
+        Ok(Table { schema, key, rows: Vec::new(), index: HashMap::new() })
+    }
+
+    /// Create an empty table keyed by column positions.
+    pub fn with_key_indices(schema: Schema, key: Vec<usize>) -> Result<Table> {
+        for &i in &key {
+            if i >= schema.len() {
+                return Err(StorageError::Invalid(format!(
+                    "key column index {i} out of range for schema [{schema}]"
+                )));
+            }
+        }
+        Ok(Table { schema, key, rows: Vec::new(), index: HashMap::new() })
+    }
+
+    /// Bulk-build a table from rows, validating arity and key uniqueness.
+    pub fn from_rows(schema: Schema, key: Vec<usize>, rows: Vec<Row>) -> Result<Table> {
+        let mut t = Table::with_key_indices(schema, key)?;
+        t.rows.reserve(rows.len());
+        for row in rows {
+            t.insert(row)?;
+        }
+        Ok(t)
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Primary key column positions.
+    pub fn key(&self) -> &[usize] {
+        &self.key
+    }
+
+    /// Primary key column names.
+    pub fn key_names(&self) -> Vec<&str> {
+        self.key.iter().map(|&i| self.schema.field(i).name.as_str()).collect()
+    }
+
+    /// All rows, in insertion order (with holes from deletion compacted).
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The key tuple of a row of this table.
+    pub fn key_of(&self, row: &Row) -> KeyTuple {
+        KeyTuple::of(row, &self.key)
+    }
+
+    /// Insert a row; errors on arity mismatch or duplicate key.
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        if row.len() != self.schema.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.len(),
+                found: row.len(),
+            });
+        }
+        let key = self.key_of(&row);
+        if self.index.contains_key(&key) {
+            return Err(StorageError::DuplicateKey(key.to_string()));
+        }
+        self.index.insert(key, self.rows.len());
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Insert or replace by primary key; returns the replaced row, if any.
+    pub fn upsert(&mut self, row: Row) -> Result<Option<Row>> {
+        if row.len() != self.schema.len() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.len(),
+                found: row.len(),
+            });
+        }
+        let key = self.key_of(&row);
+        if let Some(&pos) = self.index.get(&key) {
+            let old = std::mem::replace(&mut self.rows[pos], row);
+            Ok(Some(old))
+        } else {
+            self.index.insert(key, self.rows.len());
+            self.rows.push(row);
+            Ok(None)
+        }
+    }
+
+    /// Look up a row by key.
+    pub fn get(&self, key: &KeyTuple) -> Option<&Row> {
+        self.index.get(key).map(|&i| &self.rows[i])
+    }
+
+    /// True iff a row with this key exists.
+    pub fn contains_key(&self, key: &KeyTuple) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Delete a row by key, returning it. Uses swap-remove; row order is not
+    /// stable across deletions.
+    pub fn delete(&mut self, key: &KeyTuple) -> Option<Row> {
+        let pos = self.index.remove(key)?;
+        let row = self.rows.swap_remove(pos);
+        if pos < self.rows.len() {
+            let moved_key = self.key_of(&self.rows[pos]);
+            self.index.insert(moved_key, pos);
+        }
+        Some(row)
+    }
+
+    /// An empty table with the same schema and key.
+    pub fn empty_like(&self) -> Table {
+        Table {
+            schema: self.schema.clone(),
+            key: self.key.clone(),
+            rows: Vec::new(),
+            index: HashMap::new(),
+        }
+    }
+
+    /// Iterate over `(key, row)` pairs.
+    pub fn iter_keyed(&self) -> impl Iterator<Item = (KeyTuple, &Row)> + '_ {
+        self.rows.iter().map(move |r| (self.key_of(r), r))
+    }
+
+    /// Sort rows by primary key (stable, ascending). Useful for deterministic
+    /// output and comparisons in tests.
+    pub fn sort_by_key(&mut self) {
+        let key = self.key.clone();
+        self.rows.sort_by(|a, b| KeyTuple::of(a, &key).cmp(&KeyTuple::of(b, &key)));
+        self.reindex();
+    }
+
+    fn reindex(&mut self) {
+        self.index.clear();
+        for (i, r) in self.rows.iter().enumerate() {
+            self.index.insert(KeyTuple::of(r, &self.key), i);
+        }
+    }
+
+    /// Two tables are *equivalent* if they have the same schema, key, and
+    /// the same set of rows (order-insensitive, keyed comparison).
+    pub fn same_contents(&self, other: &Table) -> bool {
+        if self.schema != other.schema || self.key != other.key || self.len() != other.len() {
+            return false;
+        }
+        self.iter_keyed().all(|(k, row)| other.get(&k) == Some(row))
+    }
+
+    /// Like [`Table::same_contents`] but floats are compared with relative
+    /// tolerance `eps`. Incremental maintenance accumulates sums in a
+    /// different order than recomputation, so derived float columns can
+    /// differ in the last few ulps while being semantically equal.
+    pub fn approx_same_contents(&self, other: &Table, eps: f64) -> bool {
+        fn value_close(a: &Value, b: &Value, eps: f64) -> bool {
+            match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => {
+                    let scale = x.abs().max(y.abs()).max(1.0);
+                    (x - y).abs() <= eps * scale
+                }
+                _ => a == b,
+            }
+        }
+        if self.schema != other.schema || self.key != other.key || self.len() != other.len() {
+            return false;
+        }
+        self.iter_keyed().all(|(k, row)| match other.get(&k) {
+            Some(o) => row.iter().zip(o).all(|(a, b)| value_close(a, b, eps)),
+            None => false,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Schema;
+    use crate::value::DataType;
+
+    fn table() -> Table {
+        let schema =
+            Schema::from_pairs(&[("id", DataType::Int), ("name", DataType::Str)]).unwrap();
+        Table::new(schema, &["id"]).unwrap()
+    }
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut t = table();
+        t.insert(vec![Value::Int(1), Value::str("a")]).unwrap();
+        t.insert(vec![Value::Int(2), Value::str("b")]).unwrap();
+        assert_eq!(t.len(), 2);
+        let key = KeyTuple(vec![Value::Int(2)]);
+        assert_eq!(t.get(&key).unwrap()[1], Value::str("b"));
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let mut t = table();
+        t.insert(vec![Value::Int(1), Value::str("a")]).unwrap();
+        let err = t.insert(vec![Value::Int(1), Value::str("b")]).unwrap_err();
+        assert!(matches!(err, StorageError::DuplicateKey(_)));
+    }
+
+    #[test]
+    fn arity_checked() {
+        let mut t = table();
+        assert!(matches!(
+            t.insert(vec![Value::Int(1)]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn upsert_replaces() {
+        let mut t = table();
+        t.insert(vec![Value::Int(1), Value::str("a")]).unwrap();
+        let old = t.upsert(vec![Value::Int(1), Value::str("z")]).unwrap();
+        assert_eq!(old.unwrap()[1], Value::str("a"));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&KeyTuple(vec![Value::Int(1)])).unwrap()[1], Value::str("z"));
+    }
+
+    #[test]
+    fn delete_keeps_index_consistent() {
+        let mut t = table();
+        for i in 0..10 {
+            t.insert(vec![Value::Int(i), Value::str(format!("r{i}"))]).unwrap();
+        }
+        let removed = t.delete(&KeyTuple(vec![Value::Int(3)])).unwrap();
+        assert_eq!(removed[0], Value::Int(3));
+        assert_eq!(t.len(), 9);
+        for i in (0..10).filter(|&i| i != 3) {
+            let k = KeyTuple(vec![Value::Int(i)]);
+            assert_eq!(t.get(&k).unwrap()[0], Value::Int(i));
+        }
+        assert!(t.get(&KeyTuple(vec![Value::Int(3)])).is_none());
+    }
+
+    #[test]
+    fn same_contents_is_order_insensitive() {
+        let mut a = table();
+        let mut b = table();
+        a.insert(vec![Value::Int(1), Value::str("x")]).unwrap();
+        a.insert(vec![Value::Int(2), Value::str("y")]).unwrap();
+        b.insert(vec![Value::Int(2), Value::str("y")]).unwrap();
+        b.insert(vec![Value::Int(1), Value::str("x")]).unwrap();
+        assert!(a.same_contents(&b));
+        b.upsert(vec![Value::Int(1), Value::str("z")]).unwrap();
+        assert!(!a.same_contents(&b));
+    }
+
+    #[test]
+    fn composite_key() {
+        let schema = Schema::from_pairs(&[
+            ("a", DataType::Int),
+            ("b", DataType::Int),
+            ("v", DataType::Float),
+        ])
+        .unwrap();
+        let mut t = Table::new(schema, &["a", "b"]).unwrap();
+        t.insert(vec![Value::Int(1), Value::Int(1), Value::Float(0.5)]).unwrap();
+        t.insert(vec![Value::Int(1), Value::Int(2), Value::Float(0.7)]).unwrap();
+        assert!(t.insert(vec![Value::Int(1), Value::Int(2), Value::Float(0.9)]).is_err());
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,303 @@
+//! A Conviva-like video-distribution activity log (Section 7.5) and the
+//! eight summary-statistics views of Appendix 12.6.2.
+//!
+//! The real dataset is proprietary; the appendix describes the views
+//! structurally ("counts of error types grouped by resources/users/date",
+//! nested region groupings, a union over a resource subset, wide aggregate
+//! views). The generator reproduces those shapes: a denormalized activity
+//! log with Zipf-skewed resource popularity, error codes, byte counts, and
+//! latencies, where updates are *appended* log records (the paper applies
+//! the last 20% of the log as updates).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use svc_relalg::aggregate::{AggFunc, AggSpec};
+use svc_relalg::plan::Plan;
+use svc_relalg::scalar::{col, lit};
+use svc_storage::{Database, DataType, Deltas, Result, Schema, Table, Value};
+
+use crate::zipf::Zipf;
+
+/// Generator parameters for the activity log.
+#[derive(Debug, Clone, Copy)]
+pub struct ConvivaConfig {
+    /// Number of log records in the base data.
+    pub base_events: usize,
+    /// Number of distinct resources (videos/CDN assets).
+    pub resources: usize,
+    /// Number of distinct users.
+    pub users: usize,
+    /// Number of days spanned.
+    pub days: i64,
+    /// Zipf skew of resource popularity.
+    pub skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ConvivaConfig {
+    fn default() -> Self {
+        ConvivaConfig {
+            base_events: 30_000,
+            resources: 400,
+            users: 800,
+            days: 120,
+            skew: 1.5,
+            seed: 77,
+        }
+    }
+}
+
+fn event_row(rng: &mut StdRng, zipf: &Zipf, cfg: &ConvivaConfig, id: i64) -> Vec<Value> {
+    let resource = zipf.sample(rng) as i64 - 1;
+    let user = rng.random_range(0..cfg.users as i64);
+    let date = rng.random_range(0..cfg.days);
+    // ~6% of events carry an error; code skewed toward common classes.
+    let error = if rng.random::<f64>() < 0.06 { rng.random_range(1..6i64) } else { 0 };
+    let bytes = (rng.random_range(1.0f64..80.0)).powi(2) * 1000.0;
+    let latency = rng.random_range(5.0..500.0);
+    vec![
+        Value::Int(id),
+        Value::Int(date),
+        Value::Int(user),
+        Value::Int(resource),
+        Value::Int(resource % 10), // resource tag group
+        Value::Int(error),
+        Value::Float(bytes),
+        Value::Float(latency),
+    ]
+}
+
+/// Generate the base activity log.
+pub fn generate(cfg: ConvivaConfig) -> Result<Database> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let zipf = Zipf::new(cfg.resources, cfg.skew);
+    let mut db = Database::new();
+    let mut activity = Table::new(
+        Schema::from_pairs(&[
+            ("eventId", DataType::Int),
+            ("date", DataType::Int),
+            ("userId", DataType::Int),
+            ("resourceId", DataType::Int),
+            ("resourceTag", DataType::Int),
+            ("errorType", DataType::Int),
+            ("bytes", DataType::Float),
+            ("latency", DataType::Float),
+        ])?,
+        &["eventId"],
+    )?;
+    for id in 0..cfg.base_events as i64 {
+        activity.insert(event_row(&mut rng, &zipf, &cfg, id))?;
+    }
+    db.create_table("activity", activity);
+    Ok(db)
+}
+
+/// Append `count` new log records as the update workload (the remaining
+/// trace "applied in the order they arrived").
+pub fn appended_updates(db: &Database, cfg: ConvivaConfig, count: usize, seed: u64) -> Result<Deltas> {
+    let next = db.table("activity")?.len() as i64;
+    appended_updates_at(db, cfg, count, seed, next)
+}
+
+/// Like [`appended_updates`] but with an explicit starting event id — used
+/// by streaming timelines where chunks accumulate before being applied to
+/// the base table, so ids cannot be derived from the table length.
+pub fn appended_updates_at(
+    db: &Database,
+    cfg: ConvivaConfig,
+    count: usize,
+    seed: u64,
+    start_id: i64,
+) -> Result<Deltas> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xC0471A);
+    let zipf = Zipf::new(cfg.resources, cfg.skew);
+    let mut deltas = Deltas::new();
+    for id in start_id..start_id + count as i64 {
+        deltas.insert(db, "activity", event_row(&mut rng, &zipf, &cfg, id))?;
+    }
+    Ok(deltas)
+}
+
+/// A named Conviva-like view plus query-generation attributes.
+pub struct ConvivaView {
+    /// View id ("V1" .. "V8").
+    pub id: &'static str,
+    /// Definition over the `activity` relation.
+    pub plan: Plan,
+    /// Dimension columns for predicates.
+    pub dims: Vec<&'static str>,
+    /// Measure columns for aggregates.
+    pub measures: Vec<&'static str>,
+}
+
+/// The eight summary-statistics views of Appendix 12.6.2.
+pub fn views() -> Vec<ConvivaView> {
+    let mut out = Vec::new();
+
+    // V1: counts of error types grouped by resource and date.
+    out.push(ConvivaView {
+        id: "V1",
+        plan: Plan::scan("activity")
+            .select(col("errorType").gt(lit(0i64)))
+            .aggregate(
+                &["resourceId", "errorType"],
+                vec![AggSpec::count_all("errors")],
+            ),
+        dims: vec!["resourceId", "errorType"],
+        measures: vec!["errors"],
+    });
+
+    // V2: bytes transferred grouped by resource and date.
+    out.push(ConvivaView {
+        id: "V2",
+        plan: Plan::scan("activity").aggregate(
+            &["resourceId", "date"],
+            vec![
+                AggSpec::new("totalBytes", AggFunc::Sum, col("bytes")),
+                AggSpec::count_all("n"),
+            ],
+        ),
+        dims: vec!["resourceId", "date"],
+        measures: vec!["totalBytes", "n"],
+    });
+
+    // V3: visit counts grouped by resource tag, user, date bucket.
+    out.push(ConvivaView {
+        id: "V3",
+        plan: Plan::scan("activity")
+            .project(vec![
+                ("eventId", col("eventId")),
+                ("resourceTag", col("resourceTag")),
+                ("userId", col("userId")),
+                ("week", col("date").div(lit(7i64))),
+            ])
+            .aggregate(
+                &["resourceTag", "week"],
+                vec![AggSpec::count_all("visits")],
+            ),
+        dims: vec!["resourceTag", "week"],
+        measures: vec!["visits"],
+    });
+
+    // V4: nested — group users into cohorts by activity, then aggregate
+    // cohort sizes (blocks push-down like the paper's nested views).
+    out.push(ConvivaView {
+        id: "V4",
+        plan: Plan::scan("activity")
+            .aggregate(&["userId"], vec![AggSpec::count_all("sessions")])
+            .project(vec![
+                ("userId", col("userId")),
+                ("cohort", col("sessions").div(lit(10i64))),
+            ])
+            .aggregate(&["cohort"], vec![AggSpec::count_all("usersInCohort")]),
+        dims: vec!["cohort"],
+        measures: vec!["usersInCohort"],
+    });
+
+    // V5: nested — per-user error counts grouped into cohorts.
+    out.push(ConvivaView {
+        id: "V5",
+        plan: Plan::scan("activity")
+            .select(col("errorType").gt(lit(0i64)))
+            .aggregate(&["userId"], vec![AggSpec::count_all("errors")])
+            .aggregate(&["errors"], vec![AggSpec::count_all("users")]),
+        dims: vec!["errors"],
+        measures: vec!["users"],
+    });
+
+    // V6: union filtered on a resource subset, aggregating visits and bytes.
+    out.push(ConvivaView {
+        id: "V6",
+        plan: Plan::scan("activity")
+            .select(col("resourceId").lt(lit(40i64)))
+            .union(
+                Plan::scan("activity")
+                    .select(col("resourceId").ge(lit(350i64))),
+            )
+            .aggregate(
+                &["resourceId"],
+                vec![
+                    AggSpec::count_all("visits"),
+                    AggSpec::new("totalBytes", AggFunc::Sum, col("bytes")),
+                ],
+            ),
+        dims: vec!["resourceId"],
+        measures: vec!["visits", "totalBytes"],
+    });
+
+    // V7: wide network-statistics view by resource and date.
+    out.push(ConvivaView {
+        id: "V7",
+        plan: Plan::scan("activity").aggregate(
+            &["resourceId", "date"],
+            vec![
+                AggSpec::count_all("n"),
+                AggSpec::new("totalBytes", AggFunc::Sum, col("bytes")),
+                AggSpec::new("avgLatency", AggFunc::Avg, col("latency")),
+                AggSpec::new("maxLatency", AggFunc::Max, col("latency")),
+            ],
+        ),
+        dims: vec!["resourceId", "date"],
+        measures: vec!["n", "totalBytes", "avgLatency", "maxLatency"],
+    });
+
+    // V8: wide visit-statistics view by user and date.
+    out.push(ConvivaView {
+        id: "V8",
+        plan: Plan::scan("activity").aggregate(
+            &["userId", "date"],
+            vec![
+                AggSpec::count_all("visits"),
+                AggSpec::new("totalBytes", AggFunc::Sum, col("bytes")),
+                AggSpec::new("avgBytes", AggFunc::Avg, col("bytes")),
+            ],
+        ),
+        dims: vec!["userId", "date"],
+        measures: vec!["visits", "totalBytes", "avgBytes"],
+    });
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svc_core::{SvcConfig, SvcView};
+
+    #[test]
+    fn all_views_materialize_and_maintain() {
+        let cfg = ConvivaConfig { base_events: 4000, ..Default::default() };
+        let db = generate(cfg).unwrap();
+        let deltas = appended_updates(&db, cfg, 400, 1).unwrap();
+        for v in views() {
+            let mut svc =
+                SvcView::create(v.id, v.plan.clone(), &db, SvcConfig::with_ratio(0.2))
+                    .unwrap_or_else(|e| panic!("{} create failed: {e}", v.id));
+            assert!(!svc.view.is_empty(), "{} empty", v.id);
+            let expected = svc.view.recompute_fresh(&db, &deltas).unwrap();
+            svc.maintain_full(&db, &deltas).unwrap();
+            assert!(
+                svc.view.table().approx_same_contents(&expected, 1e-9),
+                "{} maintenance diverged",
+                v.id
+            );
+        }
+    }
+
+    #[test]
+    fn eight_views_exist() {
+        assert_eq!(views().len(), 8);
+    }
+
+    #[test]
+    fn updates_are_append_only() {
+        let cfg = ConvivaConfig { base_events: 1000, ..Default::default() };
+        let db = generate(cfg).unwrap();
+        let deltas = appended_updates(&db, cfg, 100, 2).unwrap();
+        let set = deltas.get("activity").unwrap();
+        assert_eq!(set.insertions.len(), 100);
+        assert!(set.deletions.is_empty());
+    }
+}

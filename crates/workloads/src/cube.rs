@@ -1,0 +1,133 @@
+//! The aggregate-view ("data cube") workload of Section 7.6.1 and
+//! Appendix 12.6.3: a base cube over
+//! `(c_custkey, n_nationkey, r_regionkey, l_partkey)` with `sum(revenue)`,
+//! and the 13 roll-up query dimension sets Q1..Q13.
+
+use svc_core::query::{AggQuery, QueryAgg};
+use svc_relalg::aggregate::{AggFunc, AggSpec};
+use svc_relalg::plan::{JoinKind, Plan};
+use svc_relalg::scalar::{col, Expr};
+use svc_storage::{KeyTuple, Result, Table};
+
+use crate::tpcd_views::revenue_expr;
+
+/// Cube dimension columns (public schema).
+pub const CUBE_DIMS: [&str; 4] = ["c_custkey", "n_nationkey", "r_regionkey", "l_partkey"];
+
+/// The base-cube view definition of Appendix 12.6.3: the five-way join
+/// grouped by all four dimensions with `sum(revenue)`.
+pub fn base_cube() -> Plan {
+    Plan::scan("lineitem")
+        .join(Plan::scan("orders"), JoinKind::Inner, &[("l_orderkey", "o_orderkey")])
+        .join(Plan::scan("customer"), JoinKind::Inner, &[("o_custkey", "c_custkey")])
+        .join(Plan::scan("nation"), JoinKind::Inner, &[("c_nationkey", "n_nationkey")])
+        .join(Plan::scan("region"), JoinKind::Inner, &[("n_regionkey", "r_regionkey")])
+        .aggregate(
+            &["c_custkey", "n_nationkey", "r_regionkey", "l_partkey"],
+            vec![
+                AggSpec::new("revenue", AggFunc::Sum, revenue_expr()),
+                AggSpec::count_all("n"),
+            ],
+        )
+}
+
+/// The 13 roll-up dimension sets of Appendix 12.6.3 (Q1 = grand total,
+/// Q2..Q5 = single dimensions, Q6..Q10 = pairs, Q11..Q13 = triples).
+pub fn rollup_dimension_sets() -> Vec<(&'static str, Vec<&'static str>)> {
+    vec![
+        ("Q1", vec![]),
+        ("Q2", vec!["c_custkey"]),
+        ("Q3", vec!["n_nationkey"]),
+        ("Q4", vec!["r_regionkey"]),
+        ("Q5", vec!["l_partkey"]),
+        ("Q6", vec!["c_custkey", "n_nationkey"]),
+        ("Q7", vec!["c_custkey", "r_regionkey"]),
+        ("Q8", vec!["c_custkey", "l_partkey"]),
+        ("Q9", vec!["n_nationkey", "r_regionkey"]),
+        ("Q10", vec!["n_nationkey", "l_partkey"]),
+        ("Q11", vec!["c_custkey", "n_nationkey", "r_regionkey"]),
+        ("Q12", vec!["c_custkey", "n_nationkey", "l_partkey"]),
+        ("Q13", vec!["n_nationkey", "r_regionkey", "l_partkey"]),
+    ]
+}
+
+/// Enumerate the distinct value combinations of `dims` present in a cube
+/// table, capped at `max_groups` (deterministically: first by sorted key).
+pub fn group_values(cube: &Table, dims: &[&str], max_groups: usize) -> Result<Vec<KeyTuple>> {
+    let idx = cube.schema().resolve_all(dims)?;
+    let mut seen = std::collections::BTreeSet::new();
+    for row in cube.rows() {
+        seen.insert(KeyTuple::of(row, &idx));
+    }
+    Ok(seen.into_iter().take(max_groups).collect())
+}
+
+/// The roll-up query for one group of one dimension set: the aggregate over
+/// `measure` restricted to `dims = values` — "group by is modeled as part
+/// of the Condition" (footnote 1 of the paper).
+pub fn rollup_query(
+    agg: QueryAgg,
+    measure: &str,
+    dims: &[&str],
+    values: &KeyTuple,
+) -> AggQuery {
+    let mut q = AggQuery { agg, attr: col(measure), predicate: None };
+    let mut pred: Option<Expr> = None;
+    for (d, v) in dims.iter().zip(values.0.iter()) {
+        let term = col(*d).eq(svc_relalg::scalar::Expr::Lit(v.clone()));
+        pred = Some(match pred {
+            None => term,
+            Some(p) => p.and(term),
+        });
+    }
+    if let Some(p) = pred {
+        q = q.filter(p);
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tpcd::{TpcdConfig, TpcdData};
+    use svc_core::{SvcConfig, SvcView};
+
+    #[test]
+    fn cube_materializes_and_rolls_up_consistently() {
+        let data = TpcdData::generate(TpcdConfig { scale: 0.02, skew: 1.0, seed: 4 }).unwrap();
+        let svc = SvcView::create("cube", base_cube(), &data.db, SvcConfig::with_ratio(0.3))
+            .unwrap();
+        let cube = svc.view.public_table().unwrap();
+        assert!(!cube.is_empty());
+        assert_eq!(
+            cube.schema().names(),
+            vec!["c_custkey", "n_nationkey", "r_regionkey", "l_partkey", "revenue", "n"]
+        );
+
+        // Consistency: the grand total equals the sum over any roll-up.
+        let total = AggQuery::sum(col("revenue")).exact(&cube).unwrap();
+        for (id, dims) in rollup_dimension_sets().iter().skip(1).take(3) {
+            let groups = group_values(&cube, dims, usize::MAX).unwrap();
+            let sum: f64 = groups
+                .iter()
+                .map(|g| {
+                    rollup_query(QueryAgg::Sum, "revenue", dims, g)
+                        .exact(&cube)
+                        .unwrap()
+                })
+                .sum();
+            assert!(
+                (sum - total).abs() < 1e-6 * total.abs(),
+                "{id}: roll-up sum {sum} vs total {total}"
+            );
+        }
+    }
+
+    #[test]
+    fn thirteen_rollups() {
+        let sets = rollup_dimension_sets();
+        assert_eq!(sets.len(), 13);
+        assert!(sets[0].1.is_empty());
+        assert_eq!(sets[12].1.len(), 3);
+    }
+}

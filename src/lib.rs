@@ -1,0 +1,13 @@
+//! # stale-view-cleaning
+//!
+//! Umbrella crate re-exporting the full Stale View Cleaning (SVC) stack.
+//! See `svc_core` for the main entry points.
+
+pub use svc_cluster as cluster;
+pub use svc_core as core;
+pub use svc_ivm as ivm;
+pub use svc_relalg as relalg;
+pub use svc_sampling as sampling;
+pub use svc_stats as stats;
+pub use svc_storage as storage;
+pub use svc_workloads as workloads;

@@ -1,0 +1,151 @@
+//! Statistical contract tests for the estimators: near-unbiasedness across
+//! independent hash seeds, CLT coverage, and the Section 5.2.2 variance
+//! claim that corrections beat direct estimates while staleness is small.
+
+use stale_view_cleaning::core::estimate::{svc_aqp, svc_corr};
+use stale_view_cleaning::core::{AggQuery, SvcConfig};
+use stale_view_cleaning::relalg::scalar::col;
+use stale_view_cleaning::sampling::operator::sample_by_key;
+use stale_view_cleaning::stats::Moments;
+use stale_view_cleaning::storage::{DataType, HashSpec, Schema, Table, Value};
+
+/// Population of 4000 rows; the fresh version perturbs 5% of them slightly.
+fn views() -> (Table, Table) {
+    let schema = Schema::from_pairs(&[("id", DataType::Int), ("x", DataType::Float)]).unwrap();
+    let mut stale = Table::new(schema.clone(), &["id"]).unwrap();
+    let mut fresh = Table::new(schema, &["id"]).unwrap();
+    for i in 0..4000i64 {
+        let x = ((i * 31) % 173) as f64;
+        stale.insert(vec![Value::Int(i), Value::Float(x)]).unwrap();
+        let fx = if i % 20 == 0 { x + 25.0 } else { x };
+        fresh.insert(vec![Value::Int(i), Value::Float(fx)]).unwrap();
+    }
+    (stale, fresh)
+}
+
+#[test]
+fn aqp_sum_is_nearly_unbiased_over_seeds() {
+    let (_, fresh) = views();
+    let q = AggQuery::sum(col("x"));
+    let truth = q.exact(&fresh).unwrap();
+    let m = 0.1;
+    let mut estimates = Moments::new();
+    for seed in 0..60u64 {
+        let sample = sample_by_key(&fresh, m, HashSpec::with_seed(seed));
+        if sample.is_empty() {
+            continue;
+        }
+        let cfg = SvcConfig::with_ratio(m).reseeded(seed);
+        estimates.push(svc_aqp(&sample, &q, m, &cfg).unwrap().value);
+    }
+    let bias = (estimates.mean() - truth).abs() / truth;
+    assert!(bias < 0.02, "mean over 60 seeds is {:.1} vs truth {truth:.1}", estimates.mean());
+}
+
+#[test]
+fn clt_interval_coverage_is_near_nominal() {
+    let (_, fresh) = views();
+    let q = AggQuery::avg(col("x"));
+    let truth = q.exact(&fresh).unwrap();
+    let m = 0.15;
+    let mut covered = 0;
+    let mut total = 0;
+    for seed in 0..80u64 {
+        let sample = sample_by_key(&fresh, m, HashSpec::with_seed(seed * 7 + 1));
+        if sample.len() < 30 {
+            continue;
+        }
+        let cfg = SvcConfig::with_ratio(m).reseeded(seed);
+        let est = svc_aqp(&sample, &q, m, &cfg).unwrap();
+        total += 1;
+        if est.ci.unwrap().contains(truth) {
+            covered += 1;
+        }
+    }
+    let rate = covered as f64 / total as f64;
+    assert!(
+        (0.85..=1.0).contains(&rate),
+        "95% CLT interval covered the truth in {covered}/{total} runs"
+    );
+}
+
+#[test]
+fn corrections_have_lower_error_than_direct_estimates_when_staleness_is_small() {
+    // Section 5.2.2: var(correction) < var(direct) while σ²_S ≤ 2 cov(S,S′).
+    // With only 5% of rows changed, the samples are highly correlated.
+    let (stale, fresh) = views();
+    let q = AggQuery::sum(col("x"));
+    let truth = q.exact(&fresh).unwrap();
+    let stale_result = q.exact(&stale).unwrap();
+    let m = 0.1;
+    let mut corr_err = Moments::new();
+    let mut aqp_err = Moments::new();
+    for seed in 0..40u64 {
+        let spec = HashSpec::with_seed(seed * 13 + 5);
+        let s_hat = sample_by_key(&stale, m, spec);
+        let f_hat = sample_by_key(&fresh, m, spec);
+        if f_hat.is_empty() {
+            continue;
+        }
+        let cfg = SvcConfig::with_ratio(m).reseeded(seed);
+        let corr = svc_corr(stale_result, &s_hat, &f_hat, &q, m, &cfg).unwrap();
+        let aqp = svc_aqp(&f_hat, &q, m, &cfg).unwrap();
+        corr_err.push((corr.value - truth).powi(2));
+        aqp_err.push((aqp.value - truth).powi(2));
+    }
+    assert!(
+        corr_err.mean() < aqp_err.mean() / 4.0,
+        "correction MSE {} should be far below direct MSE {}",
+        corr_err.mean(),
+        aqp_err.mean()
+    );
+}
+
+#[test]
+fn corrections_degrade_gracefully_as_staleness_grows() {
+    // The break-even effect: with ALL rows changed, the direct estimate is
+    // competitive with (or better than) the correction.
+    fn mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+    let schema = Schema::from_pairs(&[("id", DataType::Int), ("x", DataType::Float)]).unwrap();
+    let mut stale = Table::new(schema.clone(), &["id"]).unwrap();
+    let mut fresh = Table::new(schema, &["id"]).unwrap();
+    for i in 0..3000i64 {
+        // Independent values, with the STALE side more variable: the
+        // correction inherits var(S) + var(S′) while the direct estimate
+        // pays only var(S′).
+        let sx = (mix(i as u64 ^ 0xAAAA) % 400) as f64;
+        let fx = (mix(i as u64 ^ 0x5555) % 100) as f64;
+        stale.insert(vec![Value::Int(i), Value::Float(sx)]).unwrap();
+        fresh.insert(vec![Value::Int(i), Value::Float(fx)]).unwrap();
+    }
+    let q = AggQuery::sum(col("x"));
+    let truth = q.exact(&fresh).unwrap();
+    let stale_result = q.exact(&stale).unwrap();
+    let m = 0.1;
+    let mut corr_err = Moments::new();
+    let mut aqp_err = Moments::new();
+    for seed in 0..40u64 {
+        let spec = HashSpec::with_seed(seed * 3 + 11);
+        let s_hat = sample_by_key(&stale, m, spec);
+        let f_hat = sample_by_key(&fresh, m, spec);
+        if f_hat.is_empty() {
+            continue;
+        }
+        let cfg = SvcConfig::with_ratio(m).reseeded(seed);
+        let corr = svc_corr(stale_result, &s_hat, &f_hat, &q, m, &cfg).unwrap();
+        let aqp = svc_aqp(&f_hat, &q, m, &cfg).unwrap();
+        corr_err.push((corr.value - truth).powi(2));
+        aqp_err.push((aqp.value - truth).powi(2));
+    }
+    // Past the break-even point, the direct estimate wins outright.
+    assert!(
+        aqp_err.mean() < corr_err.mean(),
+        "AQP MSE {} vs CORR MSE {}",
+        aqp_err.mean(),
+        corr_err.mean()
+    );
+}
