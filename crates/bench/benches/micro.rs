@@ -9,7 +9,6 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use svc_core::query::AggQuery;
-use svc_core::{SvcConfig, SvcView};
 use svc_relalg::scalar::{col, lit};
 use svc_sampling::operator::sample_by_key;
 use svc_storage::{HashSpec, Value};
@@ -68,6 +67,27 @@ fn bench_sampling(c: &mut Criterion) {
     });
 }
 
+fn bench_optimizer(c: &mut Criterion) {
+    use svc_ivm::view::maintenance_bindings;
+    use svc_relalg::optimizer::optimize;
+
+    let data = data();
+    let deltas = data.updates(0.1, 7).unwrap();
+    let svc = svc_bench::join_view_svc(&data, 0.1);
+    let (mplan, _) = svc.view.build_maintenance_plan(&data.db, &deltas).unwrap();
+    let key_names = svc.view.key_names();
+    let key_refs: Vec<&str> = key_names.iter().map(|s| s.as_str()).collect();
+    let hashed = mplan.hash(&key_refs, 0.1, svc.config.hash_spec());
+    let bindings = maintenance_bindings(&data.db, &deltas, svc.view.table());
+
+    c.bench_function("optimize_cleaning_plan", |b| {
+        b.iter(|| black_box(optimize(black_box(&hashed), &bindings).unwrap()))
+    });
+    c.bench_function("clean_sample_unoptimized_eval", |b| {
+        b.iter(|| black_box(svc_relalg::eval::evaluate(black_box(&hashed), &bindings).unwrap()))
+    });
+}
+
 fn bench_estimators(c: &mut Criterion) {
     let data = data();
     let deltas = data.updates(0.1, 7).unwrap();
@@ -92,6 +112,6 @@ fn config() -> Criterion {
 criterion_group! {
     name = benches;
     config = config();
-    targets = bench_hash, bench_eval_join_view, bench_ivm_vs_clean, bench_sampling, bench_estimators
+    targets = bench_hash, bench_eval_join_view, bench_ivm_vs_clean, bench_sampling, bench_optimizer, bench_estimators
 }
 criterion_main!(benches);

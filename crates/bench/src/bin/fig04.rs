@@ -28,10 +28,8 @@ fn main() {
     report.finish("maintenance time vs sampling ratio (update size 10%)");
 
     // (b) speedup of SVC-10% vs update size.
-    let mut report = Report::new(
-        "fig04b",
-        &["update_pct", "ivm_seconds", "svc10_seconds", "speedup"],
-    );
+    let mut report =
+        Report::new("fig04b", &["update_pct", "ivm_seconds", "svc10_seconds", "speedup"]);
     for pct in [0.025, 0.05, 0.075, 0.10, 0.125, 0.15, 0.175, 0.20] {
         let deltas = data.updates(pct, 11).expect("updates");
         let mut ivm = join_view_svc(&data, 1.0);

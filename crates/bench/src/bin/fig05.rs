@@ -11,10 +11,8 @@ fn main() {
     let n_instances = bench_queries();
     let mut r = rng(5);
 
-    let mut report = Report::new(
-        "fig05",
-        &["query", "stale_err", "svc_aqp10_err", "svc_corr10_err"],
-    );
+    let mut report =
+        Report::new("fig05", &["query", "stale_err", "svc_aqp10_err", "svc_corr10_err"]);
     for template in join_view_queries() {
         let queries: Vec<_> = (0..n_instances).map(|_| template.instance(&mut r)).collect();
         let triples = error_triples(&svc, &data.db, &deltas, &queries);

@@ -24,28 +24,21 @@ fn main() {
     ] {
         let mut svc = join_view_svc(&data, 0.1);
         let (tm, tq) = answer_times(&mut svc, &data.db, &deltas, &q, method);
-        report.row(vec![
-            label.to_string(),
-            Report::f(tm),
-            Report::f(tq),
-            Report::f(tm + tq),
-        ]);
+        report.row(vec![label.to_string(), Report::f(tm), Report::f(tq), Report::f(tm + tq)]);
     }
     report.finish("total time: maintenance + query (1 query, updates 10%)");
 
     // (b) error vs update size: CORR is better until a break-even point.
     let n_instances = (bench_queries() / 2).max(8);
     let templates = join_view_queries();
-    let mut report =
-        Report::new("fig06b", &["update_pct", "svc_corr10_err", "svc_aqp10_err"]);
+    let mut report = Report::new("fig06b", &["update_pct", "svc_corr10_err", "svc_aqp10_err"]);
     for pct in [0.03, 0.08, 0.13, 0.18, 0.23, 0.28, 0.33, 0.38, 0.43] {
         let deltas = data.updates(pct, 13).expect("updates");
         let svc = join_view_svc(&data, 0.1);
         let mut corr_all = Vec::new();
         let mut aqp_all = Vec::new();
         for template in templates.iter().take(4) {
-            let queries: Vec<_> =
-                (0..n_instances).map(|_| template.instance(&mut r)).collect();
+            let queries: Vec<_> = (0..n_instances).map(|_| template.instance(&mut r)).collect();
             for t in error_triples(&svc, &data.db, &deltas, &queries) {
                 corr_all.push(t.corr);
                 aqp_all.push(t.aqp);

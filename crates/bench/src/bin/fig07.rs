@@ -13,14 +13,10 @@ fn main() {
     let mut r = rng(7);
     let n_queries = bench_queries();
 
-    let mut timing = Report::new(
-        "fig07a",
-        &["view", "ivm_seconds", "svc10_seconds", "fully_pushed"],
-    );
-    let mut accuracy = Report::new(
-        "fig07b",
-        &["view", "stale_err", "svc_aqp10_err", "svc_corr10_err"],
-    );
+    let mut timing =
+        Report::new("fig07a", &["view", "ivm_seconds", "svc10_seconds", "fully_pushed"]);
+    let mut accuracy =
+        Report::new("fig07b", &["view", "stale_err", "svc_aqp10_err", "svc_corr10_err"]);
 
     for v in complex_views() {
         let mut ivm = SvcView::create(v.id, v.plan.clone(), &data.db, SvcConfig::with_ratio(1.0))

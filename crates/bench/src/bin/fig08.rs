@@ -36,9 +36,8 @@ fn main() {
         let data = tpcd(0.7, z, 42);
         let deltas = data.updates(0.10, 7).expect("updates");
         let v3 = complex_views().into_iter().find(|v| v.id == "V3").unwrap();
-        let svc =
-            SvcView::create("V3", v3.plan.clone(), &data.db, SvcConfig::with_ratio(0.1))
-                .expect("view");
+        let svc = SvcView::create("V3", v3.plan.clone(), &data.db, SvcConfig::with_ratio(0.1))
+            .expect("view");
         let idx = OutlierIndex::build(index_spec(100), &data.db, &deltas).expect("index");
         let cleaned = svc.clean_sample(&data.db, &deltas).expect("clean");
         assert!(idx.eligible(&cleaned.report.sampled_leaves));
@@ -109,10 +108,7 @@ fn main() {
     // (b) overhead of the index vs its size on V3, V5, V10, V15.
     let data = tpcd(0.7, 2.0, 42);
     let deltas = data.updates(0.10, 7).expect("updates");
-    let mut report = Report::new(
-        "fig08b",
-        &["view", "k0", "k10", "k100", "k1000", "ivm"],
-    );
+    let mut report = Report::new("fig08b", &["view", "k0", "k10", "k100", "k1000", "ivm"]);
     for id in ["V3", "V5", "V10", "V15"] {
         let v = complex_views().into_iter().find(|v| v.id == id).unwrap();
         let mut ivm =
@@ -125,8 +121,7 @@ fn main() {
             let (_, t) = time(|| {
                 let _c = svc.clean_sample(&data.db, &deltas).expect("clean");
                 if k > 0 {
-                    let idx = OutlierIndex::build(index_spec(k), &data.db, &deltas)
-                        .expect("index");
+                    let idx = OutlierIndex::build(index_spec(k), &data.db, &deltas).expect("index");
                     let _o = idx.push_up(&svc.view, &data.db, &deltas).expect("push up");
                 }
             });

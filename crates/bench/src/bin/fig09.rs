@@ -7,10 +7,8 @@ use svc_workloads::conviva::{appended_updates, generate, views, ConvivaConfig};
 use svc_workloads::querygen::random_queries;
 
 fn main() {
-    let cfg = ConvivaConfig {
-        base_events: (30_000.0 * bench_scale()) as usize,
-        ..Default::default()
-    };
+    let cfg =
+        ConvivaConfig { base_events: (30_000.0 * bench_scale()) as usize, ..Default::default() };
     let db = generate(cfg).expect("conviva data");
     // The paper derives views from 800GB and applies the next 10-20% as
     // updates; we append 10% of the base volume.
@@ -19,17 +17,14 @@ fn main() {
     let mut r = rng(9);
 
     let mut timing = Report::new("fig09a", &["view", "ivm_seconds", "svc10_seconds"]);
-    let mut accuracy = Report::new(
-        "fig09b",
-        &["view", "stale_err", "svc_aqp10_err", "svc_corr10_err"],
-    );
+    let mut accuracy =
+        Report::new("fig09b", &["view", "stale_err", "svc_aqp10_err", "svc_corr10_err"]);
 
     for v in views() {
         let mut ivm =
             SvcView::create(v.id, v.plan.clone(), &db, SvcConfig::with_ratio(1.0)).unwrap();
         let (_, t_ivm) = time(|| ivm.view.maintain(&db, &deltas).expect("ivm"));
-        let svc =
-            SvcView::create(v.id, v.plan.clone(), &db, SvcConfig::with_ratio(0.1)).unwrap();
+        let svc = SvcView::create(v.id, v.plan.clone(), &db, SvcConfig::with_ratio(0.1)).unwrap();
         let (_, t_svc) = time(|| svc.clean_sample(&db, &deltas).expect("clean"));
         timing.row(vec![v.id.to_string(), Report::f(t_ivm), Report::f(t_svc)]);
 

@@ -10,24 +10,22 @@ fn main() {
     let data = tpcd(1.0, 1.0, 42);
 
     let deltas = data.updates(0.10, 7).expect("updates");
-    let mut ivm = SvcView::create("cube", base_cube(), &data.db, SvcConfig::with_ratio(1.0))
-        .expect("cube");
+    let mut ivm =
+        SvcView::create("cube", base_cube(), &data.db, SvcConfig::with_ratio(1.0)).expect("cube");
     let (_, t_ivm) = time(|| ivm.view.maintain(&data.db, &deltas).expect("ivm"));
 
     let mut report = Report::new("fig10a", &["sampling_ratio", "svc_seconds", "ivm_seconds"]);
     for i in 1..=10 {
         let m = i as f64 / 10.0;
-        let svc = SvcView::create("cube", base_cube(), &data.db, SvcConfig::with_ratio(m))
-            .expect("cube");
+        let svc =
+            SvcView::create("cube", base_cube(), &data.db, SvcConfig::with_ratio(m)).expect("cube");
         let (_, t_svc) = time(|| svc.clean_sample(&data.db, &deltas).expect("clean"));
         report.row(vec![format!("{m:.1}"), Report::f(t_svc), Report::f(t_ivm)]);
     }
     report.finish("aggregate view: maintenance time vs sampling ratio");
 
-    let mut report = Report::new(
-        "fig10b",
-        &["update_pct", "ivm_seconds", "svc10_seconds", "speedup"],
-    );
+    let mut report =
+        Report::new("fig10b", &["update_pct", "ivm_seconds", "svc10_seconds", "speedup"]);
     for pct in [0.03, 0.05, 0.08, 0.10, 0.13, 0.15, 0.18, 0.20] {
         let deltas = data.updates(pct, 19).expect("updates");
         let mut ivm =

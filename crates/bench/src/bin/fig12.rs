@@ -11,12 +11,7 @@ fn main() {
         &["rollup", "stale_max_err", "svc_aqp10_max_err", "svc_corr10_max_err"],
     );
     for r in rows {
-        report.row(vec![
-            r.id,
-            Report::f(r.stale_max),
-            Report::f(r.aqp_max),
-            Report::f(r.corr_max),
-        ]);
+        report.row(vec![r.id, Report::f(r.stale_max), Report::f(r.aqp_max), Report::f(r.corr_max)]);
     }
     report.finish("cube roll-ups: MAX group error, sum(revenue), m=10%, updates=10%");
 }

@@ -6,10 +6,8 @@ use svc_core::query::QueryAgg;
 
 fn main() {
     let rows = rollup_errors(QueryAgg::Median, 12);
-    let mut report = Report::new(
-        "fig13",
-        &["rollup", "stale_err", "svc_aqp10_err", "svc_corr10_err"],
-    );
+    let mut report =
+        Report::new("fig13", &["rollup", "stale_err", "svc_aqp10_err", "svc_corr10_err"]);
     for r in rows {
         report.row(vec![
             r.id,

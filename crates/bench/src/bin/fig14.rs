@@ -6,9 +6,7 @@ use svc_bench::Report;
 use svc_cluster::BatchPipeline;
 
 fn main() {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get().clamp(2, 4))
-        .unwrap_or(2);
+    let workers = std::thread::available_parallelism().map(|n| n.get().clamp(2, 4)).unwrap_or(2);
     let pipeline = BatchPipeline::new(workers);
     let total = 40_000;
     let batch_sizes = [500usize, 1_000, 2_500, 5_000, 10_000, 20_000, 40_000];

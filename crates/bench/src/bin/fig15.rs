@@ -19,10 +19,8 @@ fn chunk_maker(cfg: ConvivaConfig) -> impl FnMut(&Database, usize) -> Result<Del
 }
 
 fn main() {
-    let cfg = ConvivaConfig {
-        base_events: (12_000.0 * bench_scale()) as usize,
-        ..Default::default()
-    };
+    let cfg =
+        ConvivaConfig { base_events: (12_000.0 * bench_scale()) as usize, ..Default::default() };
     let db = generate(cfg).expect("conviva");
     let total_chunks = 24;
 
@@ -37,7 +35,10 @@ fn main() {
         ),
         (
             "V5",
-            vec![AggQuery::sum(col("users")), AggQuery::sum(col("users")).filter(col("errors").le(lit(3i64)))],
+            vec![
+                AggQuery::sum(col("users")),
+                AggQuery::sum(col("users")).filter(col("errors").le(lit(3i64))),
+            ],
         ),
     ] {
         let view = views().into_iter().find(|v| v.id == vid).unwrap();
@@ -48,13 +49,7 @@ fn main() {
             view.plan.clone(),
             &mut chunk_maker(cfg),
             &queries,
-            &TimelineConfig {
-                total_chunks,
-                ivm_period: 8,
-                svc_period: None,
-                ratio: 0.1,
-                seed: 5,
-            },
+            &TimelineConfig { total_chunks, ivm_period: 8, svc_period: None, ratio: 0.1, seed: 5 },
         )
         .expect("ivm timeline");
 

@@ -35,9 +35,7 @@ fn ivm_stages(rounds: usize, with_svc_filler: bool) -> Vec<Stage> {
 }
 
 fn main() {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get().clamp(2, 4))
-        .unwrap_or(2);
+    let workers = std::thread::available_parallelism().map(|n| n.get().clamp(2, 4)).unwrap_or(2);
     let pool = WorkerPool::new(workers);
     let buckets = 40;
 
@@ -49,11 +47,7 @@ fn main() {
 
     let mut report = Report::new("fig16", &["time_bucket", "ivm_util", "ivm_svc_util"]);
     for b in 0..buckets {
-        report.row(vec![
-            b.to_string(),
-            Report::f(u_ivm[b]),
-            Report::f(u_both[b]),
-        ]);
+        report.row(vec![b.to_string(), Report::f(u_ivm[b]), Report::f(u_both[b])]);
     }
     report.finish(format!(
         "CPU utilization over time ({workers} workers): overall IVM {:.2} vs IVM+SVC {:.2}",

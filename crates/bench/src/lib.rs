@@ -31,18 +31,12 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
 /// Environment-tunable experiment scale (default 1.0 = the scales used in
 /// EXPERIMENTS.md; smaller is faster).
 pub fn bench_scale() -> f64 {
-    std::env::var("SVC_BENCH_SCALE")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1.0)
+    std::env::var("SVC_BENCH_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(1.0)
 }
 
 /// Number of random query instances per template (paper: 100).
 pub fn bench_queries() -> usize {
-    std::env::var("SVC_BENCH_QUERIES")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(30)
+    std::env::var("SVC_BENCH_QUERIES").ok().and_then(|s| s.parse().ok()).unwrap_or(30)
 }
 
 /// A results table: printed aligned to stdout and mirrored to
@@ -117,10 +111,16 @@ impl Report {
     }
 }
 
-fn csv_dir() -> PathBuf {
+/// Where result files land: `SVC_EXPERIMENTS_DIR` when set, else
+/// `<repo>/experiments` (manifest-relative, so it does not depend on the
+/// invocation directory). Shared by the CSV reports and the JSON emitters
+/// so paired outputs never split across directories.
+pub fn experiments_dir() -> PathBuf {
     std::env::var("SVC_EXPERIMENTS_DIR")
+        .ok()
+        .filter(|d| !d.is_empty())
         .map(PathBuf::from)
-        .unwrap_or_else(|_| {
+        .unwrap_or_else(|| {
             let mut p = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
             p.pop();
             p.pop();
@@ -128,15 +128,15 @@ fn csv_dir() -> PathBuf {
         })
 }
 
+fn csv_dir() -> PathBuf {
+    experiments_dir()
+}
+
 /// The standard single-node setup of Section 7.1: TPCD-Skew data at the
 /// bench scale with skew `z`.
 pub fn tpcd(scale_mult: f64, z: f64, seed: u64) -> TpcdData {
-    TpcdData::generate(TpcdConfig {
-        scale: 0.4 * bench_scale() * scale_mult,
-        skew: z,
-        seed,
-    })
-    .expect("tpcd generation")
+    TpcdData::generate(TpcdConfig { scale: 0.4 * bench_scale() * scale_mult, skew: z, seed })
+        .expect("tpcd generation")
 }
 
 /// Median of a slice (empty → NaN).
@@ -265,8 +265,8 @@ pub fn rollup_errors(agg: svc_core::query::QueryAgg, max_groups: usize) -> Vec<R
 
     let data = tpcd(1.0, 1.0, 42);
     let deltas = data.updates(0.10, 7).expect("updates");
-    let svc = SvcView::create("cube", base_cube(), &data.db, SvcConfig::with_ratio(0.1))
-        .expect("cube");
+    let svc =
+        SvcView::create("cube", base_cube(), &data.db, SvcConfig::with_ratio(0.1)).expect("cube");
     let cleaned = svc.clean_sample(&data.db, &deltas).expect("clean");
     let fresh = svc
         .view

@@ -1,10 +1,17 @@
 //! A worker pool with stage barriers and per-worker busy-time accounting —
-//! the synchronous-parallelism model whose idle gaps Figure 16 visualizes.
+//! the synchronous-parallelism model whose idle gaps Figure 16 visualizes —
+//! plus the mini-batch plan-evaluation entry point
+//! ([`WorkerPool::evaluate_plans`]) that routes every plan through the
+//! `svc-relalg` optimizer exactly once before scheduling it.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
-use parking_lot::Mutex;
+use svc_relalg::eval::{evaluate, Bindings};
+use svc_relalg::optimizer::optimize;
+use svc_relalg::plan::Plan;
+use svc_storage::{Result, StorageError, Table};
 
 /// One recorded busy interval of one worker, in seconds since the trace
 /// epoch.
@@ -76,6 +83,9 @@ pub struct WorkerPool {
     workers: usize,
 }
 
+/// A stage task: claimed exactly once off the shared queue.
+type StageTask = Mutex<Option<Box<dyn FnOnce() + Send>>>;
+
 impl WorkerPool {
     /// Create a pool with `workers` threads per stage.
     pub fn new(workers: usize) -> WorkerPool {
@@ -96,35 +106,90 @@ impl WorkerPool {
         let intervals: Mutex<Vec<BusyInterval>> = Mutex::new(Vec::new());
 
         for stage in stages {
-            let tasks: Vec<Mutex<Option<Box<dyn FnOnce() + Send>>>> =
-                stage.into_iter().map(|t| Mutex::new(Some(t))).collect();
+            let tasks: Vec<StageTask> = stage.into_iter().map(|t| Mutex::new(Some(t))).collect();
             let next = AtomicUsize::new(0);
-            crossbeam::thread::scope(|s| {
+            std::thread::scope(|s| {
                 for w in 0..self.workers {
                     let tasks = &tasks;
                     let next = &next;
                     let intervals = &intervals;
-                    s.spawn(move |_| loop {
+                    s.spawn(move || loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= tasks.len() {
                             break;
                         }
-                        let task = tasks[i].lock().take().expect("task taken once");
+                        let task = tasks[i].lock().unwrap().take().expect("task taken once");
                         let start = epoch.elapsed().as_secs_f64();
                         task();
                         let end = epoch.elapsed().as_secs_f64();
-                        intervals.lock().push(BusyInterval { worker: w, start, end });
+                        intervals.lock().unwrap().push(BusyInterval { worker: w, start, end });
                     });
                 }
-            })
-            .expect("worker panicked");
+            });
         }
 
         ExecutionTrace {
-            intervals: intervals.into_inner(),
+            intervals: intervals.into_inner().expect("interval lock poisoned"),
             wall: epoch.elapsed().as_secs_f64(),
             workers: self.workers,
         }
+    }
+
+    /// Evaluate a batch of plans against shared bindings on the pool — the
+    /// mini-batch maintenance path: one plan per view (or per delta chunk),
+    /// all reading the same bound relations.
+    ///
+    /// Each plan is run through the standard optimizer exactly once, on the
+    /// driver, before the workers pick plans off a shared queue. Results
+    /// come back in input order; once any plan errors, workers stop picking
+    /// up new plans (in-flight evaluations finish) and the error is
+    /// returned.
+    pub fn evaluate_plans(&self, plans: &[Plan], bindings: &Bindings<'_>) -> Result<Vec<Table>> {
+        let mut optimized = Vec::with_capacity(plans.len());
+        for plan in plans {
+            optimized.push(optimize(plan, bindings)?.0);
+        }
+        let slots: Vec<Mutex<Option<Result<Table>>>> =
+            (0..optimized.len()).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let failed = std::sync::atomic::AtomicBool::new(false);
+        std::thread::scope(|s| {
+            for _ in 0..self.workers.min(optimized.len()).max(1) {
+                let optimized = &optimized;
+                let slots = &slots;
+                let next = &next;
+                let failed = &failed;
+                s.spawn(move || loop {
+                    if failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= optimized.len() {
+                        break;
+                    }
+                    let out = evaluate(&optimized[i], bindings);
+                    if out.is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    *slots[i].lock().unwrap() = Some(out);
+                });
+            }
+        });
+        if failed.load(Ordering::Relaxed) {
+            for slot in &slots {
+                if let Some(Err(e)) = &*slot.lock().unwrap() {
+                    return Err(e.clone());
+                }
+            }
+        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result lock poisoned")
+                    .unwrap_or_else(|| Err(StorageError::Invalid("plan was not evaluated".into())))
+            })
+            .collect()
     }
 }
 
@@ -142,6 +207,62 @@ pub fn spin(units: u64) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use svc_relalg::aggregate::AggSpec;
+    use svc_relalg::scalar::{col, lit};
+    use svc_storage::{DataType, Database, Schema, Value};
+
+    #[test]
+    fn evaluate_plans_matches_serial_evaluation() {
+        let mut db = Database::new();
+        let mut events = Table::new(
+            Schema::from_pairs(&[
+                ("id", DataType::Int),
+                ("grp", DataType::Int),
+                ("x", DataType::Float),
+            ])
+            .unwrap(),
+            &["id"],
+        )
+        .unwrap();
+        for i in 0..2000i64 {
+            events
+                .insert(vec![Value::Int(i), Value::Int(i % 50), Value::Float((i % 17) as f64)])
+                .unwrap();
+        }
+        db.create_table("events", events);
+        let bindings = Bindings::from_database(&db);
+
+        let plans: Vec<Plan> = (0..6)
+            .map(|k| {
+                Plan::scan("events")
+                    .aggregate(
+                        &["grp"],
+                        vec![
+                            AggSpec::count_all("n"),
+                            AggSpec::new("sx", svc_relalg::aggregate::AggFunc::Sum, col("x")),
+                        ],
+                    )
+                    .select(col("grp").ge(lit(k * 5)))
+            })
+            .collect();
+
+        let pool = WorkerPool::new(3);
+        let parallel = pool.evaluate_plans(&plans, &bindings).unwrap();
+        for (plan, got) in plans.iter().zip(&parallel) {
+            let (optimized, _) = optimize(plan, &db).unwrap();
+            let expected = evaluate(&optimized, &bindings).unwrap();
+            assert!(got.same_contents(&expected), "parallel batch diverged");
+        }
+    }
+
+    #[test]
+    fn evaluate_plans_surfaces_errors() {
+        let db = Database::new();
+        let bindings = Bindings::from_database(&db);
+        let pool = WorkerPool::new(2);
+        let err = pool.evaluate_plans(&[Plan::scan("missing")], &bindings);
+        assert!(err.is_err());
+    }
 
     #[test]
     fn all_tasks_run_once() {
@@ -188,7 +309,11 @@ mod tests {
         // Tasks must be large enough that per-task bookkeeping is noise.
         let pool = WorkerPool::new(4);
         let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..16)
-            .map(|_| Box::new(|| { spin(20_000); }) as Box<dyn FnOnce() + Send>)
+            .map(|_| {
+                Box::new(|| {
+                    spin(20_000);
+                }) as Box<dyn FnOnce() + Send>
+            })
             .collect();
         let trace = pool.run_stages(vec![tasks]);
         let u = trace.overall_utilization();
@@ -199,7 +324,11 @@ mod tests {
     fn utilization_buckets_sum_to_overall() {
         let pool = WorkerPool::new(2);
         let tasks: Vec<Box<dyn FnOnce() + Send>> = (0..8)
-            .map(|_| Box::new(|| { spin(200); }) as Box<dyn FnOnce() + Send>)
+            .map(|_| {
+                Box::new(|| {
+                    spin(200);
+                }) as Box<dyn FnOnce() + Send>
+            })
             .collect();
         let trace = pool.run_stages(vec![tasks]);
         let buckets = trace.utilization(10);

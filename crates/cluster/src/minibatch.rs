@@ -82,34 +82,30 @@ impl BatchPipeline {
     }
 
     /// Measure throughput across batch sizes (Figure 14a).
-    pub fn throughput_curve(&self, total_records: usize, batch_sizes: &[usize]) -> Vec<ThroughputPoint> {
+    pub fn throughput_curve(
+        &self,
+        total_records: usize,
+        batch_sizes: &[usize],
+    ) -> Vec<ThroughputPoint> {
         batch_sizes
             .iter()
-            .map(|&b| ThroughputPoint {
-                batch_size: b,
-                throughput: self.run(total_records, b),
-            })
+            .map(|&b| ThroughputPoint { batch_size: b, throughput: self.run(total_records, b) })
             .collect()
     }
 
     /// Measure throughput with a second pipeline running concurrently on
     /// its own pool of equal size — the two-maintenance-threads setup of
     /// Figure 14b. Returns this pipeline's throughput.
-    pub fn throughput_with_contention(
-        &self,
-        total_records: usize,
-        batch_size: usize,
-    ) -> f64 {
+    pub fn throughput_with_contention(&self, total_records: usize, batch_size: usize) -> f64 {
         let other = self.clone();
         let mut main_tp = 0.0;
-        crossbeam::thread::scope(|s| {
-            let handle = s.spawn(move |_| {
+        std::thread::scope(|s| {
+            let handle = s.spawn(move || {
                 other.run(total_records, batch_size);
             });
             main_tp = self.run(total_records, batch_size);
             handle.join().expect("concurrent pipeline panicked");
-        })
-        .expect("scope");
+        });
         main_tp
     }
 }
@@ -124,10 +120,7 @@ mod tests {
         let n = 6_000;
         let small = p.run(n, 200);
         let large = p.run(n, 3_000);
-        assert!(
-            large > small * 1.5,
-            "large batches should be much faster: {large} vs {small}"
-        );
+        assert!(large > small * 1.5, "large batches should be much faster: {large} vs {small}");
     }
 
     #[test]
@@ -136,10 +129,7 @@ mod tests {
         let n = 4_000;
         let solo = p.run(n, 1_000);
         let contended = p.throughput_with_contention(n, 1_000);
-        assert!(
-            contended < solo,
-            "two pipelines must contend: {contended} vs solo {solo}"
-        );
+        assert!(contended < solo, "two pipelines must contend: {contended} vs solo {solo}");
     }
 
     #[test]

@@ -129,12 +129,8 @@ mod tests {
         // Enough groups that a hash sample of the view is statistically
         // meaningful (the paper excludes small-cardinality views).
         for i in 0..4000i64 {
-            t.insert(vec![
-                Value::Int(i),
-                Value::Int(i % 400),
-                Value::Float((i % 97) as f64),
-            ])
-            .unwrap();
+            t.insert(vec![Value::Int(i), Value::Int(i % 400), Value::Float((i % 97) as f64)])
+                .unwrap();
         }
         db.create_table("events", t);
         db

@@ -45,8 +45,7 @@ mod tests {
     use svc_storage::{DataType, Schema, Value};
 
     fn table(rows: &[(i64, f64)]) -> Table {
-        let schema =
-            Schema::from_pairs(&[("id", DataType::Int), ("x", DataType::Float)]).unwrap();
+        let schema = Schema::from_pairs(&[("id", DataType::Int), ("x", DataType::Float)]).unwrap();
         let mut t = Table::new(schema, &["id"]).unwrap();
         for &(id, x) in rows {
             t.insert(vec![Value::Int(id), Value::Float(x)]).unwrap();

@@ -84,13 +84,16 @@ fn trans_scaled(table: &Table, q: &AggQuery, m: f64) -> Result<TransTable> {
 /// (the `avg`/order-statistic trans table).
 fn trans_plain(table: &Table, q: &AggQuery) -> Result<TransTable> {
     let bound = q.bind(table)?;
-    Ok(trans_table(table, |row| {
-        if bound.matches(row) {
-            bound.attr.eval(row).as_f64()
-        } else {
-            None
-        }
-    }))
+    Ok(trans_table(
+        table,
+        |row| {
+            if bound.matches(row) {
+                bound.attr.eval(row).as_f64()
+            } else {
+                None
+            }
+        },
+    ))
 }
 
 /// SVC+AQP: estimate `q(S′)` directly from the clean sample with scaling
@@ -121,12 +124,8 @@ pub fn svc_aqp(clean_sample: &Table, q: &AggQuery, m: f64, cfg: &SvcConfig) -> R
                 return Err(err_empty("avg"));
             }
             let moments = Moments::of(&matching);
-            let ci = mean_interval(
-                moments.mean(),
-                moments.variance(),
-                moments.count(),
-                cfg.confidence,
-            );
+            let ci =
+                mean_interval(moments.mean(), moments.variance(), moments.count(), cfg.confidence);
             Estimate {
                 value: moments.mean(),
                 ci: Some(ci),
@@ -212,8 +211,7 @@ pub fn svc_corr(
             let diffs = correspondence_subtract(&clean_t, &stale_t);
             let moments = Moments::of(&diffs);
             let correction = moments.sum();
-            let ci0 =
-                sum_interval(correction, moments.variance(), moments.count(), cfg.confidence);
+            let ci0 = sum_interval(correction, moments.variance(), moments.count(), cfg.confidence);
             Estimate {
                 value: stale_result + correction,
                 ci: Some(ConfidenceInterval {
@@ -233,8 +231,7 @@ pub fn svc_corr(
             if clean_t.is_empty() {
                 return Err(err_empty("avg correction"));
             }
-            let clean_mean =
-                clean_t.values().sum::<f64>() / clean_t.len() as f64;
+            let clean_mean = clean_t.values().sum::<f64>() / clean_t.len() as f64;
             let stale_mean = if stale_t.is_empty() {
                 clean_mean
             } else {
@@ -263,10 +260,8 @@ pub fn svc_corr(
                 QueryAgg::Percentile(p) => p,
                 _ => unreachable!(),
             };
-            let clean_vals: Vec<f64> =
-                trans_plain(clean_sample, q)?.into_values().collect();
-            let stale_vals: Vec<f64> =
-                trans_plain(stale_sample, q)?.into_values().collect();
+            let clean_vals: Vec<f64> = trans_plain(clean_sample, q)?.into_values().collect();
+            let stale_vals: Vec<f64> = trans_plain(stale_sample, q)?.into_values().collect();
             if clean_vals.is_empty() {
                 return Err(err_empty("median correction"));
             }
@@ -317,10 +312,8 @@ pub fn svc_corr(
             }
             // Appendix 12.1.1: the row-by-row difference is taken over rows
             // present in BOTH samples.
-            let diffs: Vec<f64> = clean_t
-                .iter()
-                .filter_map(|(k, v)| stale_t.get(k).map(|s| v - s))
-                .collect();
+            let diffs: Vec<f64> =
+                clean_t.iter().filter_map(|(k, v)| stale_t.get(k).map(|s| v - s)).collect();
             let c = if diffs.is_empty() {
                 0.0
             } else {
@@ -366,8 +359,7 @@ mod tests {
     /// Population with mean 50 over ids 0..1000; "fresh" version shifts a
     /// slice of rows and adds new ones.
     fn stale_and_fresh() -> (Table, Table) {
-        let schema =
-            Schema::from_pairs(&[("id", DataType::Int), ("x", DataType::Float)]).unwrap();
+        let schema = Schema::from_pairs(&[("id", DataType::Int), ("x", DataType::Float)]).unwrap();
         let mut stale = Table::new(schema.clone(), &["id"]).unwrap();
         let mut fresh = Table::new(schema, &["id"]).unwrap();
         for i in 0..1000i64 {
@@ -378,9 +370,7 @@ mod tests {
             fresh.insert(vec![Value::Int(i), Value::Float(fx)]).unwrap();
         }
         for i in 1000..1200i64 {
-            fresh
-                .insert(vec![Value::Int(i), Value::Float(((i * 7) % 101) as f64)])
-                .unwrap();
+            fresh.insert(vec![Value::Int(i), Value::Float(((i * 7) % 101) as f64)]).unwrap();
         }
         (stale, fresh)
     }
@@ -418,10 +408,7 @@ mod tests {
             let est = svc_corr(stale_res, &s_hat, &f_hat, &q, 0.2, &cfg).unwrap();
             let stale_err = (stale_res - truth).abs();
             let corr_err = (est.value - truth).abs();
-            assert!(
-                corr_err <= stale_err,
-                "{q:?}: corr err {corr_err} vs stale err {stale_err}"
-            );
+            assert!(corr_err <= stale_err, "{q:?}: corr err {corr_err} vs stale err {stale_err}");
         }
     }
 
@@ -477,10 +464,7 @@ mod tests {
         let b = svc_aqp(&f_hat, &broad, 0.25, &cfg).unwrap();
         let n = svc_aqp(&f_hat, &narrow, 0.25, &cfg).unwrap();
         assert!(n.predicate_rows < b.predicate_rows);
-        assert!(
-            n.ci.unwrap().half_width > b.ci.unwrap().half_width,
-            "narrow CI should be wider"
-        );
+        assert!(n.ci.unwrap().half_width > b.ci.unwrap().half_width, "narrow CI should be wider");
     }
 
     #[test]

@@ -74,11 +74,7 @@ impl OutlierIndex {
     pub fn build(spec: OutlierIndexSpec, db: &Database, deltas: &Deltas) -> Result<OutlierIndex> {
         let state = deltas.applied_state(db, &spec.table)?;
         let attr_idx = state.schema().resolve(&spec.attr)?;
-        let values: Vec<f64> = state
-            .rows()
-            .iter()
-            .filter_map(|r| r[attr_idx].as_f64())
-            .collect();
+        let values: Vec<f64> = state.rows().iter().filter_map(|r| r[attr_idx].as_f64()).collect();
         let threshold = match spec.policy {
             ThresholdPolicy::Above(t) => t,
             ThresholdPolicy::TopK => {
@@ -142,8 +138,7 @@ impl OutlierIndex {
         // restricted to the outlier records and every other relation at its
         // new state. For SPJ views this *is* O; for aggregate views it
         // identifies the affected groups.
-        let marker_plan =
-            substitute_new_states(canon_plan, &self.spec.table, &info, &cat)?;
+        let marker_plan = substitute_new_states(canon_plan, &self.spec.table, &info, &cat)?;
         let mut bindings = maintenance_bindings_with(db, deltas);
         bindings.bind(OUTLIER_LEAF, &self.records);
         let marker = evaluate(&marker_plan, &bindings)?;
@@ -162,11 +157,10 @@ impl OutlierIndex {
                             let i = in_d.schema.resolve(g)?;
                             Ok((
                                 in_d.schema.field(i).name.clone(),
-                                keys.schema().field(
-                                    group_by.iter().position(|x| x == g).expect("present"),
-                                )
-                                .name
-                                .clone(),
+                                keys.schema()
+                                    .field(group_by.iter().position(|x| x == g).expect("present"))
+                                    .name
+                                    .clone(),
                             ))
                         })
                         .collect::<Result<_>>()?
@@ -196,10 +190,7 @@ impl OutlierIndex {
     /// its delta relations, which carry the same records).
     pub fn eligible(&self, sampled_leaves: &[String]) -> bool {
         sampled_leaves.iter().any(|l| {
-            let base = l
-                .strip_prefix("__ins.")
-                .or_else(|| l.strip_prefix("__del."))
-                .unwrap_or(l);
+            let base = l.strip_prefix("__ins.").or_else(|| l.strip_prefix("__del.")).unwrap_or(l);
             base == self.spec.table
         })
     }
@@ -259,9 +250,7 @@ fn substitute_new_states(
             left: Box::new(substitute_new_states(left, target, info, cat)?),
             right: Box::new(substitute_new_states(right, target, info, cat)?),
         },
-        Plan::Hash { .. } => {
-            return Err(StorageError::Invalid("η inside view definition".into()))
-        }
+        Plan::Hash { .. } => return Err(StorageError::Invalid("η inside view definition".into())),
     })
 }
 
@@ -287,12 +276,8 @@ fn distinct_keys(table: &Table, k: usize) -> Result<Table> {
 /// Split a (public-schema) sample into non-outlier rows and drop outlier
 /// keys; returns the filtered sample.
 fn exclude_keys(sample: &Table, keys: &HashSet<KeyTuple>) -> Table {
-    let rows = sample
-        .rows()
-        .iter()
-        .filter(|r| !keys.contains(&sample.key_of(r)))
-        .cloned()
-        .collect();
+    let rows =
+        sample.rows().iter().filter(|r| !keys.contains(&sample.key_of(r))).cloned().collect();
     Table::from_rows(sample.schema().clone(), sample.key().to_vec(), rows)
         .expect("filtering preserves keys")
 }
@@ -306,8 +291,7 @@ pub fn estimate_aqp_with_outliers(
     m: f64,
     cfg: &SvcConfig,
 ) -> Result<Estimate> {
-    let okeys: HashSet<KeyTuple> =
-        outliers_fresh_public.iter_keyed().map(|(k, _)| k).collect();
+    let okeys: HashSet<KeyTuple> = outliers_fresh_public.iter_keyed().map(|(k, _)| k).collect();
     let reg_sample = exclude_keys(clean_sample_public, &okeys);
     let out_bound = q.bind(outliers_fresh_public)?;
     let out_vals = out_bound.matching_values(outliers_fresh_public);
@@ -333,11 +317,8 @@ pub fn estimate_aqp_with_outliers(
             let n_reg = svc_aqp(&reg_sample, &count_q, m, cfg)?.value;
             let n = n_reg + l;
             let out_avg = if l > 0.0 { out_vals.iter().sum::<f64>() / l } else { 0.0 };
-            let value = if n > 0.0 {
-                (n_reg / n) * reg.value + (l / n) * out_avg
-            } else {
-                reg.value
-            };
+            let value =
+                if n > 0.0 { (n_reg / n) * reg.value + (l / n) * out_avg } else { reg.value };
             Ok(Estimate { value, ..reg })
         }
         _ => svc_aqp(clean_sample_public, q, m, cfg),
@@ -432,10 +413,12 @@ mod tests {
         .unwrap();
         for o in 0..4000i64 {
             // Heavy tail: every 97th order is huge.
-            let price = if o % 97 == 0 { 5_000.0 + (o % 7) as f64 * 3_000.0 } else { (o % 50) as f64 + 1.0 };
-            orders
-                .insert(vec![Value::Int(o), Value::Int(o % 200), Value::Float(price)])
-                .unwrap();
+            let price = if o % 97 == 0 {
+                5_000.0 + (o % 7) as f64 * 3_000.0
+            } else {
+                (o % 50) as f64 + 1.0
+            };
+            orders.insert(vec![Value::Int(o), Value::Int(o % 200), Value::Float(price)]).unwrap();
         }
         db.create_table("orders", orders);
         db
@@ -444,10 +427,7 @@ mod tests {
     fn cust_view() -> Plan {
         Plan::scan("orders").aggregate(
             &["custId"],
-            vec![
-                AggSpec::new("revenue", AggFunc::Sum, col("price")),
-                AggSpec::count_all("n"),
-            ],
+            vec![AggSpec::new("revenue", AggFunc::Sum, col("price")), AggSpec::count_all("n")],
         )
     }
 
@@ -563,10 +543,7 @@ mod tests {
 
         let e_plain = relative_error(plain.value, truth);
         let e_idx = relative_error(with_idx.value, truth);
-        assert!(
-            e_idx <= e_plain * 1.05,
-            "outlier index should not hurt: {e_idx} vs {e_plain}"
-        );
+        assert!(e_idx <= e_plain * 1.05, "outlier index should not hurt: {e_idx} vs {e_plain}");
 
         // And the CORR variant stays sane.
         let stale_res = svc.query_stale(&q).unwrap();

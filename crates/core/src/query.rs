@@ -91,11 +91,7 @@ impl AggQuery {
     pub fn bind(&self, table: &Table) -> Result<BoundQuery> {
         Ok(BoundQuery {
             attr: self.attr.bind(table.schema())?,
-            predicate: self
-                .predicate
-                .as_ref()
-                .map(|p| p.bind(table.schema()))
-                .transpose()?,
+            predicate: self.predicate.as_ref().map(|p| p.bind(table.schema())).transpose()?,
         })
     }
 
@@ -177,8 +173,7 @@ mod tests {
     use svc_storage::{DataType, Schema, Value};
 
     fn table() -> Table {
-        let schema =
-            Schema::from_pairs(&[("id", DataType::Int), ("x", DataType::Float)]).unwrap();
+        let schema = Schema::from_pairs(&[("id", DataType::Int), ("x", DataType::Float)]).unwrap();
         let mut t = Table::new(schema, &["id"]).unwrap();
         for i in 0..10i64 {
             t.insert(vec![Value::Int(i), Value::Float(i as f64)]).unwrap();
@@ -195,10 +190,7 @@ mod tests {
         assert_eq!(AggQuery::median(col("x")).exact(&t).unwrap(), 4.5);
         assert_eq!(AggQuery::min(col("x")).exact(&t).unwrap(), 0.0);
         assert_eq!(AggQuery::max(col("x")).exact(&t).unwrap(), 9.0);
-        assert_eq!(
-            AggQuery::percentile(col("x"), 1.0).exact(&t).unwrap(),
-            9.0
-        );
+        assert_eq!(AggQuery::percentile(col("x"), 1.0).exact(&t).unwrap(), 9.0);
     }
 
     #[test]

@@ -60,7 +60,12 @@ pub fn clean_select(
 ) -> Result<CleanSelectResult> {
     let pred = predicate.bind(stale_view.schema())?;
 
-    // The stale answer.
+    // The stale answer. This is deliberately a direct filtered copy rather
+    // than a trip through the plan evaluator: a σ over a single bound leaf
+    // has no structure for the optimizer to rewrite, and `evaluate` on a
+    // Scan clones the whole view before filtering, while this loop copies
+    // only the matching rows. Plan-shaped selects over views go through
+    // [`crate::svc::SvcView`], whose plans are optimized exactly once.
     let mut result = stale_view.empty_like();
     for row in stale_view.rows() {
         if pred.matches(row) {
@@ -73,8 +78,7 @@ pub fn clean_select(
     let mut removed = 0usize;
 
     // Pass 1: clean-sample rows patch the result.
-    let clean_keys: HashSet<KeyTuple> =
-        clean_sample.iter_keyed().map(|(k, _)| k).collect();
+    let clean_keys: HashSet<KeyTuple> = clean_sample.iter_keyed().map(|(k, _)| k).collect();
     for (key, row) in clean_sample.iter_keyed() {
         let in_stale_view = stale_view.get(&key);
         let satisfies = pred.matches(row);
@@ -128,8 +132,7 @@ mod tests {
     use svc_storage::{DataType, HashSpec, Schema, Value};
 
     fn views() -> (Table, Table) {
-        let schema =
-            Schema::from_pairs(&[("id", DataType::Int), ("v", DataType::Int)]).unwrap();
+        let schema = Schema::from_pairs(&[("id", DataType::Int), ("v", DataType::Int)]).unwrap();
         let mut stale = Table::new(schema.clone(), &["id"]).unwrap();
         let mut fresh = Table::new(schema, &["id"]).unwrap();
         for i in 0..600i64 {
@@ -217,11 +220,7 @@ mod tests {
         assert_eq!(out.added.value, 0.0);
         assert_eq!(out.removed.value, 0.0);
         // Result equals the plain stale select.
-        let expected: usize = stale
-            .rows()
-            .iter()
-            .filter(|r| r[1].as_i64().unwrap() < 10)
-            .count();
+        let expected: usize = stale.rows().iter().filter(|r| r[1].as_i64().unwrap() < 10).count();
         assert_eq!(out.rows.len(), expected);
     }
 }

@@ -15,9 +15,10 @@ use svc_ivm::strategy::{MaintCatalog, PlanKind, STALE_LEAF};
 use svc_ivm::view::{maintenance_bindings, MaterializedView};
 use svc_relalg::derive::Derived;
 use svc_relalg::eval::evaluate;
+use svc_relalg::optimizer::optimize;
 use svc_relalg::plan::Plan;
 use svc_sampling::operator::sample_by_key;
-use svc_sampling::pushdown::{push_down, PushdownReport};
+use svc_sampling::pushdown::PushdownReport;
 
 use crate::config::SvcConfig;
 use crate::estimate::{stale_answer, svc_aqp, svc_corr, Estimate, Method};
@@ -78,6 +79,10 @@ impl SvcView {
     /// Build the optimized cleaning expression `C` (η pushed through the
     /// maintenance plan) without evaluating it. Exposed for inspection and
     /// for the benchmarks that count how far hashes push.
+    ///
+    /// The η-wrapped maintenance plan goes through the standard optimizer —
+    /// predicate pushdown, projection pruning, and the Definition 3 η rule
+    /// all in one fixed-point engine — exactly once.
     pub fn cleaning_plan(
         &self,
         db: &Database,
@@ -99,8 +104,8 @@ impl SvcView {
                 key: self.view.table().key().to_vec(),
             },
         };
-        let (optimized, report) = push_down(&hashed, &cat)?;
-        Ok((optimized, report, kind))
+        let (optimized, report) = optimize(&hashed, &cat)?;
+        Ok((optimized, report.eta.into(), kind))
     }
 
     /// Problem 1 — stale sample view cleaning: materialize `Ŝ′`, the
@@ -117,11 +122,8 @@ impl SvcView {
         // above still samples correctly, it is merely more work (the
         // paper's V21/V22 regime).
         let stale_scans = count_scans(&plan, STALE_LEAF);
-        let stale_sampled = report
-            .sampled_leaves
-            .iter()
-            .filter(|l| l.as_str() == STALE_LEAF)
-            .count();
+        let stale_sampled =
+            report.sampled_leaves.iter().filter(|l| l.as_str() == STALE_LEAF).count();
         let stale_binding: &Table = if stale_scans == 0 || stale_scans == stale_sampled {
             &self.stale_sample
         } else {
@@ -232,11 +234,7 @@ impl SvcView {
             pairs += 1;
         }
         let cov = if pairs > 1 { cov_acc / (pairs - 1) as f64 } else { 0.0 };
-        Ok(if s_var.variance() <= 2.0 * cov {
-            Method::Correction
-        } else {
-            Method::AqpDirect
-        })
+        Ok(if s_var.variance() <= 2.0 * cov { Method::Correction } else { Method::AqpDirect })
     }
 
     /// Full incremental maintenance (the IVM baseline): update the view,
@@ -402,8 +400,7 @@ mod tests {
     #[test]
     fn maintain_full_resets_staleness() {
         let db = db();
-        let mut svc =
-            SvcView::create("v", visit_view(), &db, SvcConfig::with_ratio(0.2)).unwrap();
+        let mut svc = SvcView::create("v", visit_view(), &db, SvcConfig::with_ratio(0.2)).unwrap();
         let deltas = skewed_deltas(&db, 1000);
         let q = AggQuery::count();
         let truth = svc.query_fresh_oracle(&db, &deltas, &q).unwrap();
@@ -418,8 +415,7 @@ mod tests {
     #[test]
     fn adopt_clean_sample_moves_the_sample_forward() {
         let db = db();
-        let mut svc =
-            SvcView::create("v", visit_view(), &db, SvcConfig::with_ratio(0.2)).unwrap();
+        let mut svc = SvcView::create("v", visit_view(), &db, SvcConfig::with_ratio(0.2)).unwrap();
         let deltas = skewed_deltas(&db, 1000);
         let cleaned = svc.clean_sample(&db, &deltas).unwrap();
         let cleaned_table = cleaned.canonical.clone();

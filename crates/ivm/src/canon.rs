@@ -69,9 +69,7 @@ pub struct AggShape {
 impl Canonical {
     /// True iff every canonical column merges additively.
     pub fn fully_additive(&self) -> bool {
-        self.agg.as_ref().is_some_and(|a| {
-            a.cols.iter().all(|c| c.rule == MergeRule::Additive)
-        })
+        self.agg.as_ref().is_some_and(|a| a.cols.iter().all(|c| c.rule == MergeRule::Additive))
     }
 
     /// True iff change-table maintenance applies given whether any base
@@ -157,11 +155,7 @@ pub fn canonicalize(def: &Plan) -> Canonical {
         return Canonical {
             plan,
             public: Some(public),
-            agg: Some(AggShape {
-                group_by: group_by.clone(),
-                cols,
-                input: (**input).clone(),
-            }),
+            agg: Some(AggShape { group_by: group_by.clone(), cols, input: (**input).clone() }),
         };
     }
 
@@ -208,10 +202,8 @@ mod tests {
 
     #[test]
     fn min_max_eligible_only_without_deletions() {
-        let view = Plan::scan("video").aggregate(
-            &["ownerId"],
-            vec![AggSpec::new("longest", AggFunc::Max, col("duration"))],
-        );
+        let view = Plan::scan("video")
+            .aggregate(&["ownerId"], vec![AggSpec::new("longest", AggFunc::Max, col("duration"))]);
         let c = canonicalize(&view);
         assert!(c.change_table_eligible(false));
         assert!(!c.change_table_eligible(true));

@@ -128,11 +128,7 @@ fn union_opt(a: Option<Plan>, b: Option<Plan>) -> Option<Plan> {
 /// Derive the delta plans of `plan`. Errors on constructs outside the
 /// supported SPJ(U) class (nested aggregates, outer joins, η nodes); callers
 /// fall back to the recomputation strategy in that case.
-pub fn derive_delta(
-    plan: &Plan,
-    info: &DeltaInfo,
-    cat: &impl LeafProvider,
-) -> Result<DeltaPlan> {
+pub fn derive_delta(plan: &Plan, info: &DeltaInfo, cat: &impl LeafProvider) -> Result<DeltaPlan> {
     Ok(match plan {
         Plan::Scan { table } => DeltaPlan {
             ins: info.ins.contains(table).then(|| Plan::scan(ins_leaf(table))),
@@ -187,10 +183,9 @@ pub fn derive_delta(
             }
             let raw_ins = union_opt(dl.ins, dr.ins);
             let raw_del = union_opt(dl.del, dr.del);
-            let diff = |p: Plan, q: Plan| Plan::Difference { left: Box::new(p), right: Box::new(q) };
-            let ins = raw_ins.map(|p| {
-                diff(diff(p, (**left).clone()), (**right).clone())
-            });
+            let diff =
+                |p: Plan, q: Plan| Plan::Difference { left: Box::new(p), right: Box::new(q) };
+            let ins = raw_ins.map(|p| diff(diff(p, (**left).clone()), (**right).clone()));
             let del = match raw_del {
                 None => None,
                 Some(p) => {
@@ -217,14 +212,11 @@ pub fn derive_delta(
         }
         Plan::Intersect { .. } | Plan::Difference { .. } => {
             return Err(StorageError::Invalid(
-                "delta derivation for ∩/− is not implemented; falling back to recomputation"
-                    .into(),
+                "delta derivation for ∩/− is not implemented; falling back to recomputation".into(),
             ))
         }
         Plan::Hash { .. } => {
-            return Err(StorageError::Invalid(
-                "unexpected η node inside a view definition".into(),
-            ))
+            return Err(StorageError::Invalid("unexpected η node inside a view definition".into()))
         }
     })
 }
@@ -234,7 +226,7 @@ mod tests {
     use super::*;
     use svc_relalg::eval::{evaluate, Bindings};
     use svc_relalg::scalar::{col, lit};
-    use svc_storage::{Database, DataType, Schema, Table, Value};
+    use svc_storage::{DataType, Database, Schema, Table, Value};
 
     fn db() -> Database {
         let mut db = Database::new();
@@ -245,9 +237,7 @@ mod tests {
         )
         .unwrap();
         for v in 0..50i64 {
-            video
-                .insert(vec![Value::Int(v), Value::Float(1.0 + (v % 7) as f64)])
-                .unwrap();
+            video.insert(vec![Value::Int(v), Value::Float(1.0 + (v % 7) as f64)]).unwrap();
         }
         let mut log = Table::new(
             Schema::from_pairs(&[("sessionId", DataType::Int), ("videoId", DataType::Int)])
@@ -317,17 +307,17 @@ mod tests {
 
     #[test]
     fn select_delta_matches_recompute() {
-        check_new_state_matches_recompute(
-            Plan::scan("log").select(col("videoId").lt(lit(30i64))),
-        );
+        check_new_state_matches_recompute(Plan::scan("log").select(col("videoId").lt(lit(30i64))));
     }
 
     #[test]
     fn project_delta_matches_recompute() {
-        check_new_state_matches_recompute(Plan::scan("video").project(vec![
-            ("videoId", col("videoId")),
-            ("mins", col("duration").mul(lit(60.0))),
-        ]));
+        check_new_state_matches_recompute(
+            Plan::scan("video").project(vec![
+                ("videoId", col("videoId")),
+                ("mins", col("duration").mul(lit(60.0))),
+            ]),
+        );
     }
 
     #[test]
@@ -359,18 +349,13 @@ mod tests {
     fn untouched_tables_prune_to_empty() {
         let db = db();
         let mut deltas = Deltas::new();
-        deltas
-            .insert(&db, "video", vec![Value::Int(99), Value::Float(1.0)])
-            .unwrap();
+        deltas.insert(&db, "video", vec![Value::Int(99), Value::Float(1.0)]).unwrap();
         let info = DeltaInfo::of(&deltas);
         let d = derive_delta(&Plan::scan("log"), &info, &db).unwrap();
         assert!(d.ins.is_none() && d.del.is_none());
         // A join still produces a delta through the video side only.
-        let join = Plan::scan("log").join(
-            Plan::scan("video"),
-            JoinKind::Inner,
-            &[("videoId", "videoId")],
-        );
+        let join =
+            Plan::scan("log").join(Plan::scan("video"), JoinKind::Inner, &[("videoId", "videoId")]);
         let d = derive_delta(&join, &info, &db).unwrap();
         assert!(d.ins.is_some());
         assert!(d.del.is_none());
@@ -383,11 +368,8 @@ mod tests {
         let agg = Plan::scan("log")
             .aggregate(&["videoId"], vec![svc_relalg::aggregate::AggSpec::count_all("n")]);
         assert!(derive_delta(&agg, &info, &db).is_err());
-        let outer = Plan::scan("log").join(
-            Plan::scan("video"),
-            JoinKind::Left,
-            &[("videoId", "videoId")],
-        );
+        let outer =
+            Plan::scan("log").join(Plan::scan("video"), JoinKind::Left, &[("videoId", "videoId")]);
         assert!(derive_delta(&outer, &info, &db).is_err());
     }
 }

@@ -23,6 +23,7 @@
 use svc_storage::{Database, Result, StorageError};
 
 use svc_relalg::derive::{derive, Derived, LeafProvider};
+use svc_relalg::optimizer::{optimize, OptimizeReport};
 use svc_relalg::plan::{JoinKind, Plan};
 use svc_relalg::scalar::{col, lit, Expr, Func};
 
@@ -59,10 +60,8 @@ impl LeafProvider for MaintCatalog<'_> {
         if name == STALE_LEAF {
             return Some(self.stale.clone());
         }
-        let base = name
-            .strip_prefix("__ins.")
-            .or_else(|| name.strip_prefix("__del."))
-            .unwrap_or(name);
+        let base =
+            name.strip_prefix("__ins.").or_else(|| name.strip_prefix("__del.")).unwrap_or(name);
         self.db.leaf(base)
     }
 }
@@ -84,10 +83,7 @@ fn coalesce0(e: Expr) -> Expr {
 fn rename_all(plan: Plan, names: &[String], prefix: &str) -> Plan {
     Plan::Project {
         input: Box::new(plan),
-        columns: names
-            .iter()
-            .map(|n| (format!("{prefix}{n}"), col(n.clone())))
-            .collect(),
+        columns: names.iter().map(|n| (format!("{prefix}{n}"), col(n.clone()))).collect(),
     }
 }
 
@@ -137,6 +133,21 @@ pub fn maintenance_plan(
     }
 }
 
+/// [`maintenance_plan`] followed by the standard optimizer — the form every
+/// execution path evaluates. Callers that wrap the plan further (e.g. the
+/// SVC cleaning path, which adds η on top before optimizing) should use the
+/// raw [`maintenance_plan`] instead so each evaluated plan is optimized
+/// exactly once.
+pub fn optimized_maintenance_plan(
+    canonical: &Canonical,
+    cat: &MaintCatalog<'_>,
+    info: &DeltaInfo,
+) -> Result<(Plan, PlanKind, OptimizeReport)> {
+    let (plan, kind) = maintenance_plan(canonical, cat, info)?;
+    let (plan, report) = optimize(&plan, cat)?;
+    Ok((plan, kind, report))
+}
+
 /// The change-table strategy for a canonical top-level aggregate.
 fn change_table_plan(
     canonical: &Canonical,
@@ -153,8 +164,7 @@ fn change_table_plan(
 
     // Canonical output field names: group fields followed by agg aliases.
     let canon_schema = derive(&canonical.plan, cat)?.schema;
-    let all_names: Vec<String> =
-        canon_schema.names().iter().map(|s| s.to_string()).collect();
+    let all_names: Vec<String> = canon_schema.names().iter().map(|s| s.to_string()).collect();
     let group_names: Vec<String> = all_names[..group_by.len()].to_vec();
     let agg_names: Vec<String> = all_names[group_by.len()..].to_vec();
 
@@ -170,10 +180,8 @@ fn change_table_plan(
         names.iter().map(|n| (n.clone(), col(n.clone()))).collect()
     };
     let negate_cols = |prefix: &str| -> Vec<(String, Expr)> {
-        let mut cols: Vec<(String, Expr)> = group_names
-            .iter()
-            .map(|g| (g.clone(), col(format!("{prefix}{g}"))))
-            .collect();
+        let mut cols: Vec<(String, Expr)> =
+            group_names.iter().map(|g| (g.clone(), col(format!("{prefix}{g}")))).collect();
         for a in &agg_names {
             cols.push((a.clone(), lit(0i64).sub(col(format!("{prefix}{a}")))));
         }
@@ -189,17 +197,13 @@ fn change_table_plan(
         (Some(ins), Some(del)) => {
             let gi = gamma(ins);
             let gd = rename_all(gamma(del), &all_names, "__d_");
-            let on: Vec<(String, String)> = group_names
-                .iter()
-                .map(|g| (g.clone(), format!("__d_{g}")))
-                .collect();
+            let on: Vec<(String, String)> =
+                group_names.iter().map(|g| (g.clone(), format!("__d_{g}"))).collect();
             let on_rev: Vec<(String, String)> =
                 on.iter().map(|(l, r)| (r.clone(), l.clone())).collect();
 
-            let mut matched_cols: Vec<(String, Expr)> = group_names
-                .iter()
-                .map(|g| (g.clone(), col(g.clone())))
-                .collect();
+            let mut matched_cols: Vec<(String, Expr)> =
+                group_names.iter().map(|g| (g.clone(), col(g.clone()))).collect();
             for a in &agg_names {
                 matched_cols.push((
                     a.clone(),
@@ -238,17 +242,12 @@ fn change_table_plan(
     // --- Merge the change table with the stale view ----------------------
     let change_renamed = rename_all(change, &all_names, "__c_");
     let stale = Plan::scan(STALE_LEAF);
-    let on: Vec<(String, String)> = group_names
-        .iter()
-        .map(|g| (g.clone(), format!("__c_{g}")))
-        .collect();
-    let on_rev: Vec<(String, String)> =
-        on.iter().map(|(l, r)| (r.clone(), l.clone())).collect();
+    let on: Vec<(String, String)> =
+        group_names.iter().map(|g| (g.clone(), format!("__c_{g}"))).collect();
+    let on_rev: Vec<(String, String)> = on.iter().map(|(l, r)| (r.clone(), l.clone())).collect();
 
-    let mut merged_cols: Vec<(String, Expr)> = group_names
-        .iter()
-        .map(|g| (g.clone(), col(g.clone())))
-        .collect();
+    let mut merged_cols: Vec<(String, Expr)> =
+        group_names.iter().map(|g| (g.clone(), col(g.clone()))).collect();
     for (a, rule) in agg_names.iter().zip(shape.cols.iter().map(|c| &c.rule)) {
         let s = col(a.clone());
         let c = col(format!("__c_{a}"));
@@ -299,11 +298,7 @@ fn change_table_plan(
 
 /// Recomputation expressed as a plan: every base scan becomes its new state
 /// `(T ▷ ∇T) ∪ ∆T`.
-pub fn recompute_plan(
-    def: &Plan,
-    cat: &MaintCatalog<'_>,
-    info: &DeltaInfo,
-) -> Result<Plan> {
+pub fn recompute_plan(def: &Plan, cat: &MaintCatalog<'_>, info: &DeltaInfo) -> Result<Plan> {
     Ok(match def {
         Plan::Scan { .. } => new_state(def, info, cat)?,
         Plan::Select { input, predicate } => Plan::Select {
@@ -338,9 +333,7 @@ pub fn recompute_plan(
             right: Box::new(recompute_plan(right, cat, info)?),
         },
         Plan::Hash { .. } => {
-            return Err(StorageError::Invalid(
-                "unexpected η node inside a view definition".into(),
-            ))
+            return Err(StorageError::Invalid("unexpected η node inside a view definition".into()))
         }
     })
 }

@@ -5,12 +5,15 @@ use svc_storage::{Database, Deltas, Result, Table};
 
 use svc_relalg::derive::{derive_project, Derived};
 use svc_relalg::eval::{evaluate, Bindings};
+use svc_relalg::optimizer::optimize;
 use svc_relalg::plan::Plan;
 use svc_relalg::scalar::Expr;
 
 use crate::canon::{canonicalize, Canonical};
 use crate::delta::{del_leaf, ins_leaf, DeltaInfo};
-use crate::strategy::{maintenance_plan, MaintCatalog, PlanKind, STALE_LEAF};
+use crate::strategy::{
+    maintenance_plan, optimized_maintenance_plan, MaintCatalog, PlanKind, STALE_LEAF,
+};
 
 /// A materialized view: the user-facing definition, its canonical
 /// (change-table maintainable) form, and the materialized canonical state.
@@ -46,11 +49,14 @@ pub fn maintenance_bindings<'a>(
 }
 
 impl MaterializedView {
-    /// Create and materialize a view from its definition against `db`.
+    /// Create and materialize a view from its definition against `db`. The
+    /// canonical plan is run through the optimizer before the initial
+    /// materialization (the definition itself is kept as written).
     pub fn create(name: impl Into<String>, definition: Plan, db: &Database) -> Result<Self> {
         let canonical = canonicalize(&definition);
+        let (optimized, _) = optimize(&canonical.plan, db)?;
         let bindings = Bindings::from_database(db);
-        let table = evaluate(&canonical.plan, &bindings)?;
+        let table = evaluate(&optimized, &bindings)?;
         Ok(MaterializedView { name: name.into(), definition, canonical, table })
     }
 
@@ -106,19 +112,22 @@ impl MaterializedView {
         let info = DeltaInfo::of(deltas);
         let cat = MaintCatalog {
             db,
-            stale: Derived {
-                schema: self.table.schema().clone(),
-                key: self.table.key().to_vec(),
-            },
+            stale: Derived { schema: self.table.schema().clone(), key: self.table.key().to_vec() },
         };
         maintenance_plan(&self.canonical, &cat, &info)
     }
 
     /// Bring the view up to date with respect to `deltas` (which are *not*
     /// consumed — the caller applies them to the base tables when the
-    /// maintenance period ends). Returns the strategy that was used.
+    /// maintenance period ends). The maintenance plan goes through the
+    /// optimizer exactly once. Returns the strategy that was used.
     pub fn maintain(&mut self, db: &Database, deltas: &Deltas) -> Result<PlanKind> {
-        let (plan, kind) = self.build_maintenance_plan(db, deltas)?;
+        let info = DeltaInfo::of(deltas);
+        let cat = MaintCatalog {
+            db,
+            stale: Derived { schema: self.table.schema().clone(), key: self.table.key().to_vec() },
+        };
+        let (plan, kind, _report) = optimized_maintenance_plan(&self.canonical, &cat, &info)?;
         let new_table = {
             let bindings = maintenance_bindings(db, deltas, &self.table);
             evaluate(&plan, &bindings)?
@@ -133,8 +142,9 @@ impl MaterializedView {
         let mut db2 = db.clone();
         let mut d2 = deltas.clone();
         d2.apply_to(&mut db2)?;
+        let (optimized, _) = optimize(&self.canonical.plan, &db2)?;
         let bindings = Bindings::from_database(&db2);
-        evaluate(&self.canonical.plan, &bindings)
+        evaluate(&optimized, &bindings)
     }
 }
 
@@ -145,15 +155,9 @@ pub fn project_table(table: &Table, columns: Option<&[(String, Expr)]>) -> Resul
     };
     let input = Derived { schema: table.schema().clone(), key: table.key().to_vec() };
     let out = derive_project(&input, columns)?;
-    let bound: Vec<_> = columns
-        .iter()
-        .map(|(_, e)| e.bind(table.schema()))
-        .collect::<Result<_>>()?;
-    let rows = table
-        .rows()
-        .iter()
-        .map(|r| bound.iter().map(|e| e.eval(r)).collect())
-        .collect();
+    let bound: Vec<_> =
+        columns.iter().map(|(_, e)| e.bind(table.schema())).collect::<Result<_>>()?;
+    let rows = table.rows().iter().map(|r| bound.iter().map(|e| e.eval(r)).collect()).collect();
     Table::from_rows(out.schema, out.key, rows)
 }
 
@@ -215,26 +219,18 @@ mod tests {
     fn mixed_deltas(db: &Database) -> Deltas {
         let mut deltas = Deltas::new();
         for s in 700..800i64 {
-            deltas
-                .insert(db, "log", vec![Value::Int(s), Value::Int(s % 70)])
-                .unwrap();
+            deltas.insert(db, "log", vec![Value::Int(s), Value::Int(s % 70)]).unwrap();
         }
         for v in 60..70i64 {
             deltas
-                .insert(
-                    db,
-                    "video",
-                    vec![Value::Int(v), Value::Int(3), Value::Float(2.5)],
-                )
+                .insert(db, "video", vec![Value::Int(v), Value::Int(3), Value::Float(2.5)])
                 .unwrap();
         }
         for s in 0..30i64 {
             deltas.delete(db, "log", &vec![Value::Int(s * 3), Value::Null]).unwrap();
         }
         deltas.update(db, "log", vec![Value::Int(1), Value::Int(59)]).unwrap();
-        deltas
-            .update(db, "video", vec![Value::Int(10), Value::Int(5), Value::Float(9.9)])
-            .unwrap();
+        deltas.update(db, "video", vec![Value::Int(10), Value::Int(5), Value::Float(9.9)]).unwrap();
         deltas
     }
 
@@ -260,9 +256,7 @@ mod tests {
         let mut view = MaterializedView::create("v", visit_view(), &db).unwrap();
         let mut deltas = Deltas::new();
         for s in 700..900i64 {
-            deltas
-                .insert(&db, "log", vec![Value::Int(s), Value::Int(s % 60)])
-                .unwrap();
+            deltas.insert(&db, "log", vec![Value::Int(s), Value::Int(s % 60)]).unwrap();
         }
         let expected = view.recompute_fresh(&db, &deltas).unwrap();
         let kind = view.maintain(&db, &deltas).unwrap();
@@ -273,15 +267,11 @@ mod tests {
     #[test]
     fn deletion_removes_superfluous_groups() {
         let db = db();
-        let view_def = Plan::scan("log").aggregate(
-            &["videoId"],
-            vec![AggSpec::count_all("n")],
-        );
+        let view_def = Plan::scan("log").aggregate(&["videoId"], vec![AggSpec::count_all("n")]);
         let mut view = MaterializedView::create("v", view_def, &db).unwrap();
         // Delete every session of video 0 (sessions where (s*13+7)%60 == 0).
         let mut deltas = Deltas::new();
-        let victims: Vec<i64> =
-            (0..700i64).filter(|s| (s * 13 + 7) % 60 == 0).collect();
+        let victims: Vec<i64> = (0..700i64).filter(|s| (s * 13 + 7) % 60 == 0).collect();
         assert!(!victims.is_empty());
         for s in &victims {
             deltas.delete(&db, "log", &vec![Value::Int(*s), Value::Null]).unwrap();
@@ -340,10 +330,8 @@ mod tests {
     #[test]
     fn min_max_insert_only_uses_change_table_but_deletes_force_recompute() {
         let db = db();
-        let def = Plan::scan("video").aggregate(
-            &["ownerId"],
-            vec![AggSpec::new("maxDur", AggFunc::Max, col("duration"))],
-        );
+        let def = Plan::scan("video")
+            .aggregate(&["ownerId"], vec![AggSpec::new("maxDur", AggFunc::Max, col("duration"))]);
         let mut view = MaterializedView::create("v", def.clone(), &db).unwrap();
         let mut ins_only = Deltas::new();
         ins_only

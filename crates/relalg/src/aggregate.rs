@@ -188,9 +188,9 @@ pub fn run_aggregate(
     let mut groups: HashMap<KeyTuple, Vec<Acc>> = HashMap::new();
     for row in input.rows() {
         let key = KeyTuple::of(row, group_idx);
-        let accs = groups.entry(key).or_insert_with(|| {
-            aggs.iter().map(|(f, t, _)| Acc::new(*f, *t)).collect()
-        });
+        let accs = groups
+            .entry(key)
+            .or_insert_with(|| aggs.iter().map(|(f, t, _)| Acc::new(*f, *t)).collect());
         for (acc, (_, _, expr)) in accs.iter_mut().zip(aggs) {
             acc.update(expr.eval(row));
         }
@@ -245,14 +245,7 @@ mod tests {
         ])
         .unwrap();
         let mut t = Table::new(schema, &["id"]).unwrap();
-        let data = [
-            (1, 10.0),
-            (1, 20.0),
-            (2, 5.0),
-            (2, 7.0),
-            (2, 9.0),
-            (3, -1.0),
-        ];
+        let data = [(1, 10.0), (1, 20.0), (2, 5.0), (2, 7.0), (2, 9.0), (3, -1.0)];
         for (i, (g, x)) in data.iter().enumerate() {
             t.insert(vec![Value::Int(*g), Value::Float(*x), Value::Int(i as i64)]).unwrap();
         }
@@ -310,15 +303,12 @@ mod tests {
 
     #[test]
     fn count_skips_nulls_but_count_all_does_not() {
-        let schema =
-            Schema::from_pairs(&[("id", DataType::Int), ("x", DataType::Float)]).unwrap();
+        let schema = Schema::from_pairs(&[("id", DataType::Int), ("x", DataType::Float)]).unwrap();
         let mut t = Table::new(schema, &["id"]).unwrap();
         t.insert(vec![Value::Int(0), Value::Float(1.0)]).unwrap();
         t.insert(vec![Value::Int(1), Value::Null]).unwrap();
-        let specs = vec![
-            AggSpec::count_all("all"),
-            AggSpec::new("nonnull", AggFunc::Count, col("x")),
-        ];
+        let specs =
+            vec![AggSpec::count_all("all"), AggSpec::new("nonnull", AggFunc::Count, col("x"))];
         let input_d = Derived { schema: t.schema().clone(), key: t.key().to_vec() };
         let out_d = derive_aggregate(&input_d, &[], &specs).unwrap();
         let aggs = bind_aggs(&specs, t.schema()).unwrap();

@@ -16,7 +16,7 @@
 //!   the left key when the intersection is empty, which is still unique
 //!   because the result is a subset of the left input); −: the left key.
 
-use svc_storage::{Database, DataType, Field, Result, Schema, StorageError};
+use svc_storage::{DataType, Database, Field, Result, Schema, StorageError};
 
 use crate::aggregate::AggSpec;
 use crate::plan::{JoinKind, Plan};
@@ -44,21 +44,24 @@ pub trait LeafProvider {
     fn leaf(&self, name: &str) -> Option<Derived>;
 }
 
+impl<T: LeafProvider + ?Sized> LeafProvider for &T {
+    fn leaf(&self, name: &str) -> Option<Derived> {
+        (**self).leaf(name)
+    }
+}
+
 impl LeafProvider for Database {
     fn leaf(&self, name: &str) -> Option<Derived> {
-        self.table(name).ok().map(|t| Derived {
-            schema: t.schema().clone(),
-            key: t.key().to_vec(),
-        })
+        self.table(name).ok().map(|t| Derived { schema: t.schema().clone(), key: t.key().to_vec() })
     }
 }
 
 /// Derive schema and key for a whole plan.
-pub fn derive(plan: &Plan, leaves: &impl LeafProvider) -> Result<Derived> {
+pub fn derive(plan: &Plan, leaves: &(impl LeafProvider + ?Sized)) -> Result<Derived> {
     match plan {
-        Plan::Scan { table } => leaves
-            .leaf(table)
-            .ok_or_else(|| StorageError::UnknownTable(table.clone())),
+        Plan::Scan { table } => {
+            leaves.leaf(table).ok_or_else(|| StorageError::UnknownTable(table.clone()))
+        }
         Plan::Select { input, predicate } => {
             let d = derive(input, leaves)?;
             derive_select(&d, predicate)
@@ -117,9 +120,7 @@ pub fn derive_project(input: &Derived, columns: &[(String, Expr)]) -> Result<Der
     let mut key = Vec::with_capacity(input.key.len());
     for &kidx in &input.key {
         let pos = columns.iter().position(|(_, e)| {
-            e.as_col()
-                .and_then(|name| input.schema.resolve(name).ok())
-                .is_some_and(|i| i == kidx)
+            e.as_col().and_then(|name| input.schema.resolve(name).ok()).is_some_and(|i| i == kidx)
         });
         match pos {
             Some(p) => key.push(p),
@@ -151,8 +152,7 @@ pub fn derive_join(
         let ri = right.schema.resolve(r)?;
         let lt = left.schema.field(li).dtype;
         let rt = right.schema.field(ri).dtype;
-        let numeric =
-            |t: DataType| matches!(t, DataType::Int | DataType::Float);
+        let numeric = |t: DataType| matches!(t, DataType::Int | DataType::Float);
         if lt != rt && !(numeric(lt) && numeric(rt)) {
             return Err(StorageError::TypeMismatch {
                 expected: lt,
@@ -197,11 +197,7 @@ pub fn derive_join(
 
 /// γ: schema = group columns followed by aggregate outputs; key = the group
 /// columns.
-pub fn derive_aggregate(
-    input: &Derived,
-    group_by: &[String],
-    aggs: &[AggSpec],
-) -> Result<Derived> {
+pub fn derive_aggregate(input: &Derived, group_by: &[String], aggs: &[AggSpec]) -> Result<Derived> {
     let mut fields = Vec::with_capacity(group_by.len() + aggs.len());
     for g in group_by {
         let i = input.schema.resolve(g)?;
@@ -216,7 +212,9 @@ pub fn derive_aggregate(
     Ok(Derived { schema, key: (0..group_by.len()).collect() })
 }
 
-/// Which set operation a [`derive_setop`] call is for.
+/// Which set operation a [`derive_setop`] call is for. Also used by the
+/// optimizer rules as the shared tag when destructuring and rebuilding
+/// set-operation nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SetOpKind {
     /// ∪
@@ -225,6 +223,18 @@ pub enum SetOpKind {
     Intersect,
     /// −
     Difference,
+}
+
+impl SetOpKind {
+    /// Rebuild the matching [`Plan`] node from two inputs.
+    pub fn rebuild(self, left: Plan, right: Plan) -> Plan {
+        let (left, right) = (Box::new(left), Box::new(right));
+        match self {
+            SetOpKind::Union => Plan::Union { left, right },
+            SetOpKind::Intersect => Plan::Intersect { left, right },
+            SetOpKind::Difference => Plan::Difference { left, right },
+        }
+    }
 }
 
 /// ∪ / ∩ / −: inputs must agree positionally on types; output takes the left
@@ -250,23 +260,14 @@ pub fn derive_setop(left: &Derived, right: &Derived, op: SetOpKind) -> Result<De
     }
     let key = match op {
         SetOpKind::Union => {
-            let mut k: Vec<usize> = left
-                .key
-                .iter()
-                .chain(right.key.iter())
-                .copied()
-                .collect();
+            let mut k: Vec<usize> = left.key.iter().chain(right.key.iter()).copied().collect();
             k.sort_unstable();
             k.dedup();
             k
         }
         SetOpKind::Intersect => {
-            let k: Vec<usize> = left
-                .key
-                .iter()
-                .copied()
-                .filter(|i| right.key.contains(i))
-                .collect();
+            let k: Vec<usize> =
+                left.key.iter().copied().filter(|i| right.key.contains(i)).collect();
             if k.is_empty() {
                 left.key.clone()
             } else {
@@ -281,9 +282,7 @@ pub fn derive_setop(left: &Derived, right: &Derived, op: SetOpKind) -> Result<De
 /// η: key columns must resolve; schema and key pass through.
 pub fn derive_hash(input: &Derived, key: &[String], ratio: f64) -> Result<Derived> {
     if !(0.0..=1.0).contains(&ratio) {
-        return Err(StorageError::Invalid(format!(
-            "sampling ratio {ratio} outside [0, 1]"
-        )));
+        return Err(StorageError::Invalid(format!("sampling ratio {ratio} outside [0, 1]")));
     }
     input.schema.resolve_all(key)?;
     Ok(input.clone())
@@ -292,7 +291,6 @@ pub fn derive_hash(input: &Derived, key: &[String], ratio: f64) -> Result<Derive
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::aggregate::AggFunc;
     use crate::scalar::{col, lit};
     use std::collections::HashMap;
 
@@ -336,21 +334,15 @@ mod tests {
     /// videoId — Figure 2's key-generation walkthrough.
     #[test]
     fn figure2_key_generation() {
-        let join = Plan::scan("log").join(
-            Plan::scan("video"),
-            JoinKind::Inner,
-            &[("videoId", "videoId")],
-        );
+        let join =
+            Plan::scan("log").join(Plan::scan("video"), JoinKind::Inner, &[("videoId", "videoId")]);
         let d = derive(&join, &leaves()).unwrap();
         // FK reduction: video is joined on its full key, so the join is
         // keyed by log's key (sessionId) alone. This refines the paper's
         // (videoId, sessionId) composite, which remains a superkey.
         assert_eq!(d.key_names(), vec!["sessionId"]);
 
-        let view = join.aggregate(
-            &["videoId"],
-            vec![AggSpec::count_all("visitCount")],
-        );
+        let view = join.aggregate(&["videoId"], vec![AggSpec::count_all("visitCount")]);
         let d = derive(&view, &leaves()).unwrap();
         assert_eq!(d.key_names(), vec!["videoId"]);
         assert_eq!(d.schema.names(), vec!["videoId", "visitCount"]);
@@ -369,21 +361,16 @@ mod tests {
 
     #[test]
     fn full_join_keeps_concatenated_key() {
-        let plan = Plan::scan("log").join(
-            Plan::scan("video"),
-            JoinKind::Full,
-            &[("videoId", "videoId")],
-        );
+        let plan =
+            Plan::scan("log").join(Plan::scan("video"), JoinKind::Full, &[("videoId", "videoId")]);
         let d = derive(&plan, &leaves()).unwrap();
         assert_eq!(d.key_names(), vec!["sessionId", "video.videoId"]);
     }
 
     #[test]
     fn projection_must_keep_key() {
-        let ok = Plan::scan("video").project(vec![
-            ("videoId", col("videoId")),
-            ("mins", col("duration").mul(lit(60.0))),
-        ]);
+        let ok = Plan::scan("video")
+            .project(vec![("videoId", col("videoId")), ("mins", col("duration").mul(lit(60.0)))]);
         let d = derive(&ok, &leaves()).unwrap();
         assert_eq!(d.key_names(), vec!["videoId"]);
 
@@ -393,9 +380,11 @@ mod tests {
 
     #[test]
     fn select_and_hash_pass_through() {
-        let plan = Plan::scan("video")
-            .select(col("duration").gt(lit(1.5)))
-            .hash(&["videoId"], 0.1, Default::default());
+        let plan = Plan::scan("video").select(col("duration").gt(lit(1.5))).hash(
+            &["videoId"],
+            0.1,
+            Default::default(),
+        );
         let d = derive(&plan, &leaves()).unwrap();
         assert_eq!(d.key_names(), vec!["videoId"]);
     }
@@ -408,11 +397,8 @@ mod tests {
 
     #[test]
     fn semi_and_anti_join_keep_left_type() {
-        let plan = Plan::scan("video").join(
-            Plan::scan("log"),
-            JoinKind::Anti,
-            &[("videoId", "videoId")],
-        );
+        let plan =
+            Plan::scan("video").join(Plan::scan("log"), JoinKind::Anti, &[("videoId", "videoId")]);
         let d = derive(&plan, &leaves()).unwrap();
         assert_eq!(d.schema.names(), vec!["videoId", "ownerId", "duration"]);
         assert_eq!(d.key_names(), vec!["videoId"]);
@@ -444,11 +430,8 @@ mod tests {
                 key: vec![0],
             },
         );
-        let plan = Plan::scan("log").join(
-            Plan::scan("tags"),
-            JoinKind::Inner,
-            &[("videoId", "tag")],
-        );
+        let plan =
+            Plan::scan("log").join(Plan::scan("tags"), JoinKind::Inner, &[("videoId", "tag")]);
         assert!(derive(&plan, &m).is_err());
     }
 }

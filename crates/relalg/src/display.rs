@@ -15,8 +15,7 @@ impl Plan {
                 input.fmt_node(f, indent + 1)
             }
             Plan::Project { input, columns } => {
-                let cols: Vec<String> =
-                    columns.iter().map(|(a, e)| format!("{a}={e}")).collect();
+                let cols: Vec<String> = columns.iter().map(|(a, e)| format!("{a}={e}")).collect();
                 writeln!(f, "{pad}Project Π[{}]", cols.join(", "))?;
                 input.fmt_node(f, indent + 1)
             }
@@ -29,8 +28,7 @@ impl Plan {
                     JoinKind::Semi => "⋉",
                     JoinKind::Anti => "▷",
                 };
-                let conds: Vec<String> =
-                    on.iter().map(|(l, r)| format!("{l}={r}")).collect();
+                let conds: Vec<String> = on.iter().map(|(l, r)| format!("{l}={r}")).collect();
                 writeln!(f, "{pad}Join {k} [{}]", conds.join(" AND "))?;
                 left.fmt_node(f, indent + 1)?;
                 right.fmt_node(f, indent + 1)
@@ -40,12 +38,7 @@ impl Plan {
                     .iter()
                     .map(|a| format!("{}={:?}({})", a.alias, a.func, a.arg))
                     .collect();
-                writeln!(
-                    f,
-                    "{pad}Aggregate γ[by {}; {}]",
-                    group_by.join(","),
-                    aggs.join(", ")
-                )?;
+                writeln!(f, "{pad}Aggregate γ[by {}; {}]", group_by.join(","), aggs.join(", "))?;
                 input.fmt_node(f, indent + 1)
             }
             Plan::Union { left, right } => {

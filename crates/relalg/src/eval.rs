@@ -8,7 +8,7 @@
 
 use std::collections::HashMap;
 
-use svc_storage::{Database, KeyTuple, Result, StorageError, Table};
+use svc_storage::{Database, Result, StorageError, Table};
 
 use crate::aggregate::bind_aggs;
 use crate::aggregate::run_aggregate;
@@ -49,19 +49,13 @@ impl<'a> Bindings<'a> {
 
     /// Look up a leaf.
     pub fn table(&self, name: &str) -> Result<&'a Table> {
-        self.tables
-            .get(name)
-            .copied()
-            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+        self.tables.get(name).copied().ok_or_else(|| StorageError::UnknownTable(name.to_string()))
     }
 }
 
 impl LeafProvider for Bindings<'_> {
     fn leaf(&self, name: &str) -> Option<Derived> {
-        self.tables.get(name).map(|t| Derived {
-            schema: t.schema().clone(),
-            key: t.key().to_vec(),
-        })
+        self.tables.get(name).map(|t| Derived { schema: t.schema().clone(), key: t.key().to_vec() })
     }
 }
 
@@ -70,6 +64,10 @@ fn derived_of(t: &Table) -> Derived {
 }
 
 /// Evaluate a plan against bindings, producing a keyed table.
+///
+/// Callers that want the plan optimized should run it through
+/// [`crate::optimizer::optimize`] first — evaluation itself never rewrites,
+/// so the higher layers control that each plan is optimized exactly once.
 pub fn evaluate(plan: &Plan, bindings: &Bindings<'_>) -> Result<Table> {
     match plan {
         Plan::Scan { table } => Ok(bindings.table(table)?.clone()),
@@ -77,21 +75,19 @@ pub fn evaluate(plan: &Plan, bindings: &Bindings<'_>) -> Result<Table> {
             let child = evaluate(input, bindings)?;
             let out = derive_select(&derived_of(&child), predicate)?;
             let pred = predicate.bind(child.schema())?;
-            let rows = child.rows().iter().filter(|r| pred.matches(r)).cloned().collect();
-            Table::from_rows(out.schema, out.key, rows)
+            // Filtering a keyed table keeps keys unique; move the surviving
+            // rows instead of cloning them.
+            let mut rows = child.into_rows();
+            rows.retain(|r| pred.matches(r));
+            Table::from_unique_rows(out.schema, out.key, rows)
         }
         Plan::Project { input, columns } => {
             let child = evaluate(input, bindings)?;
             let out = derive_project(&derived_of(&child), columns)?;
-            let bound: Vec<_> = columns
-                .iter()
-                .map(|(_, e)| e.bind(child.schema()))
-                .collect::<Result<_>>()?;
-            let rows = child
-                .rows()
-                .iter()
-                .map(|r| bound.iter().map(|e| e.eval(r)).collect())
-                .collect();
+            let bound: Vec<_> =
+                columns.iter().map(|(_, e)| e.bind(child.schema())).collect::<Result<_>>()?;
+            let rows =
+                child.rows().iter().map(|r| bound.iter().map(|e| e.eval(r)).collect()).collect();
             Table::from_rows(out.schema, out.key, rows)
         }
         Plan::Join { left, right, kind, on } => {
@@ -99,7 +95,7 @@ pub fn evaluate(plan: &Plan, bindings: &Bindings<'_>) -> Result<Table> {
             let r = evaluate(right, bindings)?;
             let (out, on_idx) =
                 derive_join(&derived_of(&l), &derived_of(&r), *kind, on, right.name_hint())?;
-            run_join(&l, &r, *kind, &on_idx, &out)
+            run_join(l, &r, *kind, &on_idx, &out)
         }
         Plan::Aggregate { input, group_by, aggregates } => {
             let child = evaluate(input, bindings)?;
@@ -112,34 +108,29 @@ pub fn evaluate(plan: &Plan, bindings: &Bindings<'_>) -> Result<Table> {
             let l = evaluate(left, bindings)?;
             let r = evaluate(right, bindings)?;
             let out = derive_setop(&derived_of(&l), &derived_of(&r), SetOpKind::Union)?;
-            run_union(&l, &r, &out)
+            run_union(l, r, &out)
         }
         Plan::Intersect { left, right } => {
             let l = evaluate(left, bindings)?;
             let r = evaluate(right, bindings)?;
             let out = derive_setop(&derived_of(&l), &derived_of(&r), SetOpKind::Intersect)?;
-            run_intersect(&l, &r, &out)
+            run_intersect(l, &r, &out)
         }
         Plan::Difference { left, right } => {
             let l = evaluate(left, bindings)?;
             let r = evaluate(right, bindings)?;
             let out = derive_setop(&derived_of(&l), &derived_of(&r), SetOpKind::Difference)?;
-            run_difference(&l, &r, &out)
+            run_difference(l, &r, &out)
         }
         Plan::Hash { input, key, ratio, spec } => {
             let child = evaluate(input, bindings)?;
             let out = derive_hash(&derived_of(&child), key, *ratio)?;
             let key_idx = child.schema().resolve_all(key)?;
-            let rows = child
-                .rows()
-                .iter()
-                .filter(|r| {
-                    let kt = KeyTuple::of(r, &key_idx);
-                    spec.selects(&kt.0, *ratio)
-                })
-                .cloned()
-                .collect();
-            Table::from_rows(out.schema, out.key, rows)
+            // Hash the key columns in place (no KeyTuple allocation) and
+            // move the selected rows through.
+            let mut rows = child.into_rows();
+            rows.retain(|r| spec.selects_row(r, &key_idx, *ratio));
+            Table::from_unique_rows(out.schema, out.key, rows)
         }
     }
 }
@@ -168,11 +159,7 @@ mod tests {
         .unwrap();
         for v in 0..20i64 {
             video
-                .insert(vec![
-                    Value::Int(v),
-                    Value::Int(v % 5),
-                    Value::Float(0.5 + v as f64 * 0.1),
-                ])
+                .insert(vec![Value::Int(v), Value::Int(v % 5), Value::Float(0.5 + v as f64 * 0.1)])
                 .unwrap();
         }
         let mut log = Table::new(
@@ -243,12 +230,8 @@ mod tests {
         let t = evaluate(&plan, &b).unwrap();
         assert!(t.len() < 20 && !t.is_empty(), "sampled {} of 20", t.len());
         // Idempotence: hashing the sample again with the same spec keeps it.
-        let again = Plan::Hash {
-            input: Box::new(plan),
-            key: vec!["videoId".into()],
-            ratio: 0.5,
-            spec,
-        };
+        let again =
+            Plan::Hash { input: Box::new(plan), key: vec!["videoId".into()], ratio: 0.5, spec };
         let t2 = evaluate(&again, &b).unwrap();
         assert!(t2.same_contents(&t));
     }

@@ -17,11 +17,13 @@ fn join_key(row: &Row, cols: &[usize]) -> Option<KeyTuple> {
     Some(KeyTuple::of(row, cols))
 }
 
-/// Execute an equi-join. `on_idx` holds resolved `(left, right)` column
-/// positions; `out` is the derived output type from
+/// Execute an equi-join. The left input is consumed so its rows can be
+/// *moved* into the output (the evaluator materializes every node, so the
+/// left table is always an owned intermediate); `on_idx` holds resolved
+/// `(left, right)` column positions; `out` is the derived output type from
 /// [`crate::derive::derive_join`].
 pub fn run_join(
-    left: &Table,
+    left: Table,
     right: &Table,
     kind: JoinKind,
     on_idx: &[(usize, usize)],
@@ -56,22 +58,25 @@ pub fn run_join(
     let pad_right = right.schema().len();
     let pad_left = left.schema().len();
 
-    for lrow in left.rows() {
-        let matches = join_key(lrow, &left_cols).and_then(|k| build.get(&k));
+    for lrow in left.into_rows() {
+        let matches = join_key(&lrow, &left_cols).and_then(|k| build.get(&k));
         match kind {
             JoinKind::Semi => {
                 if matches.is_some_and(|m| !m.is_empty()) {
-                    rows.push(lrow.clone());
+                    rows.push(lrow);
                 }
             }
             JoinKind::Anti => {
                 if matches.is_none_or(|m| m.is_empty()) {
-                    rows.push(lrow.clone());
+                    rows.push(lrow);
                 }
             }
             _ => match matches {
                 Some(idxs) => {
-                    for &ri in idxs {
+                    // Clone the left row for all matches but the last, which
+                    // takes ownership.
+                    let (last, rest) = idxs.split_last().expect("build entries are non-empty");
+                    for &ri in rest {
                         if matches!(kind, JoinKind::Full | JoinKind::Right) {
                             right_matched[ri] = true;
                         }
@@ -79,10 +84,16 @@ pub fn run_join(
                         row.extend_from_slice(&right.rows()[ri]);
                         rows.push(row);
                     }
+                    if matches!(kind, JoinKind::Full | JoinKind::Right) {
+                        right_matched[*last] = true;
+                    }
+                    let mut row = lrow;
+                    row.extend_from_slice(&right.rows()[*last]);
+                    rows.push(row);
                 }
                 None => {
                     if matches!(kind, JoinKind::Left | JoinKind::Full) {
-                        let mut row = lrow.clone();
+                        let mut row = lrow;
                         row.extend(std::iter::repeat_n(Value::Null, pad_right));
                         rows.push(row);
                     }
@@ -109,9 +120,9 @@ pub fn run_join(
 }
 
 /// PK-probe variant: each left row looks up at most one right partner via
-/// the right table's primary-key index.
+/// the right table's primary-key index. Left rows are moved, never cloned.
 fn run_join_pk_probe(
-    left: &Table,
+    left: Table,
     right: &Table,
     kind: JoinKind,
     left_cols: &[usize],
@@ -119,38 +130,34 @@ fn run_join_pk_probe(
 ) -> Result<Table> {
     let pad_right = right.schema().len();
     let mut rows: Vec<svc_storage::Row> = Vec::new();
-    for lrow in left.rows() {
-        let partner = join_key(lrow, left_cols).and_then(|k| right.get(&k));
+    for lrow in left.into_rows() {
+        let partner = join_key(&lrow, left_cols).and_then(|k| right.get(&k));
         match kind {
             JoinKind::Semi => {
                 if partner.is_some() {
-                    rows.push(lrow.clone());
+                    rows.push(lrow);
                 }
             }
             JoinKind::Anti => {
                 if partner.is_none() {
-                    rows.push(lrow.clone());
+                    rows.push(lrow);
                 }
             }
             JoinKind::Inner => {
                 if let Some(r) = partner {
-                    let mut row = lrow.clone();
+                    let mut row = lrow;
                     row.extend_from_slice(r);
                     rows.push(row);
                 }
             }
-            JoinKind::Left => match partner {
-                Some(r) => {
-                    let mut row = lrow.clone();
-                    row.extend_from_slice(r);
-                    rows.push(row);
+            JoinKind::Left => {
+                let mut row = lrow;
+                match partner {
+                    Some(r) => row.extend_from_slice(r),
+                    None => row.extend(std::iter::repeat_n(Value::Null, pad_right)),
                 }
-                None => {
-                    let mut row = lrow.clone();
-                    row.extend(std::iter::repeat_n(Value::Null, pad_right));
-                    rows.push(row);
-                }
-            },
+                rows.push(row);
+            }
             JoinKind::Right | JoinKind::Full => unreachable!("generic path handles outer joins"),
         }
     }
@@ -176,8 +183,7 @@ mod tests {
 
     fn right() -> Table {
         let schema =
-            Schema::from_pairs(&[("videoId", DataType::Int), ("ownerId", DataType::Int)])
-                .unwrap();
+            Schema::from_pairs(&[("videoId", DataType::Int), ("ownerId", DataType::Int)]).unwrap();
         let mut t = Table::new(schema, &["videoId"]).unwrap();
         for (v, o) in [(10, 100), (20, 200), (30, 300)] {
             t.insert(vec![Value::Int(v), Value::Int(o)]).unwrap();
@@ -192,7 +198,7 @@ mod tests {
         let rd = Derived { schema: r.schema().clone(), key: r.key().to_vec() };
         let on = vec![("videoId".to_string(), "videoId".to_string())];
         let (out, on_idx) = derive_join(&ld, &rd, kind, &on, "video").unwrap();
-        run_join(&l, &r, kind, &on_idx, &out).unwrap()
+        run_join(l, &r, kind, &on_idx, &out).unwrap()
     }
 
     #[test]
@@ -205,8 +211,7 @@ mod tests {
     fn left_join_pads_unmatched() {
         let t = run(JoinKind::Left);
         assert_eq!(t.len(), 4);
-        let unmatched: Vec<_> =
-            t.rows().iter().filter(|r| r[2].is_null()).collect();
+        let unmatched: Vec<_> = t.rows().iter().filter(|r| r[2].is_null()).collect();
         assert_eq!(unmatched.len(), 1);
         assert_eq!(unmatched[0][0], Value::Int(4));
     }
@@ -240,10 +245,10 @@ mod tests {
         let rd = Derived { schema: r.schema().clone(), key: r.key().to_vec() };
         let on = vec![("videoId".to_string(), "videoId".to_string())];
         let (out, on_idx) = derive_join(&ld, &rd, JoinKind::Inner, &on, "video").unwrap();
-        let t = run_join(&l, &r, JoinKind::Inner, &on_idx, &out).unwrap();
+        let t = run_join(l.clone(), &r, JoinKind::Inner, &on_idx, &out).unwrap();
         assert_eq!(t.len(), 3);
         let (out, on_idx) = derive_join(&ld, &rd, JoinKind::Anti, &on, "video").unwrap();
-        let t = run_join(&l, &r, JoinKind::Anti, &on_idx, &out).unwrap();
+        let t = run_join(l, &r, JoinKind::Anti, &on_idx, &out).unwrap();
         // NULL-keyed row is kept by anti-join (NOT EXISTS semantics).
         assert_eq!(t.len(), 2);
     }

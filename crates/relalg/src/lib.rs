@@ -15,15 +15,21 @@
 //! * [`eval`] — a straightforward hash-based evaluator producing
 //!   [`svc_storage::Table`]s from plans bound to concrete relations.
 //!
+//! * [`optimizer`] — the rule-driven rewrite engine (predicate pushdown,
+//!   projection pruning, and the Definition 3 η push-down) every evaluated
+//!   plan goes through.
+//!
 //! The η operator lives here (not in `svc-sampling`) because the evaluator
-//! must execute it; the *push-down rewrite* of Definition 3 lives in
-//! `svc-sampling`.
+//! must execute it; the *push-down rewrite* of Definition 3 is the
+//! [`optimizer::eta`] rule, re-exported through `svc-sampling` for the
+//! legacy `push_down` API.
 
 pub mod aggregate;
 pub mod derive;
 pub mod display;
 pub mod eval;
 pub mod join;
+pub mod optimizer;
 pub mod plan;
 pub mod scalar;
 pub mod setops;
@@ -31,5 +37,6 @@ pub mod setops;
 pub use aggregate::{AggFunc, AggSpec};
 pub use derive::{derive, Derived, LeafProvider};
 pub use eval::{evaluate, Bindings};
+pub use optimizer::{optimize, EtaReport, OptimizeReport, Optimizer};
 pub use plan::{JoinKind, Plan};
 pub use scalar::{col, lit, BinOp, BoundExpr, Expr, Func};

@@ -1,0 +1,381 @@
+//! η hash-sampling pushdown as an optimizer rule — the Definition 3
+//! rewrite of the paper, with the Section 4.3/4.4 legality conditions.
+//!
+//! `η_{a,m}` is semantically a selection on a deterministic predicate of the
+//! key columns `a`, so it commutes with σ, ∪, ∩, −, with Π when the key
+//! survives as bare columns, and with γ when the key is part of the group-by
+//! clause. Joins block push-down in general; the two special cases of
+//! Section 4.4 are implemented:
+//!
+//! * **Equality join**: if every hash-key column is part of the equality
+//!   condition, matched rows carry equal values on both sides, so the same
+//!   hash decision can be enforced on both inputs (`Inner` joins; also the
+//!   internal `Semi`/`Anti` joins used by maintenance plans).
+//! * **Foreign-key join**: if the hash key lives entirely on one side, the
+//!   filter commutes to that side (`Inner`/`Left` for the left side,
+//!   `Inner`/`Right` for the right side). The classic FK pattern — fact
+//!   table sampled on its key while the dimension is joined on its whole
+//!   primary key — is an instance of this rule.
+//!
+//! Every spot where the rewrite must stop is recorded as a *blocker*; nested
+//! group-by aggregates (NP-hard in general, Appendix 12.4) and
+//! key-transforming projections (the paper's V21/V22) surface here.
+//!
+//! Theorem 1 — the rewritten plan materializes the *identical* sample — is
+//! exercised by this module's callers: `svc_sampling::pushdown` (a thin
+//! wrapper kept for the legacy API) and the workspace-level property tests.
+
+use svc_storage::{HashSpec, Result};
+
+use crate::derive::{derive, LeafProvider, SetOpKind};
+use crate::plan::{JoinKind, Plan};
+
+/// What the η rule did: how far hashes moved and where they stopped.
+#[derive(Debug, Clone, Default)]
+pub struct EtaReport {
+    /// Number of operators the hash was pushed through.
+    pub descended: usize,
+    /// Human-readable reasons the push stopped somewhere above a leaf.
+    pub blockers: Vec<String>,
+    /// Leaf relations that ended up with a hash directly above them; only
+    /// these are eligible carriers for outlier indexes (Section 6.2).
+    pub sampled_leaves: Vec<String>,
+}
+
+impl EtaReport {
+    /// True iff every hash reached the leaves unimpeded.
+    pub fn fully_pushed(&self) -> bool {
+        self.blockers.is_empty()
+    }
+}
+
+/// Rewrite `plan`, pushing every η node as deep as Definition 3 allows.
+pub fn pushdown(plan: Plan, leaves: &dyn LeafProvider, report: &mut EtaReport) -> Result<Plan> {
+    rewrite(plan, leaves, report)
+}
+
+fn rewrite(plan: Plan, leaves: &dyn LeafProvider, report: &mut EtaReport) -> Result<Plan> {
+    Ok(match plan {
+        Plan::Hash { input, key, ratio, spec } => {
+            let inner = rewrite(*input, leaves, report)?;
+            push(key, ratio, spec, inner, leaves, report)?
+        }
+        Plan::Scan { .. } => plan,
+        Plan::Select { input, predicate } => {
+            Plan::Select { input: Box::new(rewrite(*input, leaves, report)?), predicate }
+        }
+        Plan::Project { input, columns } => {
+            Plan::Project { input: Box::new(rewrite(*input, leaves, report)?), columns }
+        }
+        Plan::Join { left, right, kind, on } => Plan::Join {
+            left: Box::new(rewrite(*left, leaves, report)?),
+            right: Box::new(rewrite(*right, leaves, report)?),
+            kind,
+            on,
+        },
+        Plan::Aggregate { input, group_by, aggregates } => Plan::Aggregate {
+            input: Box::new(rewrite(*input, leaves, report)?),
+            group_by,
+            aggregates,
+        },
+        Plan::Union { left, right } => Plan::Union {
+            left: Box::new(rewrite(*left, leaves, report)?),
+            right: Box::new(rewrite(*right, leaves, report)?),
+        },
+        Plan::Intersect { left, right } => Plan::Intersect {
+            left: Box::new(rewrite(*left, leaves, report)?),
+            right: Box::new(rewrite(*right, leaves, report)?),
+        },
+        Plan::Difference { left, right } => Plan::Difference {
+            left: Box::new(rewrite(*left, leaves, report)?),
+            right: Box::new(rewrite(*right, leaves, report)?),
+        },
+    })
+}
+
+/// Push one hash (with `key`/`ratio`/`spec`) into `input`, which has already
+/// been rewritten.
+fn push(
+    key: Vec<String>,
+    ratio: f64,
+    spec: HashSpec,
+    input: Plan,
+    leaves: &dyn LeafProvider,
+    report: &mut EtaReport,
+) -> Result<Plan> {
+    match input {
+        Plan::Scan { ref table } => {
+            report.sampled_leaves.push(table.clone());
+            Ok(Plan::Hash { input: Box::new(input), key, ratio, spec })
+        }
+        Plan::Select { input: inner, predicate } => {
+            report.descended += 1;
+            Ok(Plan::Select {
+                input: Box::new(push(key, ratio, spec, *inner, leaves, report)?),
+                predicate,
+            })
+        }
+        Plan::Hash { .. } => {
+            // η commutes with η, but "pushing through" an adjacent hash
+            // only swaps the two filters — and would swap them back on the
+            // next sweep, so the engine would never reach a fixed point.
+            // The inner hash has already been pushed as deep as legality
+            // allows (this function rewrites bottom-up), so the outer one
+            // rests directly above it.
+            Ok(Plan::Hash { input: Box::new(input), key, ratio, spec })
+        }
+        Plan::Project { input: inner, columns } => {
+            // Each key column must be a bare column reference in the
+            // projection; map output names back to input names.
+            let out_schema =
+                derive(&Plan::Project { input: inner.clone(), columns: columns.clone() }, leaves)?
+                    .schema;
+            let mut mapped = Vec::with_capacity(key.len());
+            let mut ok = true;
+            for k in &key {
+                match out_schema.resolve(k).ok().and_then(|p| columns[p].1.as_col()) {
+                    Some(src) => mapped.push(src.to_string()),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                report.descended += 1;
+                Ok(Plan::Project {
+                    input: Box::new(push(mapped, ratio, spec, *inner, leaves, report)?),
+                    columns,
+                })
+            } else {
+                report.blockers.push(format!(
+                    "projection transforms hash key ({}); η stays above Π",
+                    key.join(",")
+                ));
+                Ok(Plan::Hash {
+                    input: Box::new(Plan::Project { input: inner, columns }),
+                    key,
+                    ratio,
+                    spec,
+                })
+            }
+        }
+        Plan::Aggregate { input: inner, group_by, aggregates } => {
+            let out_schema = derive(
+                &Plan::Aggregate {
+                    input: inner.clone(),
+                    group_by: group_by.clone(),
+                    aggregates: aggregates.clone(),
+                },
+                leaves,
+            )?
+            .schema;
+            let mut mapped = Vec::with_capacity(key.len());
+            let mut ok = true;
+            for k in &key {
+                match out_schema.resolve(k).ok().filter(|&p| p < group_by.len()) {
+                    Some(p) => mapped.push(group_by[p].clone()),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                report.descended += 1;
+                Ok(Plan::Aggregate {
+                    input: Box::new(push(mapped, ratio, spec, *inner, leaves, report)?),
+                    group_by,
+                    aggregates,
+                })
+            } else {
+                report.blockers.push(format!(
+                    "hash key ({}) is not contained in the group-by clause ({}); η stays \
+                     above γ (nested-aggregate blocker, Appendix 12.4)",
+                    key.join(","),
+                    group_by.join(",")
+                ));
+                Ok(Plan::Hash {
+                    input: Box::new(Plan::Aggregate { input: inner, group_by, aggregates }),
+                    key,
+                    ratio,
+                    spec,
+                })
+            }
+        }
+        Plan::Join { left, right, kind, on } => {
+            push_join(key, ratio, spec, *left, *right, kind, on, leaves, report)
+        }
+        Plan::Union { left, right } => {
+            push_setop(key, ratio, spec, *left, *right, SetOpKind::Union, leaves, report)
+        }
+        Plan::Intersect { left, right } => {
+            push_setop(key, ratio, spec, *left, *right, SetOpKind::Intersect, leaves, report)
+        }
+        Plan::Difference { left, right } => {
+            push_setop(key, ratio, spec, *left, *right, SetOpKind::Difference, leaves, report)
+        }
+    }
+}
+
+/// ∪/∩/− are positional: map key names through the left schema's positions
+/// onto the right schema's names and push into both branches.
+#[allow(clippy::too_many_arguments)]
+fn push_setop(
+    key: Vec<String>,
+    ratio: f64,
+    spec: HashSpec,
+    left: Plan,
+    right: Plan,
+    op: SetOpKind,
+    leaves: &dyn LeafProvider,
+    report: &mut EtaReport,
+) -> Result<Plan> {
+    let l_schema = derive(&left, leaves)?.schema;
+    let r_schema = derive(&right, leaves)?.schema;
+    let mut right_key = Vec::with_capacity(key.len());
+    for k in &key {
+        let p = l_schema.resolve(k)?;
+        right_key.push(r_schema.field(p).name.clone());
+    }
+    report.descended += 1;
+    let l = push(key, ratio, spec, left, leaves, report)?;
+    let r = push(right_key, ratio, spec, right, leaves, report)?;
+    Ok(op.rebuild(l, r))
+}
+
+#[allow(clippy::too_many_arguments)]
+fn push_join(
+    key: Vec<String>,
+    ratio: f64,
+    spec: HashSpec,
+    left: Plan,
+    right: Plan,
+    kind: JoinKind,
+    on: Vec<(String, String)>,
+    leaves: &dyn LeafProvider,
+    report: &mut EtaReport,
+) -> Result<Plan> {
+    let l_d = derive(&left, leaves)?;
+    let r_d = derive(&right, leaves)?;
+    let out_schema = derive(
+        &Plan::Join {
+            left: Box::new(left.clone()),
+            right: Box::new(right.clone()),
+            kind,
+            on: on.clone(),
+        },
+        leaves,
+    )?
+    .schema;
+
+    let l_arity = l_d.schema.len();
+    // Classify each key column: Some(Left(name)) / Some(Right(name)) by the
+    // side it lives on in the join output.
+    enum Side {
+        Left(String),
+        Right(String),
+    }
+    let mut sides = Vec::with_capacity(key.len());
+    for k in &key {
+        let p = out_schema.resolve(k)?;
+        // Semi/Anti joins expose only the left schema, so p is a left position.
+        if p < l_arity {
+            sides.push(Side::Left(l_d.schema.field(p).name.clone()));
+        } else {
+            sides.push(Side::Right(r_d.schema.field(p - l_arity).name.clone()));
+        }
+    }
+
+    let partner_right = |lname: &str| -> Option<String> {
+        let li = l_d.schema.resolve(lname).ok()?;
+        on.iter().find(|(l, _)| l_d.schema.resolve(l).ok() == Some(li)).map(|(_, r)| r.clone())
+    };
+    let partner_left = |rname: &str| -> Option<String> {
+        let ri = r_d.schema.resolve(rname).ok()?;
+        on.iter().find(|(_, r)| r_d.schema.resolve(r).ok() == Some(ri)).map(|(l, _)| l.clone())
+    };
+
+    // Case 1 — equality join: every key column participates in the join
+    // condition, so the hash can be enforced on both inputs.
+    let equality_eligible = matches!(kind, JoinKind::Inner | JoinKind::Semi | JoinKind::Anti);
+    if equality_eligible {
+        let mut lk = Vec::with_capacity(key.len());
+        let mut rk = Vec::with_capacity(key.len());
+        let mut all = true;
+        for side in &sides {
+            match side {
+                Side::Left(name) => match partner_right(name) {
+                    Some(r) => {
+                        lk.push(name.clone());
+                        rk.push(r);
+                    }
+                    None => {
+                        all = false;
+                        break;
+                    }
+                },
+                Side::Right(name) => match partner_left(name) {
+                    Some(l) => {
+                        lk.push(l);
+                        rk.push(name.clone());
+                    }
+                    None => {
+                        all = false;
+                        break;
+                    }
+                },
+            }
+        }
+        if all {
+            report.descended += 1;
+            let l = Box::new(push(lk, ratio, spec, left, leaves, report)?);
+            let r = Box::new(push(rk, ratio, spec, right, leaves, report)?);
+            return Ok(Plan::Join { left: l, right: r, kind, on });
+        }
+    }
+
+    // Case 2 — one-sided push (the FK-join case and its generalization):
+    // the filter commutes to the side holding all key columns, provided the
+    // join kind cannot fabricate NULLs for that side.
+    let all_left = sides.iter().all(|s| matches!(s, Side::Left(_)));
+    let all_right = sides.iter().all(|s| matches!(s, Side::Right(_)));
+    if all_left
+        && matches!(kind, JoinKind::Inner | JoinKind::Left | JoinKind::Semi | JoinKind::Anti)
+    {
+        let lk: Vec<String> = sides
+            .iter()
+            .map(|s| match s {
+                Side::Left(n) => n.clone(),
+                Side::Right(_) => unreachable!(),
+            })
+            .collect();
+        report.descended += 1;
+        let l = Box::new(push(lk, ratio, spec, left, leaves, report)?);
+        return Ok(Plan::Join { left: l, right: Box::new(right), kind, on });
+    }
+    if all_right && matches!(kind, JoinKind::Inner | JoinKind::Right) {
+        let rk: Vec<String> = sides
+            .iter()
+            .map(|s| match s {
+                Side::Right(n) => n.clone(),
+                Side::Left(_) => unreachable!(),
+            })
+            .collect();
+        report.descended += 1;
+        let r = Box::new(push(rk, ratio, spec, right, leaves, report)?);
+        return Ok(Plan::Join { left: Box::new(left), right: r, kind, on });
+    }
+
+    report.blockers.push(format!(
+        "join blocks η on key ({}): key spans both inputs and is not covered by the \
+         equality condition",
+        key.join(",")
+    ));
+    Ok(Plan::Hash {
+        input: Box::new(Plan::Join { left: Box::new(left), right: Box::new(right), kind, on }),
+        key,
+        ratio,
+        spec,
+    })
+}

@@ -1,0 +1,241 @@
+//! Rule-driven plan optimization.
+//!
+//! Every plan this system evaluates — view definitions, maintenance
+//! strategies from `svc-ivm`, and the η-wrapped cleaning expressions of
+//! `svc-core` — passes through one rewrite engine. The engine applies a
+//! fixed set of [`rules::Rule`]s repeatedly until a full sweep changes
+//! nothing (or [`Optimizer::max_passes`] is hit), in the style of Polars'
+//! `PredicatePushDown` / projection-pushdown optimizers and noir's
+//! `OptimizationRule`:
+//!
+//! * [`predicate`] — **predicate pushdown**: σ nodes dissolve into conjunct
+//!   sets that sink through Π (by substitution), joins (per side), γ (group
+//!   columns only), and set operations, recombining with `AND` where they
+//!   land;
+//! * [`projection`] — **projection pruning**: drops columns that no
+//!   ancestor needs below joins, aggregates, and set operations, always
+//!   preserving the primary-key columns that Definition 2 key derivation
+//!   ([`crate::derive`]) requires;
+//! * [`eta`] — **η hash-sampling pushdown**: the paper's Definition 3
+//!   rewrite (Section 4.3/4.4 legality conditions) expressed as a rule, so
+//!   that cleaning a sample touches only hash-selected rows.
+//!
+//! The legacy entry point `svc_sampling::push_down` is now a thin wrapper
+//! over the η rule of this engine.
+
+pub mod eta;
+pub mod predicate;
+pub mod projection;
+pub mod rules;
+
+use svc_storage::Result;
+
+use crate::derive::LeafProvider;
+use crate::plan::Plan;
+
+pub use eta::EtaReport;
+pub use rules::{EtaPushdown, PredicatePushdown, ProjectionPruning, Rule};
+
+/// What a full optimization run did.
+#[derive(Debug, Clone, Default)]
+pub struct OptimizeReport {
+    /// Number of full rule sweeps executed (including the final no-change
+    /// sweep that confirms the fixed point).
+    pub passes: usize,
+    /// Number of predicate conjuncts that crossed at least one operator.
+    pub predicates_pushed: usize,
+    /// Number of pruning projections inserted or narrowed.
+    pub projections_pruned: usize,
+    /// What the η push-down rule achieved (depth, blockers, sampled leaves).
+    pub eta: EtaReport,
+}
+
+/// A fixed-point rewrite engine over [`Plan`]s.
+pub struct Optimizer {
+    rules: Vec<Box<dyn Rule>>,
+    /// Safety cap on rule sweeps; the standard rule set reaches its fixed
+    /// point in two or three.
+    pub max_passes: usize,
+}
+
+impl Optimizer {
+    /// Engine with an explicit rule list.
+    pub fn with_rules(rules: Vec<Box<dyn Rule>>) -> Optimizer {
+        Optimizer { rules, max_passes: 8 }
+    }
+
+    /// The standard rule set: predicate pushdown, projection pruning, and
+    /// η pushdown, in that order.
+    pub fn standard() -> Optimizer {
+        Optimizer::with_rules(vec![
+            Box::new(PredicatePushdown),
+            Box::new(ProjectionPruning),
+            Box::new(EtaPushdown),
+        ])
+    }
+
+    /// Engine running only the η rule — the exact Definition 3 rewrite,
+    /// used by the `svc_sampling::push_down` compatibility wrapper.
+    pub fn eta_only() -> Optimizer {
+        Optimizer::with_rules(vec![Box::new(EtaPushdown)])
+    }
+
+    /// Rewrite `plan` to a fixed point of the rule set.
+    pub fn run(&self, plan: &Plan, leaves: &impl LeafProvider) -> Result<(Plan, OptimizeReport)> {
+        let leaves: &dyn LeafProvider = leaves;
+        let mut plan = plan.clone();
+        let mut report = OptimizeReport::default();
+        for _ in 0..self.max_passes {
+            report.passes += 1;
+            let mut changed = false;
+            for rule in &self.rules {
+                let (next, rule_changed) = rule.apply(plan, leaves, &mut report)?;
+                plan = next;
+                changed |= rule_changed;
+            }
+            if !changed {
+                break;
+            }
+        }
+        Ok((plan, report))
+    }
+}
+
+/// Optimize with the standard rule set. This is the single entry point the
+/// evaluation layers (`svc-ivm`, `svc-core`, `svc-cluster`) call, so that
+/// every evaluated plan is optimized exactly once.
+pub fn optimize(plan: &Plan, leaves: &impl LeafProvider) -> Result<(Plan, OptimizeReport)> {
+    Optimizer::standard().run(plan, leaves)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggSpec;
+    use crate::eval::{evaluate, Bindings};
+    use crate::plan::JoinKind;
+    use crate::scalar::{col, lit};
+    use svc_storage::{DataType, Database, HashSpec, Schema, Table, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut dim = Table::new(
+            Schema::from_pairs(&[
+                ("dimId", DataType::Int),
+                ("weight", DataType::Float),
+                ("label", DataType::Str),
+            ])
+            .unwrap(),
+            &["dimId"],
+        )
+        .unwrap();
+        for d in 0..40i64 {
+            dim.insert(vec![
+                Value::Int(d),
+                Value::Float((d % 7) as f64),
+                Value::str(format!("d{d}")),
+            ])
+            .unwrap();
+        }
+        let mut fact = Table::new(
+            Schema::from_pairs(&[
+                ("factId", DataType::Int),
+                ("dimId", DataType::Int),
+                ("x", DataType::Float),
+                ("y", DataType::Float),
+            ])
+            .unwrap(),
+            &["factId"],
+        )
+        .unwrap();
+        for f in 0..900i64 {
+            fact.insert(vec![
+                Value::Int(f),
+                Value::Int(f % 40),
+                Value::Float((f % 13) as f64),
+                Value::Float((f % 29) as f64),
+            ])
+            .unwrap();
+        }
+        db.create_table("dim", dim);
+        db.create_table("fact", fact);
+        db
+    }
+
+    fn check_equivalent(plan: Plan) -> OptimizeReport {
+        let db = db();
+        let b = Bindings::from_database(&db);
+        let expected = evaluate(&plan, &b).unwrap();
+        let (optimized, report) = optimize(&plan, &db).unwrap();
+        let got = evaluate(&optimized, &b).unwrap();
+        assert!(
+            got.same_contents(&expected),
+            "optimizer changed results: {} vs {} rows\nplan: {plan:?}\noptimized: {optimized:?}",
+            got.len(),
+            expected.len()
+        );
+        report
+    }
+
+    #[test]
+    fn fixed_point_terminates_and_preserves_results() {
+        let plan = Plan::scan("fact")
+            .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")])
+            .aggregate(
+                &["dimId"],
+                vec![
+                    AggSpec::count_all("n"),
+                    AggSpec::new("sx", crate::aggregate::AggFunc::Sum, col("x")),
+                ],
+            )
+            .select(col("n").gt(lit(5i64)))
+            .select(col("dimId").lt(lit(30i64)));
+        let report = check_equivalent(plan);
+        assert!(report.passes <= 4, "expected a quick fixed point, took {}", report.passes);
+        assert!(report.predicates_pushed > 0);
+    }
+
+    #[test]
+    fn combined_rules_compose_with_eta() {
+        let plan = Plan::scan("fact")
+            .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")])
+            .aggregate(&["dimId"], vec![AggSpec::count_all("n")])
+            .select(col("dimId").ge(lit(4i64)))
+            .hash(&["dimId"], 0.4, HashSpec::with_seed(3));
+        let report = check_equivalent(plan);
+        assert!(report.eta.fully_pushed(), "blockers: {:?}", report.eta.blockers);
+        let mut leaves = report.eta.sampled_leaves.clone();
+        leaves.sort();
+        assert_eq!(leaves, vec!["dim", "fact"]);
+    }
+
+    #[test]
+    fn stacked_hashes_reach_fixed_point() {
+        // Two adjacent η nodes must not ping-pong (swap positions every
+        // sweep until max_passes); the engine has to converge quickly.
+        let plan = Plan::scan("fact")
+            .select(col("x").gt(lit(1.0)))
+            .hash(&["factId"], 0.5, HashSpec::with_seed(1))
+            .hash(&["factId"], 0.7, HashSpec::with_seed(2));
+        let report = check_equivalent(plan);
+        assert!(
+            report.passes <= 3,
+            "stacked η should reach a fixed point, took {} passes",
+            report.passes
+        );
+    }
+
+    #[test]
+    fn report_counts_projection_pruning() {
+        // The aggregate needs only dimId and x; the join carries label/weight
+        // and y for nothing — pruning should trim them below the join.
+        let plan = Plan::scan("fact")
+            .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")])
+            .aggregate(
+                &["dimId"],
+                vec![AggSpec::new("sx", crate::aggregate::AggFunc::Sum, col("x"))],
+            );
+        let report = check_equivalent(plan);
+        assert!(report.projections_pruned > 0, "report: {report:?}");
+    }
+}

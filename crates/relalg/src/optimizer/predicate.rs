@@ -1,0 +1,398 @@
+//! Predicate pushdown, à la Polars' `PredicatePushDown`.
+//!
+//! σ nodes dissolve into sets of conjuncts that descend the tree and
+//! recombine with `AND` wherever they come to rest:
+//!
+//! * **Π** — always transparent: the conjunct is rewritten by substituting
+//!   each referenced output column with its defining expression (all scalar
+//!   expressions in this system are deterministic and row-local, so the
+//!   substitution is exact, NULL semantics included);
+//! * **⋈** — a conjunct referencing only one input moves to that input,
+//!   provided the join kind cannot fabricate NULL-padded rows for that side
+//!   (left for `Inner`/`Left`/`Semi`/`Anti`, right for `Inner`/`Right`);
+//!   `Full` joins and conjuncts spanning both inputs stay above;
+//! * **γ** — a conjunct referencing only group-by columns filters whole
+//!   groups and commutes below the aggregate; anything touching an
+//!   aggregate output is a HAVING clause and stays above;
+//! * **∪ / ∩ / −** — conjuncts are replicated into both inputs with the
+//!   positional column renaming of the set operation applied;
+//! * **η** — a stopping point by convention: η is itself a deterministic
+//!   filter, and adjacent filters are canonicalized with σ *above* η so this
+//!   rule and the η push-down rule cannot ping-pong a σ/η pair forever.
+//!
+//! Filtering earlier never changes the result set (filters are row-local
+//! and commute with each other), and only ever shrinks the keyed
+//! intermediates the evaluator materializes, so Definition 2 key
+//! uniqueness is preserved everywhere.
+
+use svc_storage::{Result, Schema};
+
+use crate::derive::{derive, LeafProvider, SetOpKind};
+use crate::plan::{JoinKind, Plan};
+use crate::scalar::{BinOp, Expr};
+
+/// Push every selection in `plan` as deep as legality allows. `moved`
+/// counts conjuncts that crossed at least one operator boundary.
+pub fn pushdown(plan: Plan, leaves: &dyn LeafProvider, moved: &mut usize) -> Result<Plan> {
+    push(plan, Vec::new(), leaves, moved)
+}
+
+/// Split a predicate into its top-level conjuncts. SQL `WHERE` keeps a row
+/// iff the predicate is exactly true, and `a AND b` is exactly true iff
+/// both conjuncts are, so σ_{a∧b} ≡ σ_a ∘ σ_b even under three-valued
+/// logic.
+fn split_conjuncts(e: Expr, out: &mut Vec<Expr>) {
+    match e {
+        Expr::Binary { op: BinOp::And, left, right } => {
+            split_conjuncts(*left, out);
+            split_conjuncts(*right, out);
+        }
+        other => out.push(other),
+    }
+}
+
+/// Recombine conjuncts (in collection order, so repeated passes rebuild an
+/// identical tree) and wrap `plan` in a single σ; identity when empty.
+fn wrap(plan: Plan, preds: Vec<Expr>) -> Plan {
+    match preds.into_iter().reduce(|a, b| a.and(b)) {
+        None => plan,
+        Some(predicate) => Plan::Select { input: Box::new(plan), predicate },
+    }
+}
+
+/// Replace every column reference with the projection expression defining
+/// it, moving the predicate below a generalized projection.
+fn substitute(e: &Expr, out_schema: &Schema, columns: &[(String, Expr)]) -> Result<Expr> {
+    Ok(match e {
+        Expr::Col(name) => columns[out_schema.resolve(name)?].1.clone(),
+        Expr::Lit(v) => Expr::Lit(v.clone()),
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(substitute(left, out_schema, columns)?),
+            right: Box::new(substitute(right, out_schema, columns)?),
+        },
+        Expr::Not(x) => Expr::Not(Box::new(substitute(x, out_schema, columns)?)),
+        Expr::IsNull(x) => Expr::IsNull(Box::new(substitute(x, out_schema, columns)?)),
+        Expr::Call { func, args } => Expr::Call {
+            func: *func,
+            args: args.iter().map(|a| substitute(a, out_schema, columns)).collect::<Result<_>>()?,
+        },
+    })
+}
+
+/// Rewrite every column reference through `rename`.
+fn rename_cols(e: &Expr, rename: &dyn Fn(&str) -> Result<String>) -> Result<Expr> {
+    Ok(match e {
+        Expr::Col(name) => Expr::Col(rename(name)?),
+        Expr::Lit(v) => Expr::Lit(v.clone()),
+        Expr::Binary { op, left, right } => Expr::Binary {
+            op: *op,
+            left: Box::new(rename_cols(left, rename)?),
+            right: Box::new(rename_cols(right, rename)?),
+        },
+        Expr::Not(x) => Expr::Not(Box::new(rename_cols(x, rename)?)),
+        Expr::IsNull(x) => Expr::IsNull(Box::new(rename_cols(x, rename)?)),
+        Expr::Call { func, args } => Expr::Call {
+            func: *func,
+            args: args.iter().map(|a| rename_cols(a, rename)).collect::<Result<_>>()?,
+        },
+    })
+}
+
+/// Core recursion: `preds` are conjuncts filtering this node's output,
+/// with names resolvable against this node's output schema.
+fn push(
+    plan: Plan,
+    mut preds: Vec<Expr>,
+    leaves: &dyn LeafProvider,
+    moved: &mut usize,
+) -> Result<Plan> {
+    match plan {
+        Plan::Select { input, predicate } => {
+            split_conjuncts(predicate, &mut preds);
+            push(*input, preds, leaves, moved)
+        }
+        Plan::Scan { .. } => Ok(wrap(plan, preds)),
+        Plan::Hash { input, key, ratio, spec } => {
+            // Canonical order σ(η(..)): η evaluates first (and is usually
+            // already at a leaf), the σ filters the smaller sample above.
+            let inner = push(*input, Vec::new(), leaves, moved)?;
+            Ok(wrap(Plan::Hash { input: Box::new(inner), key, ratio, spec }, preds))
+        }
+        Plan::Project { input, columns } => {
+            if preds.is_empty() {
+                let inner = push(*input, Vec::new(), leaves, moved)?;
+                return Ok(Plan::Project { input: Box::new(inner), columns });
+            }
+            let out_schema =
+                derive(&Plan::Project { input: input.clone(), columns: columns.clone() }, leaves)?
+                    .schema;
+            let lowered = preds
+                .into_iter()
+                .map(|p| substitute(&p, &out_schema, &columns))
+                .collect::<Result<Vec<_>>>()?;
+            *moved += lowered.len();
+            let inner = push(*input, lowered, leaves, moved)?;
+            Ok(Plan::Project { input: Box::new(inner), columns })
+        }
+        Plan::Aggregate { input, group_by, aggregates } => {
+            let out_schema = derive(
+                &Plan::Aggregate {
+                    input: input.clone(),
+                    group_by: group_by.clone(),
+                    aggregates: aggregates.clone(),
+                },
+                leaves,
+            )?
+            .schema;
+            let mut below = Vec::new();
+            let mut above = Vec::new();
+            for p in preds {
+                let group_only = p
+                    .referenced_columns()
+                    .iter()
+                    .all(|n| matches!(out_schema.resolve(n), Ok(i) if i < group_by.len()));
+                if group_only && !p.referenced_columns().is_empty() {
+                    // A group-column filter removes whole groups; rows of the
+                    // surviving groups are untouched, so it commutes below γ.
+                    below.push(rename_cols(&p, &|n| Ok(group_by[out_schema.resolve(n)?].clone()))?);
+                } else {
+                    above.push(p);
+                }
+            }
+            *moved += below.len();
+            let inner = push(*input, below, leaves, moved)?;
+            Ok(wrap(Plan::Aggregate { input: Box::new(inner), group_by, aggregates }, above))
+        }
+        Plan::Join { left, right, kind, on } => {
+            let l_d = derive(&left, leaves)?;
+            let r_d = derive(&right, leaves)?;
+            let out_schema = derive(
+                &Plan::Join { left: left.clone(), right: right.clone(), kind, on: on.clone() },
+                leaves,
+            )?
+            .schema;
+            let l_arity = l_d.schema.len();
+
+            let push_left_ok =
+                matches!(kind, JoinKind::Inner | JoinKind::Left | JoinKind::Semi | JoinKind::Anti);
+            let push_right_ok = matches!(kind, JoinKind::Inner | JoinKind::Right);
+
+            let mut l_preds = Vec::new();
+            let mut r_preds = Vec::new();
+            let mut above = Vec::new();
+            for p in preds {
+                let mut positions = Vec::new();
+                let mut resolvable = true;
+                for name in p.referenced_columns() {
+                    match out_schema.resolve(name) {
+                        Ok(i) => positions.push(i),
+                        Err(_) => {
+                            resolvable = false;
+                            break;
+                        }
+                    }
+                }
+                if !resolvable || positions.is_empty() {
+                    above.push(p);
+                    continue;
+                }
+                if positions.iter().all(|&i| i < l_arity) && push_left_ok {
+                    // Left output columns keep their input names verbatim.
+                    l_preds.push(rename_cols(&p, &|n| {
+                        Ok(out_schema.field(out_schema.resolve(n)?).name.clone())
+                    })?);
+                } else if positions.iter().all(|&i| i >= l_arity) && push_right_ok {
+                    // Right output columns may carry a disambiguation prefix;
+                    // map positions back to the right input's names.
+                    r_preds.push(rename_cols(&p, &|n| {
+                        let i = out_schema.resolve(n)?;
+                        Ok(r_d.schema.field(i - l_arity).name.clone())
+                    })?);
+                } else {
+                    above.push(p);
+                }
+            }
+            *moved += l_preds.len() + r_preds.len();
+            let l = push(*left, l_preds, leaves, moved)?;
+            let r = push(*right, r_preds, leaves, moved)?;
+            Ok(wrap(Plan::Join { left: Box::new(l), right: Box::new(r), kind, on }, above))
+        }
+        Plan::Union { left, right } => {
+            push_setop(*left, *right, SetOpKind::Union, preds, leaves, moved)
+        }
+        Plan::Intersect { left, right } => {
+            push_setop(*left, *right, SetOpKind::Intersect, preds, leaves, moved)
+        }
+        Plan::Difference { left, right } => {
+            push_setop(*left, *right, SetOpKind::Difference, preds, leaves, moved)
+        }
+    }
+}
+
+/// Filters replicate into both inputs of a set operation: a row survives
+/// the operation iff it survives on matching rows of both sides, and the
+/// filter keeps exactly the same rows on each side (columns correspond
+/// positionally).
+fn push_setop(
+    left: Plan,
+    right: Plan,
+    op: SetOpKind,
+    preds: Vec<Expr>,
+    leaves: &dyn LeafProvider,
+    moved: &mut usize,
+) -> Result<Plan> {
+    if preds.is_empty() {
+        let l = push(left, Vec::new(), leaves, moved)?;
+        let r = push(right, Vec::new(), leaves, moved)?;
+        return Ok(op.rebuild(l, r));
+    }
+    let l_schema = derive(&left, leaves)?.schema;
+    let r_schema = derive(&right, leaves)?.schema;
+    let mut l_preds = Vec::with_capacity(preds.len());
+    let mut r_preds = Vec::with_capacity(preds.len());
+    for p in &preds {
+        l_preds.push(rename_cols(p, &|n| Ok(l_schema.field(l_schema.resolve(n)?).name.clone()))?);
+        r_preds.push(rename_cols(p, &|n| Ok(r_schema.field(l_schema.resolve(n)?).name.clone()))?);
+    }
+    *moved += preds.len();
+    let l = push(left, l_preds, leaves, moved)?;
+    let r = push(right, r_preds, leaves, moved)?;
+    Ok(op.rebuild(l, r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggSpec;
+    use crate::eval::{evaluate, Bindings};
+    use crate::scalar::{col, lit};
+    use svc_storage::{DataType, Database, Schema as St, Table, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        let mut dim = Table::new(
+            St::from_pairs(&[("dimId", DataType::Int), ("w", DataType::Float)]).unwrap(),
+            &["dimId"],
+        )
+        .unwrap();
+        for d in 0..30i64 {
+            dim.insert(vec![Value::Int(d), Value::Float((d % 5) as f64)]).unwrap();
+        }
+        let mut fact = Table::new(
+            St::from_pairs(&[
+                ("factId", DataType::Int),
+                ("dimId", DataType::Int),
+                ("x", DataType::Float),
+            ])
+            .unwrap(),
+            &["factId"],
+        )
+        .unwrap();
+        for f in 0..500i64 {
+            fact.insert(vec![Value::Int(f), Value::Int(f % 30), Value::Float((f % 11) as f64)])
+                .unwrap();
+        }
+        db.create_table("dim", dim);
+        db.create_table("fact", fact);
+        db
+    }
+
+    fn run(plan: Plan) -> (Plan, usize) {
+        let db = db();
+        let b = Bindings::from_database(&db);
+        let expected = evaluate(&plan, &b).unwrap();
+        let mut moved = 0;
+        let out = pushdown(plan, &db, &mut moved).unwrap();
+        let got = evaluate(&out, &b).unwrap();
+        assert!(got.same_contents(&expected), "pushdown changed the result");
+        (out, moved)
+    }
+
+    /// The topmost σ chain above a node, as conjunct count.
+    fn top_selects(plan: &Plan) -> usize {
+        match plan {
+            Plan::Select { input, .. } => 1 + top_selects(input),
+            _ => 0,
+        }
+    }
+
+    #[test]
+    fn join_splits_conjuncts_per_side() {
+        let plan = Plan::scan("fact")
+            .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")])
+            .select(col("x").gt(lit(3.0)).and(col("w").lt(lit(4.0))));
+        let (out, moved) = run(plan);
+        assert_eq!(moved, 2);
+        assert_eq!(top_selects(&out), 0, "both conjuncts sank into the join: {out:?}");
+    }
+
+    #[test]
+    fn having_stays_above_aggregate_group_filter_sinks() {
+        let plan = Plan::scan("fact")
+            .aggregate(&["dimId"], vec![AggSpec::count_all("n")])
+            .select(col("n").gt(lit(2i64)).and(col("dimId").lt(lit(20i64))));
+        let (out, moved) = run(plan);
+        assert_eq!(moved, 1, "only the group filter moves");
+        assert_eq!(top_selects(&out), 1, "HAVING conjunct stays above: {out:?}");
+    }
+
+    #[test]
+    fn projection_substitutes_computed_columns() {
+        let plan = Plan::scan("fact")
+            .project(vec![("factId", col("factId")), ("x2", col("x").mul(lit(2.0)))])
+            .select(col("x2").gt(lit(10.0)));
+        let (out, moved) = run(plan);
+        assert_eq!(moved, 1);
+        // The σ now lives below the Π with the doubled expression inlined.
+        let Plan::Project { input, .. } = &out else {
+            panic!("expected projection on top, got {out:?}");
+        };
+        assert!(matches!(**input, Plan::Select { .. }));
+    }
+
+    #[test]
+    fn full_join_blocks_pushdown() {
+        let plan = Plan::scan("fact")
+            .join(Plan::scan("dim"), JoinKind::Full, &[("dimId", "dimId")])
+            .select(col("x").gt(lit(3.0)));
+        let (out, moved) = run(plan);
+        assert_eq!(moved, 0);
+        assert_eq!(top_selects(&out), 1);
+    }
+
+    #[test]
+    fn left_join_pushes_left_only() {
+        let plan = Plan::scan("fact")
+            .join(Plan::scan("dim"), JoinKind::Left, &[("dimId", "dimId")])
+            .select(col("x").gt(lit(3.0)).and(col("w").lt(lit(2.0))));
+        let (out, moved) = run(plan);
+        assert_eq!(moved, 1, "only the fact-side conjunct may sink");
+        assert_eq!(top_selects(&out), 1, "the dim-side conjunct guards the padding");
+    }
+
+    #[test]
+    fn setops_replicate_filters() {
+        let a = Plan::scan("fact").select(col("dimId").lt(lit(20i64)));
+        let b = Plan::scan("fact").select(col("dimId").ge(lit(10i64)));
+        let plan = a.union(b).select(col("x").gt(lit(5.0)));
+        let (out, moved) = run(plan);
+        assert!(moved >= 1);
+        assert_eq!(top_selects(&out), 0);
+    }
+
+    #[test]
+    fn fixed_point_is_stable() {
+        let db = db();
+        let plan = Plan::scan("fact")
+            .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")])
+            .select(col("x").gt(lit(3.0)));
+        let mut moved = 0;
+        let once = pushdown(plan, &db, &mut moved).unwrap();
+        assert!(moved > 0);
+        let mut again = 0;
+        let twice = pushdown(once.clone(), &db, &mut again).unwrap();
+        assert_eq!(again, 0, "second pass must be a no-op");
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,97 @@
+//! The rule abstraction of the rewrite engine.
+//!
+//! A rule is one whole-plan rewrite pass that preserves the relation a plan
+//! computes (same schema, same key, same rows). The engine
+//! ([`crate::optimizer::Optimizer`]) sweeps its rules in order until no rule
+//! reports a change — the same fixed-point discipline as noir's
+//! `OptimizationRule` and Polars' optimizer passes.
+
+use svc_storage::Result;
+
+use crate::derive::LeafProvider;
+use crate::optimizer::OptimizeReport;
+use crate::plan::Plan;
+
+/// One rewrite rule of the optimizer.
+pub trait Rule {
+    /// Diagnostic name.
+    fn name(&self) -> &'static str;
+
+    /// Apply the rule to the whole plan. Returns the rewritten plan and
+    /// whether anything moved; statistics go into `report`.
+    fn apply(
+        &self,
+        plan: Plan,
+        leaves: &dyn LeafProvider,
+        report: &mut OptimizeReport,
+    ) -> Result<(Plan, bool)>;
+}
+
+/// Predicate pushdown (see [`crate::optimizer::predicate`]).
+pub struct PredicatePushdown;
+
+impl Rule for PredicatePushdown {
+    fn name(&self) -> &'static str {
+        "predicate-pushdown"
+    }
+
+    fn apply(
+        &self,
+        plan: Plan,
+        leaves: &dyn LeafProvider,
+        report: &mut OptimizeReport,
+    ) -> Result<(Plan, bool)> {
+        let mut moved = 0;
+        let out = crate::optimizer::predicate::pushdown(plan, leaves, &mut moved)?;
+        report.predicates_pushed += moved;
+        Ok((out, moved > 0))
+    }
+}
+
+/// Projection pruning (see [`crate::optimizer::projection`]).
+pub struct ProjectionPruning;
+
+impl Rule for ProjectionPruning {
+    fn name(&self) -> &'static str {
+        "projection-pruning"
+    }
+
+    fn apply(
+        &self,
+        plan: Plan,
+        leaves: &dyn LeafProvider,
+        report: &mut OptimizeReport,
+    ) -> Result<(Plan, bool)> {
+        let mut pruned = 0;
+        let out = crate::optimizer::projection::prune(plan, leaves, &mut pruned)?;
+        report.projections_pruned += pruned;
+        Ok((out, pruned > 0))
+    }
+}
+
+/// η hash-sampling pushdown (see [`crate::optimizer::eta`]).
+pub struct EtaPushdown;
+
+impl Rule for EtaPushdown {
+    fn name(&self) -> &'static str {
+        "eta-pushdown"
+    }
+
+    fn apply(
+        &self,
+        plan: Plan,
+        leaves: &dyn LeafProvider,
+        report: &mut OptimizeReport,
+    ) -> Result<(Plan, bool)> {
+        let mut pass = crate::optimizer::eta::EtaReport::default();
+        let out = crate::optimizer::eta::pushdown(plan, leaves, &mut pass)?;
+        // A sweep that moved nothing re-derives the same blockers and
+        // sampled leaves, so the last sweep's view of them is authoritative;
+        // descent depth accumulates across sweeps.
+        let changed = pass.descended > 0;
+        report.eta.descended += pass.descended;
+        report.eta.blockers = pass.blockers;
+        report.eta.sampled_leaves = pass.sampled_leaves;
+        Ok((out, changed))
+    }
+}

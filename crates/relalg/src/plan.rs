@@ -130,10 +130,7 @@ impl Plan {
     pub fn project_cols(self, names: &[&str]) -> Plan {
         Plan::Project {
             input: Box::new(self),
-            columns: names
-                .iter()
-                .map(|n| (n.to_string(), crate::scalar::col(*n)))
-                .collect(),
+            columns: names.iter().map(|n| (n.to_string(), crate::scalar::col(*n))).collect(),
         }
     }
 
@@ -191,12 +188,8 @@ impl Plan {
     fn collect_leaves<'a>(&'a self, out: &mut Vec<&'a str>) {
         match self {
             Plan::Scan { table } => out.push(table),
-            Plan::Select { input, .. } | Plan::Project { input, .. } => {
-                input.collect_leaves(out)
-            }
-            Plan::Aggregate { input, .. } | Plan::Hash { input, .. } => {
-                input.collect_leaves(out)
-            }
+            Plan::Select { input, .. } | Plan::Project { input, .. } => input.collect_leaves(out),
+            Plan::Aggregate { input, .. } | Plan::Hash { input, .. } => input.collect_leaves(out),
             Plan::Join { left, right, .. }
             | Plan::Union { left, right }
             | Plan::Intersect { left, right }
@@ -248,10 +241,7 @@ mod tests {
     fn builders_compose() {
         let plan = Plan::scan("log")
             .join(Plan::scan("video"), JoinKind::Inner, &[("videoId", "videoId")])
-            .aggregate(
-                &["videoId"],
-                vec![AggSpec::new("visitCount", AggFunc::Count, lit(1i64))],
-            )
+            .aggregate(&["videoId"], vec![AggSpec::new("visitCount", AggFunc::Count, lit(1i64))])
             .select(col("visitCount").gt(lit(100i64)));
         assert_eq!(plan.node_count(), 5);
         assert_eq!(plan.leaf_tables(), vec!["log", "video"]);

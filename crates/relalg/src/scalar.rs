@@ -105,6 +105,11 @@ pub fn lit(v: impl Into<Value>) -> Expr {
 macro_rules! binop_method {
     ($name:ident, $op:ident) => {
         /// Combine two expressions with the corresponding operator.
+        ///
+        /// Deliberately named like the `std::ops` method: this is the
+        /// expression-builder DSL (`col("a").add(lit(1))`), not arithmetic
+        /// on `Expr` values.
+        #[allow(clippy::should_implement_trait)]
         pub fn $name(self, rhs: Expr) -> Expr {
             Expr::Binary { op: BinOp::$op, left: Box::new(self), right: Box::new(rhs) }
         }
@@ -126,7 +131,8 @@ impl Expr {
     binop_method!(and, And);
     binop_method!(or, Or);
 
-    /// Logical negation.
+    /// Logical negation (builder DSL; see the binary-operator methods).
+    #[allow(clippy::should_implement_trait)]
     pub fn not(self) -> Expr {
         Expr::Not(Box::new(self))
     }
@@ -217,9 +223,9 @@ impl Expr {
             Expr::Call { func, args } => match func {
                 Func::Concat => DataType::Str,
                 Func::Abs | Func::Coalesce | Func::Least | Func::Greatest => {
-                    args.first().map(|a| a.infer_type(schema)).transpose()?.ok_or_else(
-                        || StorageError::Invalid(format!("{func:?} requires arguments")),
-                    )?
+                    args.first().map(|a| a.infer_type(schema)).transpose()?.ok_or_else(|| {
+                        StorageError::Invalid(format!("{func:?} requires arguments"))
+                    })?
                 }
             },
         })
@@ -362,7 +368,9 @@ impl BoundExpr {
                     Func::Coalesce => {
                         vals.into_iter().find(|v| !v.is_null()).unwrap_or(Value::Null)
                     }
-                    Func::Least => vals.into_iter().filter(|v| !v.is_null()).min().unwrap_or(Value::Null),
+                    Func::Least => {
+                        vals.into_iter().filter(|v| !v.is_null()).min().unwrap_or(Value::Null)
+                    }
                     Func::Greatest => {
                         vals.into_iter().filter(|v| !v.is_null()).max().unwrap_or(Value::Null)
                     }
@@ -445,12 +453,8 @@ mod tests {
     use super::*;
 
     fn schema() -> Schema {
-        Schema::from_pairs(&[
-            ("a", DataType::Int),
-            ("b", DataType::Float),
-            ("s", DataType::Str),
-        ])
-        .unwrap()
+        Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Float), ("s", DataType::Str)])
+            .unwrap()
     }
 
     fn eval(e: Expr, row: Row) -> Value {
@@ -487,10 +491,7 @@ mod tests {
             eval(col("a").eq(lit(1i64)).and(lit(false)), null_row.clone()),
             Value::Bool(false)
         );
-        assert_eq!(
-            eval(col("a").eq(lit(1i64)).or(lit(true)), null_row.clone()),
-            Value::Bool(true)
-        );
+        assert_eq!(eval(col("a").eq(lit(1i64)).or(lit(true)), null_row.clone()), Value::Bool(true));
         assert_eq!(eval(col("a").is_null(), null_row), Value::Bool(true));
     }
 
@@ -508,10 +509,7 @@ mod tests {
             eval(col("a").coalesce(lit(0i64)), vec![Value::Null, Value::Null, Value::Null]),
             Value::Int(0)
         );
-        let e = Expr::Call {
-            func: Func::Greatest,
-            args: vec![col("a"), lit(10i64)],
-        };
+        let e = Expr::Call { func: Func::Greatest, args: vec![col("a"), lit(10i64)] };
         assert_eq!(eval(e, row(3, 0.0, "")), Value::Int(10));
     }
 

@@ -7,39 +7,44 @@ use svc_storage::{Result, Row, Table};
 
 use crate::derive::Derived;
 
-/// Union: all distinct rows from both inputs.
-pub fn run_union(left: &Table, right: &Table, out: &Derived) -> Result<Table> {
+/// Union: all distinct rows from both inputs. Both inputs are consumed so
+/// every output row is moved; only the dedup set pays a clone per distinct
+/// row.
+pub fn run_union(left: Table, right: Table, out: &Derived) -> Result<Table> {
     let mut seen: HashSet<Row> = HashSet::with_capacity(left.len() + right.len());
     let mut rows = Vec::with_capacity(left.len() + right.len());
-    for row in left.rows().iter().chain(right.rows()) {
-        if seen.insert(row.clone()) {
-            rows.push(row.clone());
+    for row in left.into_rows().into_iter().chain(right.into_rows()) {
+        if !seen.contains(&row) {
+            seen.insert(row.clone());
+            rows.push(row);
         }
     }
     Table::from_rows(out.schema.clone(), out.key.clone(), rows)
 }
 
 /// Intersection: distinct rows present in both inputs.
-pub fn run_intersect(left: &Table, right: &Table, out: &Derived) -> Result<Table> {
+pub fn run_intersect(left: Table, right: &Table, out: &Derived) -> Result<Table> {
     let right_set: HashSet<&Row> = right.rows().iter().collect();
     let mut seen: HashSet<Row> = HashSet::new();
     let mut rows = Vec::new();
-    for row in left.rows() {
-        if right_set.contains(row) && seen.insert(row.clone()) {
-            rows.push(row.clone());
+    for row in left.into_rows() {
+        if right_set.contains(&row) && !seen.contains(&row) {
+            seen.insert(row.clone());
+            rows.push(row);
         }
     }
     Table::from_rows(out.schema.clone(), out.key.clone(), rows)
 }
 
 /// Difference: distinct left rows not present in the right input.
-pub fn run_difference(left: &Table, right: &Table, out: &Derived) -> Result<Table> {
+pub fn run_difference(left: Table, right: &Table, out: &Derived) -> Result<Table> {
     let right_set: HashSet<&Row> = right.rows().iter().collect();
     let mut seen: HashSet<Row> = HashSet::new();
     let mut rows = Vec::new();
-    for row in left.rows() {
-        if !right_set.contains(row) && seen.insert(row.clone()) {
-            rows.push(row.clone());
+    for row in left.into_rows() {
+        if !right_set.contains(&row) && !seen.contains(&row) {
+            seen.insert(row.clone());
+            rows.push(row);
         }
     }
     Table::from_rows(out.schema.clone(), out.key.clone(), rows)
@@ -72,26 +77,26 @@ mod tests {
 
     #[test]
     fn union_dedupes() {
-        let out = run_union(&t(&[1, 2, 3]), &t(&[2, 3, 4]), &d()).unwrap();
+        let out = run_union(t(&[1, 2, 3]), t(&[2, 3, 4]), &d()).unwrap();
         assert_eq!(ids(&out), vec![1, 2, 3, 4]);
     }
 
     #[test]
     fn intersect_keeps_common() {
-        let out = run_intersect(&t(&[1, 2, 3]), &t(&[2, 3, 4]), &d()).unwrap();
+        let out = run_intersect(t(&[1, 2, 3]), &t(&[2, 3, 4]), &d()).unwrap();
         assert_eq!(ids(&out), vec![2, 3]);
     }
 
     #[test]
     fn difference_removes_right() {
-        let out = run_difference(&t(&[1, 2, 3]), &t(&[2, 3, 4]), &d()).unwrap();
+        let out = run_difference(t(&[1, 2, 3]), &t(&[2, 3, 4]), &d()).unwrap();
         assert_eq!(ids(&out), vec![1]);
     }
 
     #[test]
     fn empty_inputs() {
-        assert_eq!(run_union(&t(&[]), &t(&[1]), &d()).unwrap().len(), 1);
-        assert_eq!(run_intersect(&t(&[]), &t(&[1]), &d()).unwrap().len(), 0);
-        assert_eq!(run_difference(&t(&[1]), &t(&[]), &d()).unwrap().len(), 1);
+        assert_eq!(run_union(t(&[]), t(&[1]), &d()).unwrap().len(), 1);
+        assert_eq!(run_intersect(t(&[]), &t(&[1]), &d()).unwrap().len(), 0);
+        assert_eq!(run_difference(t(&[1]), &t(&[]), &d()).unwrap().len(), 1);
     }
 }

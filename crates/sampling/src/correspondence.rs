@@ -83,8 +83,7 @@ mod tests {
     use svc_storage::{DataType, Schema, Value};
 
     fn view(ids: &[i64], bump: i64) -> Table {
-        let schema =
-            Schema::from_pairs(&[("id", DataType::Int), ("v", DataType::Int)]).unwrap();
+        let schema = Schema::from_pairs(&[("id", DataType::Int), ("v", DataType::Int)]).unwrap();
         let mut t = Table::new(schema, &["id"]).unwrap();
         for &i in ids {
             t.insert(vec![Value::Int(i), Value::Int(i * 10 + bump)]).unwrap();

@@ -1,34 +1,29 @@
 //! Direct application of the η hashing operator to materialized tables.
+//!
+//! The selection predicate hashes each row's key columns *in place*
+//! ([`HashSpec::selects_row`]) — the old implementation extracted a
+//! `KeyTuple` per row, which cloned every key value for every row of the
+//! input whether it survived or not. Survivor rows are cloned exactly once
+//! into a table built with [`Table::from_unique_rows`] (a subset of a keyed
+//! table needs no duplicate-key checking). Sampling an *owned* intermediate
+//! moves rows instead of cloning — that path lives in the evaluator's η
+//! case (`svc_relalg::eval`), which retains over `Table::into_rows`.
 
-use svc_storage::{HashSpec, KeyTuple, Result, Table};
+use svc_storage::{HashSpec, Result, Table};
 
 /// `η_{key,m}(t)`: keep the rows whose hashed key is ≤ `ratio`.
-pub fn sample_table(
-    t: &Table,
-    key_names: &[&str],
-    ratio: f64,
-    spec: HashSpec,
-) -> Result<Table> {
+pub fn sample_table(t: &Table, key_names: &[&str], ratio: f64, spec: HashSpec) -> Result<Table> {
     let key_idx = t.schema().resolve_all(key_names)?;
-    let rows = t
-        .rows()
-        .iter()
-        .filter(|r| spec.selects(&KeyTuple::of(r, &key_idx).0, ratio))
-        .cloned()
-        .collect();
-    Table::from_rows(t.schema().clone(), t.key().to_vec(), rows)
+    let rows = t.rows().iter().filter(|r| spec.selects_row(r, &key_idx, ratio)).cloned().collect();
+    Table::from_unique_rows(t.schema().clone(), t.key().to_vec(), rows)
 }
 
 /// `η` keyed by the table's own primary key — the common case of sampling a
 /// view uniformly by its row identity.
 pub fn sample_by_key(t: &Table, ratio: f64, spec: HashSpec) -> Table {
-    let rows = t
-        .rows()
-        .iter()
-        .filter(|r| spec.selects(&t.key_of(r).0, ratio))
-        .cloned()
-        .collect();
-    Table::from_rows(t.schema().clone(), t.key().to_vec(), rows)
+    let key_idx = t.key().to_vec();
+    let rows = t.rows().iter().filter(|r| spec.selects_row(r, &key_idx, ratio)).cloned().collect();
+    Table::from_unique_rows(t.schema().clone(), t.key().to_vec(), rows)
         .expect("sampling preserves key uniqueness")
 }
 
@@ -38,8 +33,7 @@ mod tests {
     use svc_storage::{DataType, Schema, Value};
 
     fn table(n: i64) -> Table {
-        let schema =
-            Schema::from_pairs(&[("id", DataType::Int), ("x", DataType::Float)]).unwrap();
+        let schema = Schema::from_pairs(&[("id", DataType::Int), ("x", DataType::Float)]).unwrap();
         let mut t = Table::new(schema, &["id"]).unwrap();
         for i in 0..n {
             t.insert(vec![Value::Int(i), Value::Float(i as f64)]).unwrap();

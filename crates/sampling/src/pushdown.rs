@@ -1,33 +1,22 @@
-//! Hash push-down: the Definition 3 rewrite.
+//! Hash push-down: the Definition 3 rewrite — now a thin wrapper over the
+//! η rule of the `svc-relalg` optimizer.
 //!
-//! `η_{a,m}` is semantically a selection on a deterministic predicate of the
-//! key columns `a`, so it commutes with σ, ∪, ∩, −, with Π when the key
-//! survives as bare columns, and with γ when the key is part of the group-by
-//! clause. Joins block push-down in general; the two special cases of
-//! Section 4.4 are implemented:
-//!
-//! * **Equality join**: if every hash-key column is part of the equality
-//!   condition, matched rows carry equal values on both sides, so the same
-//!   hash decision can be enforced on both inputs (`Inner` joins; also the
-//!   internal `Semi`/`Anti` joins used by maintenance plans).
-//! * **Foreign-key join**: if the hash key lives entirely on one side, the
-//!   filter commutes to that side (`Inner`/`Left` for the left side,
-//!   `Inner`/`Right` for the right side). The classic FK pattern — fact
-//!   table sampled on its key while the dimension is joined on its whole
-//!   primary key — is an instance of this rule.
-//!
-//! Every spot where the rewrite must stop is recorded as a *blocker*; nested
-//! group-by aggregates (NP-hard in general, Appendix 12.4) and
-//! key-transforming projections (the paper's V21/V22) surface here.
+//! Historically this module carried its own traversal; that logic moved to
+//! [`svc_relalg::optimizer::eta`] so view definitions, maintenance
+//! strategies, and cleaning expressions all share one rewrite engine. The
+//! public surface here is unchanged: [`push_down`] rewrites a plan and
+//! emits the same [`PushdownReport`] (descent depth, blockers, sampled
+//! leaves) as before.
 //!
 //! Theorem 1 — the rewritten plan materializes the *identical* sample — is
 //! exercised by the tests in this module and by property tests at the
 //! workspace level.
 
-use svc_storage::{HashSpec, Result};
+use svc_storage::Result;
 
-use svc_relalg::derive::{derive, LeafProvider};
-use svc_relalg::plan::{JoinKind, Plan};
+use svc_relalg::derive::LeafProvider;
+use svc_relalg::optimizer::{EtaReport, Optimizer};
+use svc_relalg::plan::Plan;
 
 /// What the rewriter did: how far hashes moved and where they stopped.
 #[derive(Debug, Clone, Default)]
@@ -48,375 +37,31 @@ impl PushdownReport {
     }
 }
 
+impl From<EtaReport> for PushdownReport {
+    fn from(r: EtaReport) -> PushdownReport {
+        PushdownReport {
+            descended: r.descended,
+            blockers: r.blockers,
+            sampled_leaves: r.sampled_leaves,
+        }
+    }
+}
+
 /// Rewrite `plan`, pushing every η node as deep as Definition 3 allows.
 /// Returns the rewritten plan (which materializes the identical sample,
 /// Theorem 1) and a report of what happened.
 pub fn push_down(plan: &Plan, leaves: &impl LeafProvider) -> Result<(Plan, PushdownReport)> {
-    let mut report = PushdownReport::default();
-    let out = rewrite(plan.clone(), leaves, &mut report)?;
-    Ok((out, report))
+    let (out, report) = Optimizer::eta_only().run(plan, leaves)?;
+    Ok((out, report.eta.into()))
 }
-
-fn rewrite(
-    plan: Plan,
-    leaves: &impl LeafProvider,
-    report: &mut PushdownReport,
-) -> Result<Plan> {
-    Ok(match plan {
-        Plan::Hash { input, key, ratio, spec } => {
-            let inner = rewrite(*input, leaves, report)?;
-            push(key, ratio, spec, inner, leaves, report)?
-        }
-        Plan::Scan { .. } => plan,
-        Plan::Select { input, predicate } => Plan::Select {
-            input: Box::new(rewrite(*input, leaves, report)?),
-            predicate,
-        },
-        Plan::Project { input, columns } => Plan::Project {
-            input: Box::new(rewrite(*input, leaves, report)?),
-            columns,
-        },
-        Plan::Join { left, right, kind, on } => Plan::Join {
-            left: Box::new(rewrite(*left, leaves, report)?),
-            right: Box::new(rewrite(*right, leaves, report)?),
-            kind,
-            on,
-        },
-        Plan::Aggregate { input, group_by, aggregates } => Plan::Aggregate {
-            input: Box::new(rewrite(*input, leaves, report)?),
-            group_by,
-            aggregates,
-        },
-        Plan::Union { left, right } => Plan::Union {
-            left: Box::new(rewrite(*left, leaves, report)?),
-            right: Box::new(rewrite(*right, leaves, report)?),
-        },
-        Plan::Intersect { left, right } => Plan::Intersect {
-            left: Box::new(rewrite(*left, leaves, report)?),
-            right: Box::new(rewrite(*right, leaves, report)?),
-        },
-        Plan::Difference { left, right } => Plan::Difference {
-            left: Box::new(rewrite(*left, leaves, report)?),
-            right: Box::new(rewrite(*right, leaves, report)?),
-        },
-    })
-}
-
-/// Push one hash (with `key`/`ratio`/`spec`) into `input`, which has already
-/// been rewritten.
-fn push(
-    key: Vec<String>,
-    ratio: f64,
-    spec: HashSpec,
-    input: Plan,
-    leaves: &impl LeafProvider,
-    report: &mut PushdownReport,
-) -> Result<Plan> {
-    match input {
-        Plan::Scan { ref table } => {
-            report.sampled_leaves.push(table.clone());
-            Ok(Plan::Hash { input: Box::new(input), key, ratio, spec })
-        }
-        Plan::Select { input: inner, predicate } => {
-            report.descended += 1;
-            Ok(Plan::Select {
-                input: Box::new(push(key, ratio, spec, *inner, leaves, report)?),
-                predicate,
-            })
-        }
-        Plan::Hash { input: inner, key: k2, ratio: r2, spec: s2 } => {
-            // η commutes with η: push through the inner hash.
-            report.descended += 1;
-            Ok(Plan::Hash {
-                input: Box::new(push(key, ratio, spec, *inner, leaves, report)?),
-                key: k2,
-                ratio: r2,
-                spec: s2,
-            })
-        }
-        Plan::Project { input: inner, columns } => {
-            // Each key column must be a bare column reference in the
-            // projection; map output names back to input names.
-            let out_schema = derive(
-                &Plan::Project { input: inner.clone(), columns: columns.clone() },
-                leaves,
-            )?
-            .schema;
-            let mut mapped = Vec::with_capacity(key.len());
-            let mut ok = true;
-            for k in &key {
-                match out_schema.resolve(k).ok().and_then(|p| columns[p].1.as_col()) {
-                    Some(src) => mapped.push(src.to_string()),
-                    None => {
-                        ok = false;
-                        break;
-                    }
-                }
-            }
-            if ok {
-                report.descended += 1;
-                Ok(Plan::Project {
-                    input: Box::new(push(mapped, ratio, spec, *inner, leaves, report)?),
-                    columns,
-                })
-            } else {
-                report.blockers.push(format!(
-                    "projection transforms hash key ({}); η stays above Π",
-                    key.join(",")
-                ));
-                Ok(Plan::Hash {
-                    input: Box::new(Plan::Project { input: inner, columns }),
-                    key,
-                    ratio,
-                    spec,
-                })
-            }
-        }
-        Plan::Aggregate { input: inner, group_by, aggregates } => {
-            let out_schema = derive(
-                &Plan::Aggregate {
-                    input: inner.clone(),
-                    group_by: group_by.clone(),
-                    aggregates: aggregates.clone(),
-                },
-                leaves,
-            )?
-            .schema;
-            let mut mapped = Vec::with_capacity(key.len());
-            let mut ok = true;
-            for k in &key {
-                match out_schema.resolve(k).ok().filter(|&p| p < group_by.len()) {
-                    Some(p) => mapped.push(group_by[p].clone()),
-                    None => {
-                        ok = false;
-                        break;
-                    }
-                }
-            }
-            if ok {
-                report.descended += 1;
-                Ok(Plan::Aggregate {
-                    input: Box::new(push(mapped, ratio, spec, *inner, leaves, report)?),
-                    group_by,
-                    aggregates,
-                })
-            } else {
-                report.blockers.push(format!(
-                    "hash key ({}) is not contained in the group-by clause ({}); η stays \
-                     above γ (nested-aggregate blocker, Appendix 12.4)",
-                    key.join(","),
-                    group_by.join(",")
-                ));
-                Ok(Plan::Hash {
-                    input: Box::new(Plan::Aggregate { input: inner, group_by, aggregates }),
-                    key,
-                    ratio,
-                    spec,
-                })
-            }
-        }
-        Plan::Join { left, right, kind, on } => {
-            push_join(key, ratio, spec, *left, *right, kind, on, leaves, report)
-        }
-        Plan::Union { left, right } => {
-            push_setop(key, ratio, spec, *left, *right, SetOp::Union, leaves, report)
-        }
-        Plan::Intersect { left, right } => {
-            push_setop(key, ratio, spec, *left, *right, SetOp::Intersect, leaves, report)
-        }
-        Plan::Difference { left, right } => {
-            push_setop(key, ratio, spec, *left, *right, SetOp::Difference, leaves, report)
-        }
-    }
-}
-
-enum SetOp {
-    Union,
-    Intersect,
-    Difference,
-}
-
-/// ∪/∩/− are positional: map key names through the left schema's positions
-/// onto the right schema's names and push into both branches.
-#[allow(clippy::too_many_arguments)]
-fn push_setop(
-    key: Vec<String>,
-    ratio: f64,
-    spec: HashSpec,
-    left: Plan,
-    right: Plan,
-    op: SetOp,
-    leaves: &impl LeafProvider,
-    report: &mut PushdownReport,
-) -> Result<Plan> {
-    let l_schema = derive(&left, leaves)?.schema;
-    let r_schema = derive(&right, leaves)?.schema;
-    let mut right_key = Vec::with_capacity(key.len());
-    for k in &key {
-        let p = l_schema.resolve(k)?;
-        right_key.push(r_schema.field(p).name.clone());
-    }
-    report.descended += 1;
-    let l = Box::new(push(key, ratio, spec, left, leaves, report)?);
-    let r = Box::new(push(right_key, ratio, spec, right, leaves, report)?);
-    Ok(match op {
-        SetOp::Union => Plan::Union { left: l, right: r },
-        SetOp::Intersect => Plan::Intersect { left: l, right: r },
-        SetOp::Difference => Plan::Difference { left: l, right: r },
-    })
-}
-
-#[allow(clippy::too_many_arguments)]
-fn push_join(
-    key: Vec<String>,
-    ratio: f64,
-    spec: HashSpec,
-    left: Plan,
-    right: Plan,
-    kind: JoinKind,
-    on: Vec<(String, String)>,
-    leaves: &impl LeafProvider,
-    report: &mut PushdownReport,
-) -> Result<Plan> {
-    let l_d = derive(&left, leaves)?;
-    let r_d = derive(&right, leaves)?;
-    let out_schema = derive(
-        &Plan::Join {
-            left: Box::new(left.clone()),
-            right: Box::new(right.clone()),
-            kind,
-            on: on.clone(),
-        },
-        leaves,
-    )?
-    .schema;
-
-    let l_arity = l_d.schema.len();
-    // Classify each key column: Some(Left(name)) / Some(Right(name)) by the
-    // side it lives on in the join output.
-    enum Side {
-        Left(String),
-        Right(String),
-    }
-    let mut sides = Vec::with_capacity(key.len());
-    for k in &key {
-        let p = out_schema.resolve(k)?;
-        // Semi/Anti joins expose only the left schema, so p is a left position.
-        if p < l_arity {
-            sides.push(Side::Left(l_d.schema.field(p).name.clone()));
-        } else {
-            sides.push(Side::Right(r_d.schema.field(p - l_arity).name.clone()));
-        }
-    }
-
-    let partner_right = |lname: &str| -> Option<String> {
-        let li = l_d.schema.resolve(lname).ok()?;
-        on.iter()
-            .find(|(l, _)| l_d.schema.resolve(l).ok() == Some(li))
-            .map(|(_, r)| r.clone())
-    };
-    let partner_left = |rname: &str| -> Option<String> {
-        let ri = r_d.schema.resolve(rname).ok()?;
-        on.iter()
-            .find(|(_, r)| r_d.schema.resolve(r).ok() == Some(ri))
-            .map(|(l, _)| l.clone())
-    };
-
-    // Case 1 — equality join: every key column participates in the join
-    // condition, so the hash can be enforced on both inputs.
-    let equality_eligible = matches!(kind, JoinKind::Inner | JoinKind::Semi | JoinKind::Anti);
-    if equality_eligible {
-        let mut lk = Vec::with_capacity(key.len());
-        let mut rk = Vec::with_capacity(key.len());
-        let mut all = true;
-        for side in &sides {
-            match side {
-                Side::Left(name) => match partner_right(name) {
-                    Some(r) => {
-                        lk.push(name.clone());
-                        rk.push(r);
-                    }
-                    None => {
-                        all = false;
-                        break;
-                    }
-                },
-                Side::Right(name) => match partner_left(name) {
-                    Some(l) => {
-                        lk.push(l);
-                        rk.push(name.clone());
-                    }
-                    None => {
-                        all = false;
-                        break;
-                    }
-                },
-            }
-        }
-        if all {
-            report.descended += 1;
-            let l = Box::new(push(lk, ratio, spec, left, leaves, report)?);
-            let r = Box::new(push(rk, ratio, spec, right, leaves, report)?);
-            return Ok(Plan::Join { left: l, right: r, kind, on });
-        }
-    }
-
-    // Case 2 — one-sided push (the FK-join case and its generalization):
-    // the filter commutes to the side holding all key columns, provided the
-    // join kind cannot fabricate NULLs for that side.
-    let all_left = sides.iter().all(|s| matches!(s, Side::Left(_)));
-    let all_right = sides.iter().all(|s| matches!(s, Side::Right(_)));
-    if all_left && matches!(kind, JoinKind::Inner | JoinKind::Left | JoinKind::Semi | JoinKind::Anti)
-    {
-        let lk: Vec<String> = sides
-            .iter()
-            .map(|s| match s {
-                Side::Left(n) => n.clone(),
-                Side::Right(_) => unreachable!(),
-            })
-            .collect();
-        report.descended += 1;
-        let l = Box::new(push(lk, ratio, spec, left, leaves, report)?);
-        return Ok(Plan::Join { left: l, right: Box::new(right), kind, on });
-    }
-    if all_right && matches!(kind, JoinKind::Inner | JoinKind::Right) {
-        let rk: Vec<String> = sides
-            .iter()
-            .map(|s| match s {
-                Side::Right(n) => n.clone(),
-                Side::Left(_) => unreachable!(),
-            })
-            .collect();
-        report.descended += 1;
-        let r = Box::new(push(rk, ratio, spec, right, leaves, report)?);
-        return Ok(Plan::Join { left: Box::new(left), right: r, kind, on });
-    }
-
-    report.blockers.push(format!(
-        "join blocks η on key ({}): key spans both inputs and is not covered by the \
-         equality condition",
-        key.join(",")
-    ));
-    Ok(Plan::Hash {
-        input: Box::new(Plan::Join {
-            left: Box::new(left),
-            right: Box::new(right),
-            kind,
-            on,
-        }),
-        key,
-        ratio,
-        spec,
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use svc_relalg::aggregate::{AggFunc, AggSpec};
+    use svc_relalg::aggregate::AggSpec;
     use svc_relalg::eval::{evaluate, Bindings};
+    use svc_relalg::plan::JoinKind;
     use svc_relalg::scalar::{col, lit, Expr, Func};
-    use svc_storage::{Database, DataType, Schema, Table, Value};
+    use svc_storage::{DataType, Database, HashSpec, Schema, Table, Value};
 
     /// Log / Video database of the running example, sized so samples are
     /// non-trivial.
@@ -493,10 +138,7 @@ mod tests {
         let db = video_db();
         let plan = Plan::scan("video")
             .select(col("duration").gt(lit(0.5)))
-            .project(vec![
-                ("videoId", col("videoId")),
-                ("mins", col("duration").mul(lit(60.0))),
-            ]);
+            .project(vec![("videoId", col("videoId")), ("mins", col("duration").mul(lit(60.0)))]);
         let report = assert_theorem1(plan, &["videoId"], &db);
         assert!(report.fully_pushed());
         assert_eq!(report.sampled_leaves, vec!["video"]);
@@ -507,11 +149,8 @@ mod tests {
         // Sample the join on the log's key: video is joined on its whole
         // primary key, so the hash commutes to log alone.
         let db = video_db();
-        let plan = Plan::scan("log").join(
-            Plan::scan("video"),
-            JoinKind::Inner,
-            &[("videoId", "videoId")],
-        );
+        let plan =
+            Plan::scan("log").join(Plan::scan("video"), JoinKind::Inner, &[("videoId", "videoId")]);
         let report = assert_theorem1(plan, &["sessionId"], &db);
         assert!(report.fully_pushed(), "blockers: {:?}", report.blockers);
         assert_eq!(report.sampled_leaves, vec!["log"]);
@@ -522,8 +161,7 @@ mod tests {
         // Example 4's blocked query: SELECT c, count(1) FROM (SELECT
         // videoId, count(1) c FROM log GROUP BY videoId) GROUP BY c.
         let db = video_db();
-        let inner = Plan::scan("log")
-            .aggregate(&["videoId"], vec![AggSpec::count_all("c")]);
+        let inner = Plan::scan("log").aggregate(&["videoId"], vec![AggSpec::count_all("c")]);
         let outer = inner.aggregate(&["c"], vec![AggSpec::count_all("n")]);
         let report = assert_theorem1(outer, &["c"], &db);
         assert!(!report.fully_pushed());
@@ -537,10 +175,7 @@ mod tests {
         let db = video_db();
         let plan = Plan::scan("video").project(vec![
             ("videoId", col("videoId")),
-            (
-                "vkey",
-                Expr::Call { func: Func::Concat, args: vec![lit("v-"), col("videoId")] },
-            ),
+            ("vkey", Expr::Call { func: Func::Concat, args: vec![lit("v-"), col("videoId")] }),
             ("duration", col("duration")),
         ]);
         // Hashing on the *transformed* column cannot be pushed below Π: the

@@ -1,0 +1,160 @@
+//! Offline shim for the subset of the `criterion` API used by
+//! `crates/bench/benches/micro.rs`: [`Criterion::bench_function`], the
+//! builder knobs, and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! The build environment has no crates.io access. Timing here is a plain
+//! mean-of-N wall-clock measurement printed to stdout — good enough to
+//! compare before/after on the same machine, with none of criterion's
+//! statistics. The bench files compile unchanged against the real crate.
+
+use std::time::{Duration, Instant};
+
+/// Re-export so `use criterion::black_box` keeps working.
+pub use std::hint::black_box;
+
+/// The benchmark driver (subset of the real `Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Target measurement duration (acts as a cap here).
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up duration before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run `f` under a [`Bencher`] and report mean / min / max per iteration.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up: run the closure until the warm-up budget elapses.
+        let warm_start = Instant::now();
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+        while warm_start.elapsed() < self.warm_up_time {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+        }
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let budget = Instant::now();
+        for _ in 0..self.sample_size {
+            let mut bench = Bencher { iters: 1, elapsed: Duration::ZERO };
+            f(&mut bench);
+            samples.push(bench.elapsed.as_secs_f64() / bench.iters as f64);
+            if budget.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+        let n = samples.len().max(1) as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(0.0f64, f64::max);
+        println!("{id:<40} mean {:>12} min {:>12} max {:>12}", fmt_s(mean), fmt_s(min), fmt_s(max));
+        self
+    }
+}
+
+fn fmt_s(s: f64) -> String {
+    if s < 1e-6 {
+        format!("{:.1} ns", s * 1e9)
+    } else if s < 1e-3 {
+        format!("{:.2} µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{s:.3} s")
+    }
+}
+
+/// Passed to the closure of [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, recording total elapsed time over the iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        self.iters = 1;
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Mirrors `criterion_group!` (config + targets form and plain form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Mirrors `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(1))
+    }
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut ran = 0u64;
+        quick().bench_function("noop", |b| {
+            b.iter(|| {
+                ran += 1;
+            })
+        });
+        assert!(ran > 0);
+    }
+}

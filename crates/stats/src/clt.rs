@@ -38,10 +38,7 @@ impl ConfidenceInterval {
 /// approximation of the inverse normal CDF (|relative error| < 1.15e-9),
 /// so arbitrary levels work, not just the tabulated ones.
 pub fn gaussian_gamma(confidence: f64) -> f64 {
-    assert!(
-        (0.0..1.0).contains(&confidence),
-        "confidence must be in (0,1), got {confidence}"
-    );
+    assert!((0.0..1.0).contains(&confidence), "confidence must be in (0,1), got {confidence}");
     let p = 0.5 + confidence / 2.0;
     inverse_normal_cdf(p)
 }
@@ -53,7 +50,7 @@ fn inverse_normal_cdf(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.383_577_518_672_69e2,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -97,21 +94,13 @@ fn inverse_normal_cdf(p: f64) -> f64 {
 /// CI for a *sample mean* from its moments: `mean ± γ·σ/√k`.
 pub fn mean_interval(mean: f64, variance: f64, k: u64, confidence: f64) -> ConfidenceInterval {
     let se = if k == 0 { 0.0 } else { (variance / k as f64).sqrt() };
-    ConfidenceInterval {
-        estimate: mean,
-        half_width: gaussian_gamma(confidence) * se,
-        confidence,
-    }
+    ConfidenceInterval { estimate: mean, half_width: gaussian_gamma(confidence) * se, confidence }
 }
 
 /// CI for a *sample sum* `Σ xᵢ` of k iid terms: `sum ± γ·σ·√k`.
 pub fn sum_interval(sum: f64, variance: f64, k: u64, confidence: f64) -> ConfidenceInterval {
     let se = variance.sqrt() * (k as f64).sqrt();
-    ConfidenceInterval {
-        estimate: sum,
-        half_width: gaussian_gamma(confidence) * se,
-        confidence,
-    }
+    ConfidenceInterval { estimate: sum, half_width: gaussian_gamma(confidence) * se, confidence }
 }
 
 #[cfg(test)]

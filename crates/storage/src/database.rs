@@ -145,10 +145,7 @@ mod tests {
         let mut db = video_db();
         assert!(db.has_table("video"));
         assert!(db.table("nope").is_err());
-        db.table_mut("log")
-            .unwrap()
-            .insert(vec![Value::Int(1), Value::Int(10)])
-            .unwrap();
+        db.table_mut("log").unwrap().insert(vec![Value::Int(1), Value::Int(10)]).unwrap();
         assert_eq!(db.total_rows(), 1);
         assert_eq!(db.table_names(), vec!["log", "video"]);
     }

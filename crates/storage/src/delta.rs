@@ -73,11 +73,7 @@ impl Deltas {
 
     /// Names of tables with pending changes.
     pub fn touched_tables(&self) -> Vec<&str> {
-        self.sets
-            .iter()
-            .filter(|(_, d)| !d.is_empty())
-            .map(|(n, _)| n.as_str())
-            .collect()
+        self.sets.iter().filter(|(_, d)| !d.is_empty()).map(|(n, _)| n.as_str()).collect()
     }
 
     fn set_for<'a>(&'a mut self, db: &Database, table: &str) -> Result<&'a mut DeltaSet> {
@@ -211,10 +207,7 @@ mod tests {
 
         let applied = deltas.applied_state(&db, "t").unwrap();
         assert_eq!(applied.len(), 5); // 5 - 2 + 2
-        assert_eq!(
-            applied.get(&KeyTuple(vec![Value::Int(3)])).unwrap()[1],
-            Value::Int(999)
-        );
+        assert_eq!(applied.get(&KeyTuple(vec![Value::Int(3)])).unwrap()[1], Value::Int(999));
         assert!(applied.get(&KeyTuple(vec![Value::Int(0)])).is_none());
 
         deltas.apply_to(&mut db).unwrap();

@@ -62,12 +62,14 @@ impl HashSpec {
         HashSpec { family: HashFamily::SplitMix, seed }
     }
 
-    /// Hash a key tuple to a `u64`.
-    pub fn hash_key(&self, key: &[Value]) -> u64 {
+    /// Hash a sequence of values to a `u64`. Shared by [`HashSpec::hash_key`]
+    /// (contiguous key tuples) and [`HashSpec::hash_row`] (key columns read
+    /// in place from a wider row), so both produce identical hashes.
+    fn hash_values<'a>(&self, values: impl Iterator<Item = &'a Value>) -> u64 {
         match self.family {
             HashFamily::SplitMix => {
                 let mut h = FNV_OFFSET ^ self.seed;
-                for v in key {
+                for v in values {
                     v.canonical_bytes(&mut |bytes| {
                         for &b in bytes {
                             h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
@@ -78,7 +80,7 @@ impl HashSpec {
             }
             HashFamily::Fnv1a => {
                 let mut h = FNV_OFFSET ^ self.seed;
-                for v in key {
+                for v in values {
                     v.canonical_bytes(&mut |bytes| {
                         for &b in bytes {
                             h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
@@ -90,12 +92,10 @@ impl HashSpec {
             HashFamily::Multiplicative => {
                 // Deliberately weak: an LCG step per byte, no finalizer.
                 let mut h = self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
-                for v in key {
+                for v in values {
                     v.canonical_bytes(&mut |bytes| {
                         for &b in bytes {
-                            h = h
-                                .wrapping_mul(6364136223846793005)
-                                .wrapping_add(b as u64 | 1);
+                            h = h.wrapping_mul(6364136223846793005).wrapping_add(b as u64 | 1);
                         }
                     });
                 }
@@ -104,16 +104,42 @@ impl HashSpec {
         }
     }
 
+    /// Hash a key tuple to a `u64`.
+    pub fn hash_key(&self, key: &[Value]) -> u64 {
+        self.hash_values(key.iter())
+    }
+
+    /// Hash the `key_cols` of a row in place — same result as extracting the
+    /// key tuple and calling [`HashSpec::hash_key`], without cloning the key
+    /// values into a temporary `Vec`. This is the η hot path.
+    pub fn hash_row(&self, row: &[Value], key_cols: &[usize]) -> u64 {
+        self.hash_values(key_cols.iter().map(|&i| &row[i]))
+    }
+
     /// Hash a key tuple to `[0, 1)` with 53 bits of precision, exactly as
     /// the paper normalizes a hash by `MAXINT`.
     pub fn hash01(&self, key: &[Value]) -> f64 {
-        (self.hash_key(key) >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        normalize01(self.hash_key(key))
     }
 
     /// The sampling predicate `h(key) ≤ m` of the η operator.
     pub fn selects(&self, key: &[Value], ratio: f64) -> bool {
         self.hash01(key) <= ratio
     }
+
+    /// The sampling predicate applied to `key_cols` of a row in place.
+    pub fn selects_row(&self, row: &[Value], key_cols: &[usize], ratio: f64) -> bool {
+        normalize01(self.hash_row(row, key_cols)) <= ratio
+    }
+}
+
+/// Map a raw hash to `[0, 1)` using its top 53 bits. One definition shared
+/// by [`HashSpec::hash01`] and [`HashSpec::selects_row`]: the tuple-based
+/// and in-place sampling predicates must never diverge, or pushed and
+/// unpushed plans would materialize different samples.
+#[inline]
+fn normalize01(h: u64) -> f64 {
+    (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 
 /// Chi-square statistic of hash values bucketed into `buckets` equal-width
@@ -170,10 +196,7 @@ mod tests {
         for &m in &[0.05, 0.1, 0.5] {
             let hits = (0..n).filter(|&i| spec.selects(&[Value::Int(i)], m)).count();
             let frac = hits as f64 / n as f64;
-            assert!(
-                (frac - m).abs() < 0.01,
-                "family SplitMix ratio {m}: observed {frac}"
-            );
+            assert!((frac - m).abs() < 0.01, "family SplitMix ratio {m}: observed {frac}");
         }
     }
 
@@ -207,9 +230,8 @@ mod tests {
     fn composite_keys_hash_like_single_keys() {
         let spec = HashSpec::default();
         let n = 20_000;
-        let hs: Vec<f64> = (0..n)
-            .map(|i| spec.hash01(&[Value::Int(i % 200), Value::Int(i / 200)]))
-            .collect();
+        let hs: Vec<f64> =
+            (0..n).map(|i| spec.hash01(&[Value::Int(i % 200), Value::Int(i / 200)])).collect();
         let chi = chi_square_uniformity(&hs, 32);
         assert!(chi < 120.0, "composite-key chi-square too high: {chi}");
     }

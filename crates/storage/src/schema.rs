@@ -125,19 +125,14 @@ impl Schema {
 
     /// Project a subset of columns by position, preserving order of `idx`.
     pub fn project(&self, idx: &[usize]) -> Schema {
-        Schema {
-            fields: idx.iter().map(|&i| self.fields[i].clone()).collect(),
-        }
+        Schema { fields: idx.iter().map(|&i| self.fields[i].clone()).collect() }
     }
 }
 
 impl fmt::Display for Schema {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let cols: Vec<String> = self
-            .fields
-            .iter()
-            .map(|fd| format!("{}:{}", fd.name, fd.dtype))
-            .collect();
+        let cols: Vec<String> =
+            self.fields.iter().map(|fd| format!("{}:{}", fd.name, fd.dtype)).collect();
         write!(f, "{}", cols.join(", "))
     }
 }

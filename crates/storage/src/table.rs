@@ -78,6 +78,30 @@ impl Table {
         Ok(t)
     }
 
+    /// Bulk-build from rows already known to be key-unique and of the right
+    /// arity — e.g. a filtered subset of an existing keyed table. Skips the
+    /// per-row duplicate-key error path of [`Table::from_rows`] (uniqueness
+    /// is debug-asserted), which matters on evaluator hot paths.
+    pub fn from_unique_rows(schema: Schema, key: Vec<usize>, rows: Vec<Row>) -> Result<Table> {
+        let mut t = Table::with_key_indices(schema, key)?;
+        let mut index = HashMap::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            debug_assert_eq!(row.len(), t.schema.len(), "row arity mismatch");
+            let prev = index.insert(KeyTuple::of(row, &t.key), i);
+            debug_assert!(prev.is_none(), "duplicate key in from_unique_rows");
+        }
+        t.rows = rows;
+        t.index = index;
+        Ok(t)
+    }
+
+    /// Consume the table, returning its rows (insertion order). The key
+    /// index is dropped; used by the evaluator to move rows through
+    /// filters instead of cloning them.
+    pub fn into_rows(self) -> Vec<Row> {
+        self.rows
+    }
+
     /// The table's schema.
     pub fn schema(&self) -> &Schema {
         &self.schema
@@ -241,8 +265,7 @@ mod tests {
     use crate::value::DataType;
 
     fn table() -> Table {
-        let schema =
-            Schema::from_pairs(&[("id", DataType::Int), ("name", DataType::Str)]).unwrap();
+        let schema = Schema::from_pairs(&[("id", DataType::Int), ("name", DataType::Str)]).unwrap();
         Table::new(schema, &["id"]).unwrap()
     }
 
@@ -267,10 +290,7 @@ mod tests {
     #[test]
     fn arity_checked() {
         let mut t = table();
-        assert!(matches!(
-            t.insert(vec![Value::Int(1)]),
-            Err(StorageError::ArityMismatch { .. })
-        ));
+        assert!(matches!(t.insert(vec![Value::Int(1)]), Err(StorageError::ArityMismatch { .. })));
     }
 
     #[test]

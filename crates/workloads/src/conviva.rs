@@ -15,7 +15,7 @@ use rand::{Rng, SeedableRng};
 use svc_relalg::aggregate::{AggFunc, AggSpec};
 use svc_relalg::plan::Plan;
 use svc_relalg::scalar::{col, lit};
-use svc_storage::{Database, DataType, Deltas, Result, Schema, Table, Value};
+use svc_storage::{DataType, Database, Deltas, Result, Schema, Table, Value};
 
 use crate::zipf::Zipf;
 
@@ -96,7 +96,12 @@ pub fn generate(cfg: ConvivaConfig) -> Result<Database> {
 
 /// Append `count` new log records as the update workload (the remaining
 /// trace "applied in the order they arrived").
-pub fn appended_updates(db: &Database, cfg: ConvivaConfig, count: usize, seed: u64) -> Result<Deltas> {
+pub fn appended_updates(
+    db: &Database,
+    cfg: ConvivaConfig,
+    count: usize,
+    seed: u64,
+) -> Result<Deltas> {
     let next = db.table("activity")?.len() as i64;
     appended_updates_at(db, cfg, count, seed, next)
 }
@@ -133,6 +138,7 @@ pub struct ConvivaView {
 }
 
 /// The eight summary-statistics views of Appendix 12.6.2.
+#[allow(clippy::vec_init_then_push)] // one block per view reads better
 pub fn views() -> Vec<ConvivaView> {
     let mut out = Vec::new();
 
@@ -141,10 +147,7 @@ pub fn views() -> Vec<ConvivaView> {
         id: "V1",
         plan: Plan::scan("activity")
             .select(col("errorType").gt(lit(0i64)))
-            .aggregate(
-                &["resourceId", "errorType"],
-                vec![AggSpec::count_all("errors")],
-            ),
+            .aggregate(&["resourceId", "errorType"], vec![AggSpec::count_all("errors")]),
         dims: vec!["resourceId", "errorType"],
         measures: vec!["errors"],
     });
@@ -154,10 +157,7 @@ pub fn views() -> Vec<ConvivaView> {
         id: "V2",
         plan: Plan::scan("activity").aggregate(
             &["resourceId", "date"],
-            vec![
-                AggSpec::new("totalBytes", AggFunc::Sum, col("bytes")),
-                AggSpec::count_all("n"),
-            ],
+            vec![AggSpec::new("totalBytes", AggFunc::Sum, col("bytes")), AggSpec::count_all("n")],
         ),
         dims: vec!["resourceId", "date"],
         measures: vec!["totalBytes", "n"],
@@ -173,10 +173,7 @@ pub fn views() -> Vec<ConvivaView> {
                 ("userId", col("userId")),
                 ("week", col("date").div(lit(7i64))),
             ])
-            .aggregate(
-                &["resourceTag", "week"],
-                vec![AggSpec::count_all("visits")],
-            ),
+            .aggregate(&["resourceTag", "week"], vec![AggSpec::count_all("visits")]),
         dims: vec!["resourceTag", "week"],
         measures: vec!["visits"],
     });
@@ -187,10 +184,7 @@ pub fn views() -> Vec<ConvivaView> {
         id: "V4",
         plan: Plan::scan("activity")
             .aggregate(&["userId"], vec![AggSpec::count_all("sessions")])
-            .project(vec![
-                ("userId", col("userId")),
-                ("cohort", col("sessions").div(lit(10i64))),
-            ])
+            .project(vec![("userId", col("userId")), ("cohort", col("sessions").div(lit(10i64)))])
             .aggregate(&["cohort"], vec![AggSpec::count_all("usersInCohort")]),
         dims: vec!["cohort"],
         measures: vec!["usersInCohort"],
@@ -212,10 +206,7 @@ pub fn views() -> Vec<ConvivaView> {
         id: "V6",
         plan: Plan::scan("activity")
             .select(col("resourceId").lt(lit(40i64)))
-            .union(
-                Plan::scan("activity")
-                    .select(col("resourceId").ge(lit(350i64))),
-            )
+            .union(Plan::scan("activity").select(col("resourceId").ge(lit(350i64))))
             .aggregate(
                 &["resourceId"],
                 vec![
@@ -272,9 +263,8 @@ mod tests {
         let db = generate(cfg).unwrap();
         let deltas = appended_updates(&db, cfg, 400, 1).unwrap();
         for v in views() {
-            let mut svc =
-                SvcView::create(v.id, v.plan.clone(), &db, SvcConfig::with_ratio(0.2))
-                    .unwrap_or_else(|e| panic!("{} create failed: {e}", v.id));
+            let mut svc = SvcView::create(v.id, v.plan.clone(), &db, SvcConfig::with_ratio(0.2))
+                .unwrap_or_else(|e| panic!("{} create failed: {e}", v.id));
             assert!(!svc.view.is_empty(), "{} empty", v.id);
             let expected = svc.view.recompute_fresh(&db, &deltas).unwrap();
             svc.maintain_full(&db, &deltas).unwrap();

@@ -24,10 +24,7 @@ pub fn base_cube() -> Plan {
         .join(Plan::scan("region"), JoinKind::Inner, &[("n_regionkey", "r_regionkey")])
         .aggregate(
             &["c_custkey", "n_nationkey", "r_regionkey", "l_partkey"],
-            vec![
-                AggSpec::new("revenue", AggFunc::Sum, revenue_expr()),
-                AggSpec::count_all("n"),
-            ],
+            vec![AggSpec::new("revenue", AggFunc::Sum, revenue_expr()), AggSpec::count_all("n")],
         )
 }
 
@@ -65,12 +62,7 @@ pub fn group_values(cube: &Table, dims: &[&str], max_groups: usize) -> Result<Ve
 /// The roll-up query for one group of one dimension set: the aggregate over
 /// `measure` restricted to `dims = values` — "group by is modeled as part
 /// of the Condition" (footnote 1 of the paper).
-pub fn rollup_query(
-    agg: QueryAgg,
-    measure: &str,
-    dims: &[&str],
-    values: &KeyTuple,
-) -> AggQuery {
+pub fn rollup_query(agg: QueryAgg, measure: &str, dims: &[&str], values: &KeyTuple) -> AggQuery {
     let mut q = AggQuery { agg, attr: col(measure), predicate: None };
     let mut pred: Option<Expr> = None;
     for (d, v) in dims.iter().zip(values.0.iter()) {
@@ -95,8 +87,8 @@ mod tests {
     #[test]
     fn cube_materializes_and_rolls_up_consistently() {
         let data = TpcdData::generate(TpcdConfig { scale: 0.02, skew: 1.0, seed: 4 }).unwrap();
-        let svc = SvcView::create("cube", base_cube(), &data.db, SvcConfig::with_ratio(0.3))
-            .unwrap();
+        let svc =
+            SvcView::create("cube", base_cube(), &data.db, SvcConfig::with_ratio(0.3)).unwrap();
         let cube = svc.view.public_table().unwrap();
         assert!(!cube.is_empty());
         assert_eq!(
@@ -110,11 +102,7 @@ mod tests {
             let groups = group_values(&cube, dims, usize::MAX).unwrap();
             let sum: f64 = groups
                 .iter()
-                .map(|g| {
-                    rollup_query(QueryAgg::Sum, "revenue", dims, g)
-                        .exact(&cube)
-                        .unwrap()
-                })
+                .map(|g| rollup_query(QueryAgg::Sum, "revenue", dims, g).exact(&cube).unwrap())
                 .sum();
             assert!(
                 (sum - total).abs() < 1e-6 * total.abs(),

@@ -49,9 +49,7 @@ pub fn random_range_predicate(view: &Table, dim: &str, rng: &mut StdRng) -> Resu
     let start = rng.random_range(0..n.saturating_sub(width).max(1));
     let lo = values[start].clone();
     let hi = values[(start + width).min(n - 1)].clone();
-    Ok(col(dim)
-        .ge(Expr::Lit(lo))
-        .and(col(dim).le(Expr::Lit(hi))))
+    Ok(col(dim).ge(Expr::Lit(lo)).and(col(dim).le(Expr::Lit(hi))))
 }
 
 #[cfg(test)]
@@ -61,11 +59,7 @@ mod tests {
     use svc_storage::{DataType, Schema};
 
     fn view() -> Table {
-        let schema = Schema::from_pairs(&[
-            ("g", DataType::Int),
-            ("m", DataType::Float),
-        ])
-        .unwrap();
+        let schema = Schema::from_pairs(&[("g", DataType::Int), ("m", DataType::Float)]).unwrap();
         let mut t = Table::new(schema, &["g"]).unwrap();
         for g in 0..100i64 {
             t.insert(vec![Value::Int(g), Value::Float((g * 3 % 17) as f64)]).unwrap();

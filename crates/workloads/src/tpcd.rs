@@ -10,7 +10,7 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use svc_storage::{Database, DataType, Deltas, ForeignKey, Result, Schema, Table, Value};
+use svc_storage::{DataType, Database, Deltas, ForeignKey, Result, Schema, Table, Value};
 
 use crate::zipf::Zipf;
 
@@ -101,14 +101,12 @@ impl TpcdData {
         db.create_table("nation", nation);
 
         let mut supplier = Table::new(
-            Schema::from_pairs(&[
-                ("s_suppkey", DataType::Int),
-                ("s_nationkey", DataType::Int),
-            ])?,
+            Schema::from_pairs(&[("s_suppkey", DataType::Int), ("s_nationkey", DataType::Int)])?,
             &["s_suppkey"],
         )?;
         for s in 0..n_supp as i64 {
-            supplier.insert(vec![Value::Int(s), Value::Int(rng.random_range(0..NATIONS as i64))])?;
+            supplier
+                .insert(vec![Value::Int(s), Value::Int(rng.random_range(0..NATIONS as i64))])?;
         }
         db.create_table("supplier", supplier);
 
@@ -374,11 +372,7 @@ mod tests {
         let skewed = TpcdData::generate(TpcdConfig { scale: 0.05, skew: 3.0, seed: 5 }).unwrap();
         let orders = skewed.db.table("orders").unwrap();
         let ck = orders.schema().resolve("o_custkey").unwrap();
-        let hot = orders
-            .rows()
-            .iter()
-            .filter(|r| r[ck].as_i64().unwrap() == 0)
-            .count() as f64
+        let hot = orders.rows().iter().filter(|r| r[ck].as_i64().unwrap() == 0).count() as f64
             / orders.len() as f64;
         assert!(hot > 0.5, "z=3 should send most orders to customer 0, got {hot}");
     }

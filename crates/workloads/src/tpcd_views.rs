@@ -55,17 +55,14 @@ pub fn join_view_queries() -> Vec<JoinViewQuery> {
     vec![
         JoinViewQuery {
             id: "Q3",
-            generator: |rng| {
-                AggQuery::sum(revenue_expr()).filter(col("o_orderdate").lt(date(rng)))
-            },
+            generator: |rng| AggQuery::sum(revenue_expr()).filter(col("o_orderdate").lt(date(rng))),
         },
         JoinViewQuery {
             id: "Q4",
             generator: |rng| {
                 let d = rng.random_range(0..2400i64);
-                AggQuery::count().filter(
-                    col("o_orderdate").ge(lit(d)).and(col("o_orderdate").lt(lit(d + 90))),
-                )
+                AggQuery::count()
+                    .filter(col("o_orderdate").ge(lit(d)).and(col("o_orderdate").lt(lit(d + 90))))
             },
         },
         JoinViewQuery {
@@ -79,9 +76,8 @@ pub fn join_view_queries() -> Vec<JoinViewQuery> {
             id: "Q7",
             generator: |rng| {
                 let d = rng.random_range(0..2000i64);
-                AggQuery::sum(revenue_expr()).filter(
-                    col("l_shipdate").ge(lit(d)).and(col("l_shipdate").lt(lit(d + 365))),
-                )
+                AggQuery::sum(revenue_expr())
+                    .filter(col("l_shipdate").ge(lit(d)).and(col("l_shipdate").lt(lit(d + 365))))
             },
         },
         JoinViewQuery {
@@ -103,9 +99,8 @@ pub fn join_view_queries() -> Vec<JoinViewQuery> {
             id: "Q10",
             generator: |rng| {
                 let d = rng.random_range(0..2300i64);
-                AggQuery::sum(revenue_expr()).filter(
-                    col("l_returnflag").eq(lit("R")).and(col("o_orderdate").ge(lit(d))),
-                )
+                AggQuery::sum(revenue_expr())
+                    .filter(col("l_returnflag").eq(lit("R")).and(col("o_orderdate").ge(lit(d))))
             },
         },
         JoinViewQuery {
@@ -147,9 +142,8 @@ pub fn join_view_queries() -> Vec<JoinViewQuery> {
             id: "Q21",
             generator: |rng| {
                 let s = rng.random_range(1..20i64);
-                AggQuery::count().filter(
-                    col("l_returnflag").ne(lit("N")).and(col("l_suppkey").lt(lit(s))),
-                )
+                AggQuery::count()
+                    .filter(col("l_returnflag").ne(lit("N")).and(col("l_suppkey").lt(lit(s))))
             },
         },
     ]
@@ -172,6 +166,7 @@ pub struct ComplexView {
 }
 
 /// The ten complex views of Figure 7 (structural analogs).
+#[allow(clippy::vec_init_then_push)] // one block per view reads better
 pub fn complex_views() -> Vec<ComplexView> {
     let lineitem_orders = || {
         Plan::scan("lineitem").join(
@@ -254,15 +249,13 @@ pub fn complex_views() -> Vec<ComplexView> {
     // V10: returned revenue per customer.
     views.push(ComplexView {
         id: "V10",
-        plan: lineitem_orders()
-            .select(col("l_returnflag").eq(lit("R")))
-            .aggregate(
-                &["o_custkey"],
-                vec![
-                    AggSpec::new("lostRevenue", AggFunc::Sum, revenue_expr()),
-                    AggSpec::count_all("n"),
-                ],
-            ),
+        plan: lineitem_orders().select(col("l_returnflag").eq(lit("R"))).aggregate(
+            &["o_custkey"],
+            vec![
+                AggSpec::new("lostRevenue", AggFunc::Sum, revenue_expr()),
+                AggSpec::count_all("n"),
+            ],
+        ),
         dims: vec!["o_custkey"],
         measures: vec!["lostRevenue", "n"],
         blocked: false,
@@ -301,15 +294,13 @@ pub fn complex_views() -> Vec<ComplexView> {
     // V18: large-order volume per customer.
     views.push(ComplexView {
         id: "V18",
-        plan: lineitem_orders()
-            .select(col("o_totalprice").gt(lit(2000.0)))
-            .aggregate(
-                &["o_custkey"],
-                vec![
-                    AggSpec::new("quantity", AggFunc::Sum, col("l_quantity")),
-                    AggSpec::count_all("n"),
-                ],
-            ),
+        plan: lineitem_orders().select(col("o_totalprice").gt(lit(2000.0))).aggregate(
+            &["o_custkey"],
+            vec![
+                AggSpec::new("quantity", AggFunc::Sum, col("l_quantity")),
+                AggSpec::count_all("n"),
+            ],
+        ),
         dims: vec!["o_custkey"],
         measures: vec!["quantity", "n"],
         blocked: false,
@@ -411,9 +402,8 @@ mod tests {
         let data = data();
         let deltas = data.updates(0.05, 11).unwrap();
         for v in complex_views() {
-            let svc =
-                SvcView::create(v.id, v.plan.clone(), &data.db, SvcConfig::with_ratio(0.1))
-                    .unwrap();
+            let svc = SvcView::create(v.id, v.plan.clone(), &data.db, SvcConfig::with_ratio(0.1))
+                .unwrap();
             let (_, report, _) = svc.cleaning_plan(&data.db, &deltas).unwrap();
             assert_eq!(
                 !report.fully_pushed(),

@@ -6,7 +6,7 @@ use rand::{Rng, SeedableRng};
 
 use svc_relalg::aggregate::AggSpec;
 use svc_relalg::plan::{JoinKind, Plan};
-use svc_storage::{Database, DataType, Deltas, ForeignKey, Result, Schema, Table, Value};
+use svc_storage::{DataType, Database, Deltas, ForeignKey, Result, Schema, Table, Value};
 
 use crate::zipf::Zipf;
 
@@ -54,12 +54,7 @@ pub fn generate(videos: usize, sessions: usize, skew: f64, seed: u64) -> Result<
 /// `LogIns`: new sessions, skewed toward the most recent videos — the
 /// motivation example's "views to newly added videos may account for most
 /// of LogIns" (Section 2.1).
-pub fn log_insertions(
-    db: &Database,
-    count: usize,
-    recent_bias: f64,
-    seed: u64,
-) -> Result<Deltas> {
+pub fn log_insertions(db: &Database, count: usize, recent_bias: f64, seed: u64) -> Result<Deltas> {
     let mut rng = StdRng::seed_from_u64(seed);
     let video = db.table("video")?;
     let log = db.table("log")?;
@@ -105,11 +100,7 @@ mod tests {
         let db = generate(100, 1000, 1.0, 8).unwrap();
         let deltas = log_insertions(&db, 1000, 0.9, 9).unwrap();
         let ins = &deltas.get("log").unwrap().insertions;
-        let recent = ins
-            .rows()
-            .iter()
-            .filter(|r| r[1].as_i64().unwrap() >= 90)
-            .count() as f64
+        let recent = ins.rows().iter().filter(|r| r[1].as_i64().unwrap() >= 90).count() as f64
             / ins.len() as f64;
         assert!(recent > 0.8, "recent fraction {recent}");
     }

@@ -89,11 +89,7 @@ mod tests {
         }
         for k in [1usize, 2, 5] {
             let emp = counts[k] as f64 / n as f64;
-            assert!(
-                (emp - z.pmf(k)).abs() < 0.01,
-                "k={k}: empirical {emp} vs pmf {}",
-                z.pmf(k)
-            );
+            assert!((emp - z.pmf(k)).abs() < 0.01, "k={k}: empirical {emp} vs pmf {}", z.pmf(k));
         }
     }
 

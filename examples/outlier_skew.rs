@@ -31,11 +31,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &data.db,
         &deltas,
     )?;
-    println!(
-        "outlier index: {} records above threshold {:.0}",
-        idx.records.len(),
-        idx.threshold
-    );
+    println!("outlier index: {} records above threshold {:.0}", idx.records.len(), idx.threshold);
 
     let cleaned = svc.clean_sample(&data.db, &deltas)?;
     println!(

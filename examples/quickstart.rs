@@ -23,14 +23,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // CREATE MATERIALIZED VIEW visitView AS
     //   SELECT videoId, count(1) AS visitCount FROM log, video
     //   WHERE log.videoId = video.videoId GROUP BY videoId;
-    let mut svc = SvcView::create(
-        "visitView",
-        video::visit_view(),
-        &db,
-        SvcConfig::with_ratio(0.10),
-    )?;
-    println!("materialized visitView: {} rows, sampled {} rows (m=10%)",
-        svc.view.len(), svc.stale_sample().len());
+    let mut svc =
+        SvcView::create("visitView", video::visit_view(), &db, SvcConfig::with_ratio(0.10))?;
+    println!(
+        "materialized visitView: {} rows, sampled {} rows (m=10%)",
+        svc.view.len(),
+        svc.stale_sample().len()
+    );
 
     // 25,000 new sessions arrive, 90% of them hitting the newest videos —
     // staleness does not affect every query uniformly (Section 2.1).
@@ -42,7 +41,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // "How many videos have more than 60 visits?" (Example 2's shape)
     let popular = AggQuery::count().filter(col("visitCount").gt(lit(60i64)));
 
-    for (name, q) in [("sum of visits to newest videos", &hot), ("videos with >60 visits", &popular)] {
+    for (name, q) in
+        [("sum of visits to newest videos", &hot), ("videos with >60 visits", &popular)]
+    {
         let truth = svc.query_fresh_oracle(&db, &deltas, q)?;
         let stale = svc.query_stale(q)?;
         let cleaned = svc.clean_sample(&db, &deltas)?;

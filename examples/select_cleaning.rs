@@ -11,12 +11,7 @@ use stale_view_cleaning::workloads::video;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let db = video::generate(1_500, 60_000, 1.1, 3)?;
-    let svc = SvcView::create(
-        "visitView",
-        video::visit_view(),
-        &db,
-        SvcConfig::with_ratio(0.25),
-    )?;
+    let svc = SvcView::create("visitView", video::visit_view(), &db, SvcConfig::with_ratio(0.25))?;
 
     // A burst of views concentrated on the newest videos.
     let deltas = video::log_insertions(&db, 30_000, 0.95, 9)?;
@@ -35,17 +30,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &svc.config,
     )?;
 
-    let stale_hits = stale_view
-        .rows()
-        .iter()
-        .filter(|r| r[1].as_i64().unwrap_or(0) > 120)
-        .count();
+    let stale_hits = stale_view.rows().iter().filter(|r| r[1].as_i64().unwrap_or(0) > 120).count();
     let fresh = svc.view.public_of(&svc.view.recompute_fresh(&db, &deltas)?)?;
-    let true_hits = fresh
-        .rows()
-        .iter()
-        .filter(|r| r[1].as_i64().unwrap_or(0) > 120)
-        .count();
+    let true_hits = fresh.rows().iter().filter(|r| r[1].as_i64().unwrap_or(0) > 120).count();
 
     println!("SELECT * FROM visitView WHERE visitCount > 120");
     println!("  stale result rows   : {stale_hits}");

@@ -32,16 +32,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         v2.plan.clone(),
         &mut make_chunk,
         &queries,
-        &TimelineConfig {
-            total_chunks: 20,
-            ivm_period: 5,
-            svc_period: None,
-            ratio: 0.1,
-            seed: 3,
-        },
+        &TimelineConfig { total_chunks: 20, ivm_period: 5, svc_period: None, ratio: 0.1, seed: 3 },
     )?;
-    println!("IVM every 5 chunks          : max error {:.2}%  mean {:.2}%",
-        ivm.max_error * 100.0, ivm.mean_error * 100.0);
+    println!(
+        "IVM every 5 chunks          : max error {:.2}%  mean {:.2}%",
+        ivm.max_error * 100.0,
+        ivm.mean_error * 100.0
+    );
 
     // Sharing the cluster: IVM period doubles, but SVC cleans a 5% sample
     // every other chunk and answers queries with corrections.
@@ -58,8 +55,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             seed: 3,
         },
     )?;
-    println!("IVM every 10 + SVC-5% every 2: max error {:.2}%  mean {:.2}%",
-        with_svc.max_error * 100.0, with_svc.mean_error * 100.0);
+    println!(
+        "IVM every 10 + SVC-5% every 2: max error {:.2}%  mean {:.2}%",
+        with_svc.max_error * 100.0,
+        with_svc.mean_error * 100.0
+    );
 
     println!("\nSVC trades a slower full-refresh cadence for bounded estimates in");
     println!("between — the Figure 15 experiment in miniature.");

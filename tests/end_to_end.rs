@@ -82,8 +82,7 @@ fn estimates_beat_stale_baseline_on_aggregates() {
 fn full_maintenance_then_queries_are_exact() {
     let data = data();
     let deltas = data.updates(0.1, 2).unwrap();
-    let mut svc =
-        SvcView::create("jv", join_view(), &data.db, SvcConfig::with_ratio(0.1)).unwrap();
+    let mut svc = SvcView::create("jv", join_view(), &data.db, SvcConfig::with_ratio(0.1)).unwrap();
     let q = AggQuery::count();
     let truth = svc.query_fresh_oracle(&data.db, &deltas, &q).unwrap();
     svc.maintain_full(&data.db, &deltas).unwrap();
@@ -120,8 +119,5 @@ fn sampling_ratio_controls_accuracy_cost_tradeoff() {
         let est = svc.estimate_aqp(&cleaned, &q).unwrap();
         widths.push(est.ci.unwrap().half_width);
     }
-    assert!(
-        widths[0] > widths[2],
-        "CI width must shrink as m grows: {widths:?}"
-    );
+    assert!(widths[0] > widths[2], "CI width must shrink as m grows: {widths:?}");
 }

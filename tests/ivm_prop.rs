@@ -7,9 +7,7 @@ use stale_view_cleaning::ivm::view::MaterializedView;
 use stale_view_cleaning::relalg::aggregate::{AggFunc, AggSpec};
 use stale_view_cleaning::relalg::plan::{JoinKind, Plan};
 use stale_view_cleaning::relalg::scalar::{col, lit};
-use stale_view_cleaning::storage::{
-    Database, DataType, Deltas, Schema, Table, Value,
-};
+use stale_view_cleaning::storage::{DataType, Database, Deltas, Schema, Table, Value};
 
 fn video_db(n_videos: usize, n_sessions: usize, seed: u64) -> Database {
     let mut s = seed.wrapping_mul(0x2545F4914F6CDD1D) | 1;
@@ -21,25 +19,20 @@ fn video_db(n_videos: usize, n_sessions: usize, seed: u64) -> Database {
     };
     let mut db = Database::new();
     let mut video = Table::new(
-        Schema::from_pairs(&[("videoId", DataType::Int), ("duration", DataType::Float)])
-            .unwrap(),
+        Schema::from_pairs(&[("videoId", DataType::Int), ("duration", DataType::Float)]).unwrap(),
         &["videoId"],
     )
     .unwrap();
     for v in 0..n_videos as i64 {
-        video
-            .insert(vec![Value::Int(v), Value::Float((next() % 300) as f64 / 100.0)])
-            .unwrap();
+        video.insert(vec![Value::Int(v), Value::Float((next() % 300) as f64 / 100.0)]).unwrap();
     }
     let mut log = Table::new(
-        Schema::from_pairs(&[("sessionId", DataType::Int), ("videoId", DataType::Int)])
-            .unwrap(),
+        Schema::from_pairs(&[("sessionId", DataType::Int), ("videoId", DataType::Int)]).unwrap(),
         &["sessionId"],
     )
     .unwrap();
     for s_id in 0..n_sessions as i64 {
-        log.insert(vec![Value::Int(s_id), Value::Int((next() % n_videos as u64) as i64)])
-            .unwrap();
+        log.insert(vec![Value::Int(s_id), Value::Int((next() % n_videos as u64) as i64)]).unwrap();
     }
     db.create_table("video", video);
     db.create_table("log", log);

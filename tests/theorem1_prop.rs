@@ -8,9 +8,7 @@ use stale_view_cleaning::relalg::eval::{evaluate, Bindings};
 use stale_view_cleaning::relalg::plan::{JoinKind, Plan};
 use stale_view_cleaning::relalg::scalar::{col, lit};
 use stale_view_cleaning::sampling::push_down;
-use stale_view_cleaning::storage::{
-    Database, DataType, HashSpec, Schema, Table, Value,
-};
+use stale_view_cleaning::storage::{DataType, Database, HashSpec, Schema, Table, Value};
 
 fn build_db(facts: &[(i64, i64, f64)], dims: &[(i64, f64)]) -> Database {
     let mut db = Database::new();
@@ -45,18 +43,12 @@ fn plan_variant(variant: u8) -> (Plan, Vec<&'static str>) {
     match variant % 6 {
         0 => (Plan::scan("fact").select(col("x").gt(lit(0.3))), vec!["factId"]),
         1 => (
-            Plan::scan("fact").project(vec![
-                ("factId", col("factId")),
-                ("x2", col("x").mul(lit(2.0))),
-            ]),
+            Plan::scan("fact")
+                .project(vec![("factId", col("factId")), ("x2", col("x").mul(lit(2.0)))]),
             vec!["factId"],
         ),
         2 => (
-            Plan::scan("fact").join(
-                Plan::scan("dim"),
-                JoinKind::Inner,
-                &[("dimId", "dimId")],
-            ),
+            Plan::scan("fact").join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")]),
             vec!["factId"],
         ),
         3 => (
@@ -64,10 +56,7 @@ fn plan_variant(variant: u8) -> (Plan, Vec<&'static str>) {
                 .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")])
                 .aggregate(
                     &["dimId"],
-                    vec![
-                        AggSpec::count_all("n"),
-                        AggSpec::new("sx", AggFunc::Sum, col("x")),
-                    ],
+                    vec![AggSpec::count_all("n"), AggSpec::new("sx", AggFunc::Sum, col("x"))],
                 ),
             vec!["dimId"],
         ),
