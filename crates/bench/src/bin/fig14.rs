@@ -1,13 +1,15 @@
-//! Figure 14 — Mini-batch throughput vs batch size on the Spark stand-in:
+//! Figure 14 — Mini-batch throughput vs batch size on the *calibrated*
+//! Spark stand-in (synthetic per-batch overhead + per-record spin work):
 //! (a) one maintenance pipeline; (b) two concurrent pipelines (IVM + SVC)
-//! contending for the cluster.
+//! contending for the cluster. The same curve measured on real maintenance
+//! plans is `fig_minibatch`.
 
 use svc_bench::Report;
-use svc_cluster::BatchPipeline;
+use svc_cluster::SpinPipeline;
 
 fn main() {
     let workers = std::thread::available_parallelism().map(|n| n.get().clamp(2, 4)).unwrap_or(2);
-    let pipeline = BatchPipeline::new(workers);
+    let pipeline = SpinPipeline::new(workers);
     let total = 40_000;
     let batch_sizes = [500usize, 1_000, 2_500, 5_000, 10_000, 20_000, 40_000];
 

@@ -149,25 +149,48 @@ impl WorkerPool {
         for plan in plans {
             optimized.push(optimize(plan, bindings)?.0);
         }
-        let slots: Vec<Mutex<Option<Result<Table>>>> =
-            (0..optimized.len()).map(|_| Mutex::new(None)).collect();
+        self.run_batch(optimized.len(), |i| evaluate(&optimized[i], bindings))
+    }
+
+    /// [`WorkerPool::evaluate_plans`] without the optimizer pass: every plan
+    /// is evaluated exactly as written. The optimizer-off arm of the
+    /// mini-batch benchmarks.
+    pub fn evaluate_plans_raw(
+        &self,
+        plans: &[Plan],
+        bindings: &Bindings<'_>,
+    ) -> Result<Vec<Table>> {
+        self.run_batch(plans.len(), |i| evaluate(&plans[i], bindings))
+    }
+
+    /// Run `n` numbered tasks off a shared queue on the pool and collect
+    /// their results in index order. Once any task errors, workers stop
+    /// picking up new tasks (in-flight evaluations finish) and the first
+    /// error in index order is returned — tasks that did run never
+    /// masquerade as "not evaluated".
+    pub fn run_batch<T, F>(&self, n: usize, eval: F) -> Result<Vec<T>>
+    where
+        T: Send,
+        F: Fn(usize) -> Result<T> + Sync,
+    {
+        let slots: Vec<Mutex<Option<Result<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         let failed = std::sync::atomic::AtomicBool::new(false);
         std::thread::scope(|s| {
-            for _ in 0..self.workers.min(optimized.len()).max(1) {
-                let optimized = &optimized;
+            for _ in 0..self.workers.min(n).max(1) {
                 let slots = &slots;
                 let next = &next;
                 let failed = &failed;
+                let eval = &eval;
                 s.spawn(move || loop {
                     if failed.load(Ordering::Relaxed) {
                         break;
                     }
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= optimized.len() {
+                    if i >= slots.len() {
                         break;
                     }
-                    let out = evaluate(&optimized[i], bindings);
+                    let out = eval(i);
                     if out.is_err() {
                         failed.store(true, Ordering::Relaxed);
                     }
@@ -262,6 +285,60 @@ mod tests {
         let pool = WorkerPool::new(2);
         let err = pool.evaluate_plans(&[Plan::scan("missing")], &bindings);
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn failing_plan_mid_batch_surfaces_its_own_error() {
+        // A batch where plan 3 is the only broken one: the returned error
+        // must be *that* plan's error — never the internal "plan was not
+        // evaluated" placeholder for plans that did run (or never ran).
+        let mut db = Database::new();
+        let mut t = Table::new(
+            Schema::from_pairs(&[("id", DataType::Int), ("x", DataType::Float)]).unwrap(),
+            &["id"],
+        )
+        .unwrap();
+        for i in 0..100i64 {
+            t.insert(vec![Value::Int(i), Value::Float(i as f64)]).unwrap();
+        }
+        db.create_table("t", t);
+        let bindings = Bindings::from_database(&db);
+
+        let mut plans: Vec<Plan> = (0..8).map(|_| Plan::scan("t")).collect();
+        plans[3] = Plan::scan("no_such_table");
+        let pool = WorkerPool::new(2);
+        let err = pool.evaluate_plans(&plans, &bindings).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("no_such_table"), "expected the original error, got: {msg}");
+        assert!(!msg.contains("plan was not evaluated"), "placeholder leaked: {msg}");
+    }
+
+    #[test]
+    fn failure_stops_new_pickups_and_keeps_the_original_error() {
+        // Deterministic with one worker: tasks run strictly in order, so
+        // after index 2 fails, indices 3.. must never be picked up.
+        let pool = WorkerPool::new(1);
+        let ran = std::sync::Arc::new(AtomicUsize::new(0));
+        let ran2 = ran.clone();
+        let err = pool
+            .run_batch(10, move |i| {
+                ran2.fetch_add(1, Ordering::Relaxed);
+                if i == 2 {
+                    Err(StorageError::Invalid(format!("task {i} exploded")))
+                } else {
+                    Ok(i)
+                }
+            })
+            .unwrap_err();
+        assert_eq!(ran.load(Ordering::Relaxed), 3, "no new pickups after the failure");
+        assert!(err.to_string().contains("task 2 exploded"), "wrong error: {err}");
+    }
+
+    #[test]
+    fn run_batch_success_returns_results_in_order() {
+        let pool = WorkerPool::new(4);
+        let out = pool.run_batch(32, |i| Ok(i * i)).unwrap();
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
     }
 
     #[test]

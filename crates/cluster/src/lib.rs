@@ -5,8 +5,13 @@
 //! so this crate reproduces the three mechanisms those experiments depend
 //! on:
 //!
-//! 1. **batch amortization** — per-batch fixed overhead makes small batches
-//!    slow (Figure 14a);
+//! 1. **batch amortization** — per-batch driver work (plan compilation,
+//!    change-table merge folding) makes small batches slow (Figure 14a).
+//!    [`minibatch::BatchPipeline`] measures this on *real* maintenance
+//!    plans: delta chunks compile to per-partition change tables
+//!    (`svc-ivm`), evaluate on the pool (`WorkerPool::evaluate_plans`), and
+//!    merge into the view. The synthetic spin model survives as
+//!    [`minibatch::SpinPipeline`] for calibration only;
 //! 2. **contention** — two concurrent maintenance pipelines share the
 //!    worker pool and reduce each other's throughput, less so at large
 //!    batch sizes (Figure 14b);
@@ -14,7 +19,8 @@
 //!    leave workers idle, which SVC's small sampling tasks can absorb
 //!    (Figure 16).
 //!
-//! [`timeline`] drives the *real* SVC machinery through a simulated
+//! [`timeline`] drives the *real* SVC machinery — IVM refreshes routed
+//! through the plan-driven [`minibatch::BatchPipeline`] — over a periodic
 //! maintenance schedule to reproduce the max-error-vs-sampling-ratio
 //! trade-off of Figure 15.
 
@@ -23,5 +29,5 @@ pub mod minibatch;
 pub mod timeline;
 
 pub use executor::{ExecutionTrace, WorkerPool};
-pub use minibatch::{BatchPipeline, ThroughputPoint};
-pub use timeline::{timeline_max_error, TimelineConfig, TimelineResult};
+pub use minibatch::{BatchPipeline, BatchRun, SpinPipeline, ThroughputPoint};
+pub use timeline::{timeline_max_error, timeline_max_error_on, TimelineConfig, TimelineResult};

@@ -12,7 +12,9 @@
 use svc_core::query::{relative_error, AggQuery};
 use svc_core::{Method, SvcConfig, SvcView};
 use svc_relalg::plan::Plan;
-use svc_storage::{Database, Deltas, Result};
+use svc_storage::{Database, Deltas, Result, StorageError};
+
+use crate::minibatch::BatchPipeline;
 
 /// Schedule parameters for one timeline run.
 #[derive(Debug, Clone, Copy)]
@@ -42,6 +44,9 @@ pub struct TimelineResult {
 /// IVM every `ivm_period` chunks, clean the sample every `svc_period`
 /// chunks (answering queries by SVC+CORR in between), and report the error
 /// profile. `make_chunk(db, t)` must generate non-conflicting keys per `t`.
+///
+/// IVM refreshes run through a default plan-driven [`BatchPipeline`] on two
+/// workers; use [`timeline_max_error_on`] to share a configured pipeline.
 pub fn timeline_max_error(
     base: &Database,
     view_def: Plan,
@@ -49,6 +54,36 @@ pub fn timeline_max_error(
     queries: &[AggQuery],
     cfg: &TimelineConfig,
 ) -> Result<TimelineResult> {
+    timeline_max_error_on(&BatchPipeline::new(2), base, view_def, make_chunk, queries, cfg)
+}
+
+/// [`timeline_max_error`] on an explicit mini-batch pipeline: every IVM
+/// refresh drains the pending deltas through `pipeline` (real per-partition
+/// change-table plans on the worker pool), then redraws the SVC sample.
+pub fn timeline_max_error_on(
+    pipeline: &BatchPipeline,
+    base: &Database,
+    view_def: Plan,
+    make_chunk: &mut dyn FnMut(&Database, usize) -> Result<Deltas>,
+    queries: &[AggQuery],
+    cfg: &TimelineConfig,
+) -> Result<TimelineResult> {
+    if cfg.ivm_period == 0 {
+        return Err(StorageError::Invalid(
+            "timeline config: ivm_period must be at least 1 chunk".into(),
+        ));
+    }
+    if cfg.svc_period == Some(0) {
+        return Err(StorageError::Invalid(
+            "timeline config: svc_period must be at least 1 chunk when enabled".into(),
+        ));
+    }
+    if queries.is_empty() {
+        return Err(StorageError::Invalid(
+            "timeline config: at least one query is required to measure error".into(),
+        ));
+    }
+
     let mut db = base.clone();
     let svc_cfg = SvcConfig::with_ratio(cfg.ratio).reseeded(cfg.seed);
     let mut svc = SvcView::create("timeline", view_def, &db, svc_cfg)?;
@@ -67,8 +102,11 @@ pub fn timeline_max_error(
         pending.merge(chunk)?;
 
         if t % cfg.ivm_period == 0 {
-            // Full refresh: view becomes exact, deltas commit.
-            svc.maintain_full(&db, &pending)?;
+            // Full refresh through the mini-batch pipeline: the view becomes
+            // exact, the sample is redrawn, and the deltas commit.
+            let batch = pending.len().max(1);
+            pipeline.maintain(&db, &mut svc.view, &pending, batch)?;
+            svc.resample();
             pending.apply_to(&mut db)?;
             for (a, q) in answers.iter_mut().zip(queries) {
                 *a = svc.query_stale(q)?;
@@ -209,6 +247,65 @@ mod tests {
             with_svc.max_error,
             ivm_only.max_error
         );
+    }
+
+    #[test]
+    fn zero_ivm_period_is_an_error_not_a_panic() {
+        // Regression: this used to divide by zero at `t % cfg.ivm_period`.
+        let db = base_db();
+        let err = timeline_max_error(
+            &db,
+            view_def(),
+            &mut chunk,
+            &queries(),
+            &TimelineConfig {
+                total_chunks: 3,
+                ivm_period: 0,
+                svc_period: None,
+                ratio: 0.1,
+                seed: 1,
+            },
+        );
+        assert!(matches!(err, Err(svc_storage::StorageError::Invalid(_))), "{err:?}");
+    }
+
+    #[test]
+    fn zero_svc_period_is_an_error_not_a_panic() {
+        let db = base_db();
+        let err = timeline_max_error(
+            &db,
+            view_def(),
+            &mut chunk,
+            &queries(),
+            &TimelineConfig {
+                total_chunks: 3,
+                ivm_period: 2,
+                svc_period: Some(0),
+                ratio: 0.1,
+                seed: 1,
+            },
+        );
+        assert!(matches!(err, Err(svc_storage::StorageError::Invalid(_))), "{err:?}");
+    }
+
+    #[test]
+    fn empty_queries_are_an_error_not_a_panic() {
+        // Regression: this used to index `errs[0]` on an empty error vector.
+        let db = base_db();
+        let err = timeline_max_error(
+            &db,
+            view_def(),
+            &mut chunk,
+            &[],
+            &TimelineConfig {
+                total_chunks: 3,
+                ivm_period: 2,
+                svc_period: None,
+                ratio: 0.1,
+                seed: 1,
+            },
+        );
+        assert!(matches!(err, Err(svc_storage::StorageError::Invalid(_))), "{err:?}");
     }
 
     #[test]

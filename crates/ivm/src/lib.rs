@@ -28,5 +28,8 @@ pub mod view;
 
 pub use canon::{canonicalize, Canonical};
 pub use delta::{derive_delta, DeltaInfo, DeltaPlan};
-pub use strategy::{maintenance_plan, MaintCatalog, PlanKind};
+pub use strategy::{
+    batch_change_plans, maintenance_plan, merge_change_plan, MaintCatalog, PlanKind, CHANGE_LEAF,
+    STALE_LEAF,
+};
 pub use view::MaterializedView;

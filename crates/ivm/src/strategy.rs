@@ -33,6 +33,12 @@ use crate::delta::{derive_delta, new_state, DeltaInfo};
 /// Leaf name bound to the stale view inside maintenance plans.
 pub const STALE_LEAF: &str = "__stale";
 
+/// Leaf name bound to an already-materialized signed change table inside
+/// [`merge_change_plan`] — the driver-side merge step of mini-batch
+/// maintenance, where workers evaluate per-partition change tables and the
+/// results are folded into the view one at a time.
+pub const CHANGE_LEAF: &str = "__change";
+
 /// Which maintenance strategy a plan implements.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PlanKind {
@@ -57,11 +63,21 @@ pub struct MaintCatalog<'a> {
 
 impl LeafProvider for MaintCatalog<'_> {
     fn leaf(&self, name: &str) -> Option<Derived> {
-        if name == STALE_LEAF {
+        // The change table has the canonical view's schema and key.
+        if name == STALE_LEAF || name == CHANGE_LEAF {
             return Some(self.stale.clone());
         }
         let base =
             name.strip_prefix("__ins.").or_else(|| name.strip_prefix("__del.")).unwrap_or(name);
+        // Partition-suffixed delta leaves (`__ins.T@3`) share T's schema.
+        let base = match base.rsplit_once('@') {
+            Some((t, p))
+                if base != name && !p.is_empty() && p.bytes().all(|b| b.is_ascii_digit()) =>
+            {
+                t
+            }
+            _ => base,
+        };
         self.db.leaf(base)
     }
 }
@@ -148,12 +164,45 @@ pub fn optimized_maintenance_plan(
     Ok((plan, kind, report))
 }
 
-/// The change-table strategy for a canonical top-level aggregate.
-fn change_table_plan(
+/// Canonical output column names of an aggregate view: group fields
+/// followed by aggregate aliases.
+struct CanonNames {
+    all: Vec<String>,
+    group: Vec<String>,
+    agg: Vec<String>,
+}
+
+fn canon_names(canonical: &Canonical, cat: &MaintCatalog<'_>) -> Result<CanonNames> {
+    let Plan::Aggregate { group_by, .. } = &canonical.plan else {
+        return Err(StorageError::Invalid("canonical plan is not an aggregate".into()));
+    };
+    let canon_schema = derive(&canonical.plan, cat)?.schema;
+    let all: Vec<String> = canon_schema.names().iter().map(|s| s.to_string()).collect();
+    let group = all[..group_by.len()].to_vec();
+    let agg = all[group_by.len()..].to_vec();
+    Ok(CanonNames { all, group, agg })
+}
+
+/// The *signed change table* of a canonical aggregate view for the given
+/// deltas, as a plan over `{base tables, __ins.T, __del.T}` — the γ half of
+/// the change-table strategy, without the stale-view merge. Returns `None`
+/// when the deltas cannot touch the view (every branch pruned).
+pub fn change_table_expr(
     canonical: &Canonical,
     cat: &MaintCatalog<'_>,
     info: &DeltaInfo,
-) -> Result<Plan> {
+) -> Result<Option<Plan>> {
+    change_table_expr_with(canonical, cat, info, &canon_names(canonical, cat)?)
+}
+
+/// [`change_table_expr`] with the canonical names precomputed — the batch
+/// path calls this once per chunk without re-deriving the view plan.
+fn change_table_expr_with(
+    canonical: &Canonical,
+    cat: &MaintCatalog<'_>,
+    info: &DeltaInfo,
+    names: &CanonNames,
+) -> Result<Option<Plan>> {
     let shape = canonical
         .agg
         .as_ref()
@@ -162,49 +211,38 @@ fn change_table_plan(
         return Err(StorageError::Invalid("canonical plan is not an aggregate".into()));
     };
 
-    // Canonical output field names: group fields followed by agg aliases.
-    let canon_schema = derive(&canonical.plan, cat)?.schema;
-    let all_names: Vec<String> = canon_schema.names().iter().map(|s| s.to_string()).collect();
-    let group_names: Vec<String> = all_names[..group_by.len()].to_vec();
-    let agg_names: Vec<String> = all_names[group_by.len()..].to_vec();
-
     let d = derive_delta(&shape.input, info, cat)?;
     let gamma = |input: Plan| Plan::Aggregate {
         input: Box::new(input),
         group_by: group_by.clone(),
         aggregates: aggregates.clone(),
     };
-
-    // --- The signed change table over the deltas -------------------------
-    let identity_cols = |names: &[String]| -> Vec<(String, Expr)> {
-        names.iter().map(|n| (n.clone(), col(n.clone()))).collect()
-    };
     let negate_cols = |prefix: &str| -> Vec<(String, Expr)> {
         let mut cols: Vec<(String, Expr)> =
-            group_names.iter().map(|g| (g.clone(), col(format!("{prefix}{g}")))).collect();
-        for a in &agg_names {
+            names.group.iter().map(|g| (g.clone(), col(format!("{prefix}{g}")))).collect();
+        for a in &names.agg {
             cols.push((a.clone(), lit(0i64).sub(col(format!("{prefix}{a}")))));
         }
         cols
     };
 
-    let change = match (d.ins, d.del) {
-        (Some(ins), None) => gamma(ins),
-        (None, Some(del)) => Plan::Project {
-            input: Box::new(rename_all(gamma(del), &all_names, "__d_")),
+    Ok(match (d.ins, d.del) {
+        (Some(ins), None) => Some(gamma(ins)),
+        (None, Some(del)) => Some(Plan::Project {
+            input: Box::new(rename_all(gamma(del), &names.all, "__d_")),
             columns: negate_cols("__d_"),
-        },
+        }),
         (Some(ins), Some(del)) => {
             let gi = gamma(ins);
-            let gd = rename_all(gamma(del), &all_names, "__d_");
+            let gd = rename_all(gamma(del), &names.all, "__d_");
             let on: Vec<(String, String)> =
-                group_names.iter().map(|g| (g.clone(), format!("__d_{g}"))).collect();
+                names.group.iter().map(|g| (g.clone(), format!("__d_{g}"))).collect();
             let on_rev: Vec<(String, String)> =
                 on.iter().map(|(l, r)| (r.clone(), l.clone())).collect();
 
             let mut matched_cols: Vec<(String, Expr)> =
-                group_names.iter().map(|g| (g.clone(), col(g.clone()))).collect();
-            for a in &agg_names {
+                names.group.iter().map(|g| (g.clone(), col(g.clone()))).collect();
+            for a in &names.agg {
                 matched_cols.push((
                     a.clone(),
                     coalesce0(col(a.clone())).sub(coalesce0(col(format!("__d_{a}")))),
@@ -234,21 +272,34 @@ fn change_table_plan(
                 }),
                 columns: negate_cols("__d_"),
             };
-            matched.union(ins_only.union(del_only))
+            Some(matched.union(ins_only.union(del_only)))
         }
-        (None, None) => return Ok(Plan::scan(STALE_LEAF)),
+        (None, None) => None,
+    })
+}
+
+/// Merge an arbitrary change-table-shaped plan with `Scan __stale` using the
+/// canonical merge rules — the second half of the change-table strategy.
+fn merge_with_stale(canonical: &Canonical, cat: &MaintCatalog<'_>, change: Plan) -> Result<Plan> {
+    let shape = canonical
+        .agg
+        .as_ref()
+        .ok_or_else(|| StorageError::Invalid("change table requires an aggregate view".into()))?;
+    let names = canon_names(canonical, cat)?;
+
+    let identity_cols = |names: &[String]| -> Vec<(String, Expr)> {
+        names.iter().map(|n| (n.clone(), col(n.clone()))).collect()
     };
 
-    // --- Merge the change table with the stale view ----------------------
-    let change_renamed = rename_all(change, &all_names, "__c_");
+    let change_renamed = rename_all(change, &names.all, "__c_");
     let stale = Plan::scan(STALE_LEAF);
     let on: Vec<(String, String)> =
-        group_names.iter().map(|g| (g.clone(), format!("__c_{g}"))).collect();
+        names.group.iter().map(|g| (g.clone(), format!("__c_{g}"))).collect();
     let on_rev: Vec<(String, String)> = on.iter().map(|(l, r)| (r.clone(), l.clone())).collect();
 
     let mut merged_cols: Vec<(String, Expr)> =
-        group_names.iter().map(|g| (g.clone(), col(g.clone()))).collect();
-    for (a, rule) in agg_names.iter().zip(shape.cols.iter().map(|c| &c.rule)) {
+        names.group.iter().map(|g| (g.clone(), col(g.clone()))).collect();
+    for (a, rule) in names.agg.iter().zip(shape.cols.iter().map(|c| &c.rule)) {
         let s = col(a.clone());
         let c = col(format!("__c_{a}"));
         let merged = match rule {
@@ -285,7 +336,7 @@ fn change_table_plan(
             kind: JoinKind::Anti,
             on: on_rev,
         }),
-        columns: identity_cols(&all_names)
+        columns: identity_cols(&names.all)
             .into_iter()
             .map(|(n, _)| (n.clone(), col(format!("__c_{n}"))))
             .collect(),
@@ -294,6 +345,67 @@ fn change_table_plan(
     let merged = matched_v.union(stale_only.union(change_only));
     // Drop groups whose rows were all deleted (superfluous rows).
     Ok(merged.select(col(SVC_CNT).gt(lit(0i64))))
+}
+
+/// The change-table strategy for a canonical top-level aggregate: signed
+/// change table over the deltas, merged with the stale view.
+fn change_table_plan(
+    canonical: &Canonical,
+    cat: &MaintCatalog<'_>,
+    info: &DeltaInfo,
+) -> Result<Plan> {
+    match change_table_expr(canonical, cat, info)? {
+        None => Ok(Plan::scan(STALE_LEAF)),
+        Some(change) => merge_with_stale(canonical, cat, change),
+    }
+}
+
+/// The driver-side merge plan of mini-batch maintenance: fold one
+/// already-materialized change table (bound as [`CHANGE_LEAF`]) into the
+/// stale view (bound as [`STALE_LEAF`]). For additive merge rules the fold
+/// is associative, so per-partition change tables can be applied in any
+/// order and one at a time.
+pub fn merge_change_plan(canonical: &Canonical, cat: &MaintCatalog<'_>) -> Result<Plan> {
+    merge_with_stale(canonical, cat, Plan::scan(CHANGE_LEAF))
+}
+
+/// Compile a batch of delta chunks into per-partition change-table plans.
+/// Chunk `p`'s plan reads its deltas through the partition-suffixed leaves
+/// `__ins.T@p` / `__del.T@p`, so the whole batch shares one [`Bindings`]
+/// set and can be evaluated side by side (`WorkerPool::evaluate_plans`);
+/// the plans also share the change-table subtree *shape*, the multi-query
+/// setting where batch evaluation amortizes optimization.
+///
+/// Errors when the view is not change-table eligible for a chunk's deltas
+/// (min/max under deletions, median, non-aggregate views) — callers fall
+/// back to sequential maintenance in that case — or when a chunk is empty
+/// (partition first; `Deltas::partition` never emits empty chunks).
+///
+/// [`Bindings`]: svc_relalg::eval::Bindings
+pub fn batch_change_plans(
+    canonical: &Canonical,
+    cat: &MaintCatalog<'_>,
+    chunks: &[svc_storage::Deltas],
+) -> Result<Vec<Plan>> {
+    let names = canon_names(canonical, cat)?;
+    let mut plans = Vec::with_capacity(chunks.len());
+    for (p, chunk) in chunks.iter().enumerate() {
+        let info = DeltaInfo::of(chunk);
+        if !canonical.change_table_eligible(info.has_deletions()) {
+            return Err(StorageError::Invalid(
+                "batch change-table maintenance requires a change-table-eligible view".into(),
+            ));
+        }
+        let change = change_table_expr_with(canonical, cat, &info, &names)?.ok_or_else(|| {
+            StorageError::Invalid(format!("delta chunk {p} is empty; partition before batching"))
+        })?;
+        let suffixed = change.rename_leaves(&mut |name| {
+            (name.starts_with("__ins.") || name.starts_with("__del."))
+                .then(|| format!("{name}@{p}"))
+        });
+        plans.push(suffixed);
+    }
+    Ok(plans)
 }
 
 /// Recomputation expressed as a plan: every base scan becomes its new state
@@ -336,4 +448,36 @@ pub fn recompute_plan(def: &Plan, cat: &MaintCatalog<'_>, info: &DeltaInfo) -> R
             return Err(StorageError::Invalid("unexpected η node inside a view definition".into()))
         }
     })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svc_storage::{DataType, Database, Schema, Table, Value};
+
+    #[test]
+    fn maint_catalog_resolves_partition_suffixed_delta_leaves() {
+        let mut db = Database::new();
+        let mut t = Table::new(
+            Schema::from_pairs(&[("id", DataType::Int), ("x", DataType::Float)]).unwrap(),
+            &["id"],
+        )
+        .unwrap();
+        t.insert(vec![Value::Int(1), Value::Float(1.0)]).unwrap();
+        db.create_table("log", t);
+        let stale = db.leaf("log").unwrap();
+        let cat = MaintCatalog { db: &db, stale: stale.clone() };
+
+        // Plain, partitioned, and special leaves all resolve.
+        for name in ["log", "__ins.log", "__del.log", "__ins.log@0", "__del.log@17"] {
+            let d = cat.leaf(name).unwrap_or_else(|| panic!("`{name}` must resolve"));
+            assert_eq!(d.schema.names(), vec!["id", "x"], "schema of `{name}`");
+        }
+        assert!(cat.leaf(STALE_LEAF).is_some());
+        assert!(cat.leaf(CHANGE_LEAF).is_some());
+        // Non-numeric or prefix-less '@' names are not partition suffixes.
+        assert!(cat.leaf("__ins.log@x7").is_none());
+        assert!(cat.leaf("log@3").is_none());
+        assert!(cat.leaf("__ins.missing@0").is_none());
+    }
 }

@@ -362,6 +362,68 @@ mod tests {
     }
 
     #[test]
+    fn batched_change_plans_fold_to_full_maintenance() {
+        use crate::delta::{del_leaf_at, ins_leaf_at};
+        use crate::strategy::{batch_change_plans, merge_change_plan, CHANGE_LEAF};
+
+        let db = db();
+        let mut view = MaterializedView::create("v", visit_view(), &db).unwrap();
+        // A single-table stream (insertions, deletions, updates of `log`):
+        // chunk-parallel change tables are exact for single-table deltas.
+        let mut deltas = Deltas::new();
+        for s in 700..860i64 {
+            deltas.insert(&db, "log", vec![Value::Int(s), Value::Int(s % 60)]).unwrap();
+        }
+        for s in 0..40i64 {
+            deltas.delete(&db, "log", &vec![Value::Int(s * 5), Value::Null]).unwrap();
+        }
+        deltas.update(&db, "log", vec![Value::Int(7), Value::Int(59)]).unwrap();
+        let expected = view.recompute_fresh(&db, &deltas).unwrap();
+
+        let cat = MaintCatalog {
+            db: &db,
+            stale: Derived {
+                schema: view.table().schema().clone(),
+                key: view.table().key().to_vec(),
+            },
+        };
+        let chunks = deltas.partition(4);
+        assert!(chunks.len() > 1, "enough records to actually partition");
+        let plans = batch_change_plans(view.canonical(), &cat, &chunks).unwrap();
+        assert_eq!(plans.len(), chunks.len());
+
+        // Shared bindings: every chunk's deltas bound side by side.
+        let mut b = Bindings::from_database(&db);
+        for (p, chunk) in chunks.iter().enumerate() {
+            for (name, set) in chunk.iter() {
+                b.bind(ins_leaf_at(name, p), &set.insertions);
+                b.bind(del_leaf_at(name, p), &set.deletions);
+            }
+        }
+        let changes: Vec<Table> = plans.iter().map(|pl| evaluate(pl, &b).unwrap()).collect();
+
+        // Fold the per-partition change tables into the view one at a time.
+        let merge = merge_change_plan(view.canonical(), &cat).unwrap();
+        let mut current = view.table().clone();
+        for c in &changes {
+            let mut mb = Bindings::new();
+            mb.bind(crate::strategy::STALE_LEAF, &current);
+            mb.bind(CHANGE_LEAF, c);
+            current = evaluate(&merge, &mb).unwrap();
+        }
+        assert!(
+            current.approx_same_contents(&expected, 1e-9),
+            "folded batch maintenance diverged: {} vs {} rows",
+            current.len(),
+            expected.len()
+        );
+
+        // And the sequential path agrees, as a sanity anchor.
+        view.maintain(&db, &deltas).unwrap();
+        assert!(view.table().approx_same_contents(&current, 1e-9));
+    }
+
+    #[test]
     fn nested_aggregate_view_recomputes_correctly() {
         // The blocked V21-style shape: distribution of visit counts.
         let db = db();

@@ -101,6 +101,98 @@ pub fn derive(plan: &Plan, leaves: &(impl LeafProvider + ?Sized)) -> Result<Deri
     }
 }
 
+/// The derived type of every node of a plan, mirroring the plan's tree
+/// shape: `children` are in plan order (`input`, or `left` then `right`).
+///
+/// One [`derive_tree`] pass costs O(nodes) total because each node's type is
+/// computed from its children's already-derived types. The optimizer rules
+/// walk a plan and its `DerivedTree` in lockstep instead of calling
+/// [`derive`] (an O(subtree) recursion) at every node they visit, which is
+/// what kept a full optimize() sweep at O(n²) derive work before.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DerivedTree {
+    /// This node's derived type.
+    pub derived: Derived,
+    /// Children in plan order.
+    pub children: Vec<DerivedTree>,
+}
+
+impl DerivedTree {
+    /// A leaf (no children).
+    pub fn leaf(derived: Derived) -> DerivedTree {
+        DerivedTree { derived, children: Vec::new() }
+    }
+
+    /// A unary node above `child`.
+    pub fn unary(derived: Derived, child: DerivedTree) -> DerivedTree {
+        DerivedTree { derived, children: vec![child] }
+    }
+
+    /// A binary node above `left` and `right`.
+    pub fn binary(derived: Derived, left: DerivedTree, right: DerivedTree) -> DerivedTree {
+        DerivedTree { derived, children: vec![left, right] }
+    }
+
+    /// The single child of a unary node.
+    pub fn input(&self) -> &DerivedTree {
+        &self.children[0]
+    }
+
+    /// The two children of a binary node.
+    pub fn pair(&self) -> (&DerivedTree, &DerivedTree) {
+        (&self.children[0], &self.children[1])
+    }
+}
+
+/// Derive the whole plan bottom-up in one O(nodes) pass.
+pub fn derive_tree(plan: &Plan, leaves: &(impl LeafProvider + ?Sized)) -> Result<DerivedTree> {
+    Ok(match plan {
+        Plan::Scan { table } => DerivedTree::leaf(
+            leaves.leaf(table).ok_or_else(|| StorageError::UnknownTable(table.clone()))?,
+        ),
+        Plan::Select { input, predicate } => {
+            let c = derive_tree(input, leaves)?;
+            DerivedTree::unary(derive_select(&c.derived, predicate)?, c)
+        }
+        Plan::Project { input, columns } => {
+            let c = derive_tree(input, leaves)?;
+            DerivedTree::unary(derive_project(&c.derived, columns)?, c)
+        }
+        Plan::Join { left, right, kind, on } => {
+            let l = derive_tree(left, leaves)?;
+            let r = derive_tree(right, leaves)?;
+            let d = derive_join(&l.derived, &r.derived, *kind, on, right.name_hint())?.0;
+            DerivedTree::binary(d, l, r)
+        }
+        Plan::Aggregate { input, group_by, aggregates } => {
+            let c = derive_tree(input, leaves)?;
+            DerivedTree::unary(derive_aggregate(&c.derived, group_by, aggregates)?, c)
+        }
+        Plan::Union { left, right } => {
+            let l = derive_tree(left, leaves)?;
+            let r = derive_tree(right, leaves)?;
+            let d = derive_setop(&l.derived, &r.derived, SetOpKind::Union)?;
+            DerivedTree::binary(d, l, r)
+        }
+        Plan::Intersect { left, right } => {
+            let l = derive_tree(left, leaves)?;
+            let r = derive_tree(right, leaves)?;
+            let d = derive_setop(&l.derived, &r.derived, SetOpKind::Intersect)?;
+            DerivedTree::binary(d, l, r)
+        }
+        Plan::Difference { left, right } => {
+            let l = derive_tree(left, leaves)?;
+            let r = derive_tree(right, leaves)?;
+            let d = derive_setop(&l.derived, &r.derived, SetOpKind::Difference)?;
+            DerivedTree::binary(d, l, r)
+        }
+        Plan::Hash { input, key, ratio, .. } => {
+            let c = derive_tree(input, leaves)?;
+            DerivedTree::unary(derive_hash(&c.derived, key, *ratio)?, c)
+        }
+    })
+}
+
 /// σ: validate the predicate binds; schema and key pass through.
 pub fn derive_select(input: &Derived, predicate: &Expr) -> Result<Derived> {
     predicate.bind(&input.schema)?;
@@ -418,6 +510,36 @@ mod tests {
         let d = derive(&plan, &leaves()).unwrap();
         assert!(d.key.is_empty());
         assert_eq!(d.schema.names(), vec!["n"]);
+    }
+
+    #[test]
+    fn derive_tree_agrees_with_derive_at_every_node() {
+        let plan = Plan::scan("log")
+            .join(Plan::scan("video"), JoinKind::Inner, &[("videoId", "videoId")])
+            .aggregate(&["videoId"], vec![AggSpec::count_all("n")])
+            .select(col("n").gt(lit(1i64)))
+            .hash(&["videoId"], 0.5, Default::default());
+        let leaves = leaves();
+        fn check(plan: &Plan, tree: &DerivedTree, leaves: &Leaves) {
+            assert_eq!(tree.derived, derive(plan, leaves).unwrap());
+            let children: Vec<&Plan> = match plan {
+                Plan::Scan { .. } => vec![],
+                Plan::Select { input, .. }
+                | Plan::Project { input, .. }
+                | Plan::Aggregate { input, .. }
+                | Plan::Hash { input, .. } => vec![input],
+                Plan::Join { left, right, .. }
+                | Plan::Union { left, right }
+                | Plan::Intersect { left, right }
+                | Plan::Difference { left, right } => vec![left, right],
+            };
+            assert_eq!(children.len(), tree.children.len());
+            for (c, t) in children.iter().zip(&tree.children) {
+                check(c, t, leaves);
+            }
+        }
+        let tree = derive_tree(&plan, &leaves).unwrap();
+        check(&plan, &tree, &leaves);
     }
 
     #[test]

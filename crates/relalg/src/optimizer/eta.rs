@@ -17,9 +17,20 @@
 //!   table sampled on its key while the dimension is joined on its whole
 //!   primary key — is an instance of this rule.
 //!
+//! Adjacent η nodes over the *same* key and hash spec compose:
+//! `η_{a,m1} ∘ η_{a,m2} = η_{a,min(m1,m2)}` because both filters test the
+//! identical hash value against their ratio. Stacked hashes with different
+//! keys or specs rest on top of each other (swapping them would ping-pong).
+//!
 //! Every spot where the rewrite must stop is recorded as a *blocker*; nested
 //! group-by aggregates (NP-hard in general, Appendix 12.4) and
 //! key-transforming projections (the paper's V21/V22) surface here.
+//!
+//! Schema/key information comes from one bottom-up [`derive_tree`] pass per
+//! sweep; the rewrite carries each subtree's [`DerivedTree`] alongside the
+//! plan (η moves never change any node's schema or key, only the tree
+//! shape), so no subtree is ever re-derived — optimizing deep plans is
+//! O(nodes) derive work per sweep instead of O(nodes²).
 //!
 //! Theorem 1 — the rewritten plan materializes the *identical* sample — is
 //! exercised by this module's callers: `svc_sampling::pushdown` (a thin
@@ -27,13 +38,14 @@
 
 use svc_storage::{HashSpec, Result};
 
-use crate::derive::{derive, LeafProvider, SetOpKind};
+use crate::derive::{derive_tree, DerivedTree, LeafProvider, SetOpKind};
 use crate::plan::{JoinKind, Plan};
 
 /// What the η rule did: how far hashes moved and where they stopped.
 #[derive(Debug, Clone, Default)]
 pub struct EtaReport {
-    /// Number of operators the hash was pushed through.
+    /// Number of operators the hash was pushed through (η∘η compositions
+    /// count once — a node was eliminated).
     pub descended: usize,
     /// Human-readable reasons the push stopped somewhere above a leaf.
     pub blockers: Vec<String>,
@@ -51,85 +63,149 @@ impl EtaReport {
 
 /// Rewrite `plan`, pushing every η node as deep as Definition 3 allows.
 pub fn pushdown(plan: Plan, leaves: &dyn LeafProvider, report: &mut EtaReport) -> Result<Plan> {
-    rewrite(plan, leaves, report)
+    let tree = derive_tree(&plan, leaves)?;
+    Ok(rewrite(plan, tree, report)?.0)
 }
 
-fn rewrite(plan: Plan, leaves: &dyn LeafProvider, report: &mut EtaReport) -> Result<Plan> {
+/// Split a unary node's tree into its own derived type and its child's tree.
+fn take_unary(dt: DerivedTree) -> (crate::derive::Derived, DerivedTree) {
+    let DerivedTree { derived, mut children } = dt;
+    (derived, children.pop().expect("unary node has one child"))
+}
+
+/// Split a binary node's tree into its own derived type and both children.
+fn take_binary(dt: DerivedTree) -> (crate::derive::Derived, DerivedTree, DerivedTree) {
+    let DerivedTree { derived, mut children } = dt;
+    let right = children.pop().expect("binary node has two children");
+    let left = children.pop().expect("binary node has two children");
+    (derived, left, right)
+}
+
+fn rewrite(plan: Plan, dt: DerivedTree, report: &mut EtaReport) -> Result<(Plan, DerivedTree)> {
     Ok(match plan {
         Plan::Hash { input, key, ratio, spec } => {
-            let inner = rewrite(*input, leaves, report)?;
-            push(key, ratio, spec, inner, leaves, report)?
+            let (_, input_dt) = take_unary(dt);
+            let (inner, inner_dt) = rewrite(*input, input_dt, report)?;
+            push(key, ratio, spec, inner, inner_dt, report)?
         }
-        Plan::Scan { .. } => plan,
+        Plan::Scan { .. } => (plan, dt),
         Plan::Select { input, predicate } => {
-            Plan::Select { input: Box::new(rewrite(*input, leaves, report)?), predicate }
+            let (d, input_dt) = take_unary(dt);
+            let (inner, inner_dt) = rewrite(*input, input_dt, report)?;
+            (Plan::Select { input: Box::new(inner), predicate }, DerivedTree::unary(d, inner_dt))
         }
         Plan::Project { input, columns } => {
-            Plan::Project { input: Box::new(rewrite(*input, leaves, report)?), columns }
+            let (d, input_dt) = take_unary(dt);
+            let (inner, inner_dt) = rewrite(*input, input_dt, report)?;
+            (Plan::Project { input: Box::new(inner), columns }, DerivedTree::unary(d, inner_dt))
         }
-        Plan::Join { left, right, kind, on } => Plan::Join {
-            left: Box::new(rewrite(*left, leaves, report)?),
-            right: Box::new(rewrite(*right, leaves, report)?),
-            kind,
-            on,
-        },
-        Plan::Aggregate { input, group_by, aggregates } => Plan::Aggregate {
-            input: Box::new(rewrite(*input, leaves, report)?),
-            group_by,
-            aggregates,
-        },
-        Plan::Union { left, right } => Plan::Union {
-            left: Box::new(rewrite(*left, leaves, report)?),
-            right: Box::new(rewrite(*right, leaves, report)?),
-        },
-        Plan::Intersect { left, right } => Plan::Intersect {
-            left: Box::new(rewrite(*left, leaves, report)?),
-            right: Box::new(rewrite(*right, leaves, report)?),
-        },
-        Plan::Difference { left, right } => Plan::Difference {
-            left: Box::new(rewrite(*left, leaves, report)?),
-            right: Box::new(rewrite(*right, leaves, report)?),
-        },
+        Plan::Aggregate { input, group_by, aggregates } => {
+            let (d, input_dt) = take_unary(dt);
+            let (inner, inner_dt) = rewrite(*input, input_dt, report)?;
+            (
+                Plan::Aggregate { input: Box::new(inner), group_by, aggregates },
+                DerivedTree::unary(d, inner_dt),
+            )
+        }
+        Plan::Join { left, right, kind, on } => {
+            let (d, l_dt, r_dt) = take_binary(dt);
+            let (l, l_dt) = rewrite(*left, l_dt, report)?;
+            let (r, r_dt) = rewrite(*right, r_dt, report)?;
+            (
+                Plan::Join { left: Box::new(l), right: Box::new(r), kind, on },
+                DerivedTree::binary(d, l_dt, r_dt),
+            )
+        }
+        Plan::Union { left, right } => {
+            let (d, l_dt, r_dt) = take_binary(dt);
+            let (l, l_dt) = rewrite(*left, l_dt, report)?;
+            let (r, r_dt) = rewrite(*right, r_dt, report)?;
+            (
+                Plan::Union { left: Box::new(l), right: Box::new(r) },
+                DerivedTree::binary(d, l_dt, r_dt),
+            )
+        }
+        Plan::Intersect { left, right } => {
+            let (d, l_dt, r_dt) = take_binary(dt);
+            let (l, l_dt) = rewrite(*left, l_dt, report)?;
+            let (r, r_dt) = rewrite(*right, r_dt, report)?;
+            (
+                Plan::Intersect { left: Box::new(l), right: Box::new(r) },
+                DerivedTree::binary(d, l_dt, r_dt),
+            )
+        }
+        Plan::Difference { left, right } => {
+            let (d, l_dt, r_dt) = take_binary(dt);
+            let (l, l_dt) = rewrite(*left, l_dt, report)?;
+            let (r, r_dt) = rewrite(*right, r_dt, report)?;
+            (
+                Plan::Difference { left: Box::new(l), right: Box::new(r) },
+                DerivedTree::binary(d, l_dt, r_dt),
+            )
+        }
     })
 }
 
 /// Push one hash (with `key`/`ratio`/`spec`) into `input`, which has already
-/// been rewritten.
+/// been rewritten; `input_dt` is its derived tree.
 fn push(
     key: Vec<String>,
     ratio: f64,
     spec: HashSpec,
     input: Plan,
-    leaves: &dyn LeafProvider,
+    input_dt: DerivedTree,
     report: &mut EtaReport,
-) -> Result<Plan> {
+) -> Result<(Plan, DerivedTree)> {
     match input {
         Plan::Scan { ref table } => {
             report.sampled_leaves.push(table.clone());
-            Ok(Plan::Hash { input: Box::new(input), key, ratio, spec })
+            let d = input_dt.derived.clone();
+            Ok((
+                Plan::Hash { input: Box::new(input), key, ratio, spec },
+                DerivedTree::unary(d, input_dt),
+            ))
         }
         Plan::Select { input: inner, predicate } => {
             report.descended += 1;
-            Ok(Plan::Select {
-                input: Box::new(push(key, ratio, spec, *inner, leaves, report)?),
-                predicate,
-            })
+            let (d, inner_dt) = take_unary(input_dt);
+            let (pushed, pushed_dt) = push(key, ratio, spec, *inner, inner_dt, report)?;
+            Ok((
+                Plan::Select { input: Box::new(pushed), predicate },
+                DerivedTree::unary(d, pushed_dt),
+            ))
         }
-        Plan::Hash { .. } => {
-            // η commutes with η, but "pushing through" an adjacent hash
-            // only swaps the two filters — and would swap them back on the
-            // next sweep, so the engine would never reach a fixed point.
-            // The inner hash has already been pushed as deep as legality
-            // allows (this function rewrites bottom-up), so the outer one
-            // rests directly above it.
-            Ok(Plan::Hash { input: Box::new(input), key, ratio, spec })
+        Plan::Hash { input: inner, key: inner_key, ratio: inner_ratio, spec: inner_spec } => {
+            if inner_key == key && inner_spec == spec {
+                // η∘η with one shared (key, spec): both filters test the same
+                // hash value, so they compose to the tighter ratio. Count the
+                // eliminated node as a descent so the engine sees a change.
+                report.descended += 1;
+                let (_, inner_dt) = take_unary(input_dt);
+                push(key, ratio.min(inner_ratio), spec, *inner, inner_dt, report)
+            } else {
+                // Different key or spec: "pushing through" would only swap
+                // the two filters — and swap them back on the next sweep, so
+                // the engine would never reach a fixed point. The inner hash
+                // has already been pushed as deep as legality allows (this
+                // function rewrites bottom-up), so the outer one rests
+                // directly above it.
+                let d = input_dt.derived.clone();
+                let rebuilt = Plan::Hash {
+                    input: inner,
+                    key: inner_key,
+                    ratio: inner_ratio,
+                    spec: inner_spec,
+                };
+                Ok((
+                    Plan::Hash { input: Box::new(rebuilt), key, ratio, spec },
+                    DerivedTree::unary(d, input_dt),
+                ))
+            }
         }
         Plan::Project { input: inner, columns } => {
             // Each key column must be a bare column reference in the
             // projection; map output names back to input names.
-            let out_schema =
-                derive(&Plan::Project { input: inner.clone(), columns: columns.clone() }, leaves)?
-                    .schema;
+            let out_schema = &input_dt.derived.schema;
             let mut mapped = Vec::with_capacity(key.len());
             let mut ok = true;
             for k in &key {
@@ -143,33 +219,31 @@ fn push(
             }
             if ok {
                 report.descended += 1;
-                Ok(Plan::Project {
-                    input: Box::new(push(mapped, ratio, spec, *inner, leaves, report)?),
-                    columns,
-                })
+                let (d, inner_dt) = take_unary(input_dt);
+                let (pushed, pushed_dt) = push(mapped, ratio, spec, *inner, inner_dt, report)?;
+                Ok((
+                    Plan::Project { input: Box::new(pushed), columns },
+                    DerivedTree::unary(d, pushed_dt),
+                ))
             } else {
                 report.blockers.push(format!(
                     "projection transforms hash key ({}); η stays above Π",
                     key.join(",")
                 ));
-                Ok(Plan::Hash {
-                    input: Box::new(Plan::Project { input: inner, columns }),
-                    key,
-                    ratio,
-                    spec,
-                })
+                let d = input_dt.derived.clone();
+                Ok((
+                    Plan::Hash {
+                        input: Box::new(Plan::Project { input: inner, columns }),
+                        key,
+                        ratio,
+                        spec,
+                    },
+                    DerivedTree::unary(d, input_dt),
+                ))
             }
         }
         Plan::Aggregate { input: inner, group_by, aggregates } => {
-            let out_schema = derive(
-                &Plan::Aggregate {
-                    input: inner.clone(),
-                    group_by: group_by.clone(),
-                    aggregates: aggregates.clone(),
-                },
-                leaves,
-            )?
-            .schema;
+            let out_schema = &input_dt.derived.schema;
             let mut mapped = Vec::with_capacity(key.len());
             let mut ok = true;
             for k in &key {
@@ -183,11 +257,12 @@ fn push(
             }
             if ok {
                 report.descended += 1;
-                Ok(Plan::Aggregate {
-                    input: Box::new(push(mapped, ratio, spec, *inner, leaves, report)?),
-                    group_by,
-                    aggregates,
-                })
+                let (d, inner_dt) = take_unary(input_dt);
+                let (pushed, pushed_dt) = push(mapped, ratio, spec, *inner, inner_dt, report)?;
+                Ok((
+                    Plan::Aggregate { input: Box::new(pushed), group_by, aggregates },
+                    DerivedTree::unary(d, pushed_dt),
+                ))
             } else {
                 report.blockers.push(format!(
                     "hash key ({}) is not contained in the group-by clause ({}); η stays \
@@ -195,25 +270,29 @@ fn push(
                     key.join(","),
                     group_by.join(",")
                 ));
-                Ok(Plan::Hash {
-                    input: Box::new(Plan::Aggregate { input: inner, group_by, aggregates }),
-                    key,
-                    ratio,
-                    spec,
-                })
+                let d = input_dt.derived.clone();
+                Ok((
+                    Plan::Hash {
+                        input: Box::new(Plan::Aggregate { input: inner, group_by, aggregates }),
+                        key,
+                        ratio,
+                        spec,
+                    },
+                    DerivedTree::unary(d, input_dt),
+                ))
             }
         }
         Plan::Join { left, right, kind, on } => {
-            push_join(key, ratio, spec, *left, *right, kind, on, leaves, report)
+            push_join(key, ratio, spec, *left, *right, kind, on, input_dt, report)
         }
         Plan::Union { left, right } => {
-            push_setop(key, ratio, spec, *left, *right, SetOpKind::Union, leaves, report)
+            push_setop(key, ratio, spec, *left, *right, SetOpKind::Union, input_dt, report)
         }
         Plan::Intersect { left, right } => {
-            push_setop(key, ratio, spec, *left, *right, SetOpKind::Intersect, leaves, report)
+            push_setop(key, ratio, spec, *left, *right, SetOpKind::Intersect, input_dt, report)
         }
         Plan::Difference { left, right } => {
-            push_setop(key, ratio, spec, *left, *right, SetOpKind::Difference, leaves, report)
+            push_setop(key, ratio, spec, *left, *right, SetOpKind::Difference, input_dt, report)
         }
     }
 }
@@ -228,20 +307,21 @@ fn push_setop(
     left: Plan,
     right: Plan,
     op: SetOpKind,
-    leaves: &dyn LeafProvider,
+    dt: DerivedTree,
     report: &mut EtaReport,
-) -> Result<Plan> {
-    let l_schema = derive(&left, leaves)?.schema;
-    let r_schema = derive(&right, leaves)?.schema;
+) -> Result<(Plan, DerivedTree)> {
+    let (d, l_dt, r_dt) = take_binary(dt);
+    let l_schema = &l_dt.derived.schema;
+    let r_schema = &r_dt.derived.schema;
     let mut right_key = Vec::with_capacity(key.len());
     for k in &key {
         let p = l_schema.resolve(k)?;
         right_key.push(r_schema.field(p).name.clone());
     }
     report.descended += 1;
-    let l = push(key, ratio, spec, left, leaves, report)?;
-    let r = push(right_key, ratio, spec, right, leaves, report)?;
-    Ok(op.rebuild(l, r))
+    let (l, l_dt) = push(key, ratio, spec, left, l_dt, report)?;
+    let (r, r_dt) = push(right_key, ratio, spec, right, r_dt, report)?;
+    Ok((op.rebuild(l, r), DerivedTree::binary(d, l_dt, r_dt)))
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -253,21 +333,13 @@ fn push_join(
     right: Plan,
     kind: JoinKind,
     on: Vec<(String, String)>,
-    leaves: &dyn LeafProvider,
+    dt: DerivedTree,
     report: &mut EtaReport,
-) -> Result<Plan> {
-    let l_d = derive(&left, leaves)?;
-    let r_d = derive(&right, leaves)?;
-    let out_schema = derive(
-        &Plan::Join {
-            left: Box::new(left.clone()),
-            right: Box::new(right.clone()),
-            kind,
-            on: on.clone(),
-        },
-        leaves,
-    )?
-    .schema;
+) -> Result<(Plan, DerivedTree)> {
+    let (d, l_dt, r_dt) = take_binary(dt);
+    let l_d = &l_dt.derived;
+    let r_d = &r_dt.derived;
+    let out_schema = &d.schema;
 
     let l_arity = l_d.schema.len();
     // Classify each key column: Some(Left(name)) / Some(Right(name)) by the
@@ -329,9 +401,12 @@ fn push_join(
         }
         if all {
             report.descended += 1;
-            let l = Box::new(push(lk, ratio, spec, left, leaves, report)?);
-            let r = Box::new(push(rk, ratio, spec, right, leaves, report)?);
-            return Ok(Plan::Join { left: l, right: r, kind, on });
+            let (l, l_dt) = push(lk, ratio, spec, left, l_dt, report)?;
+            let (r, r_dt) = push(rk, ratio, spec, right, r_dt, report)?;
+            return Ok((
+                Plan::Join { left: Box::new(l), right: Box::new(r), kind, on },
+                DerivedTree::binary(d, l_dt, r_dt),
+            ));
         }
     }
 
@@ -351,8 +426,11 @@ fn push_join(
             })
             .collect();
         report.descended += 1;
-        let l = Box::new(push(lk, ratio, spec, left, leaves, report)?);
-        return Ok(Plan::Join { left: l, right: Box::new(right), kind, on });
+        let (l, l_dt) = push(lk, ratio, spec, left, l_dt, report)?;
+        return Ok((
+            Plan::Join { left: Box::new(l), right: Box::new(right), kind, on },
+            DerivedTree::binary(d, l_dt, r_dt),
+        ));
     }
     if all_right && matches!(kind, JoinKind::Inner | JoinKind::Right) {
         let rk: Vec<String> = sides
@@ -363,8 +441,11 @@ fn push_join(
             })
             .collect();
         report.descended += 1;
-        let r = Box::new(push(rk, ratio, spec, right, leaves, report)?);
-        return Ok(Plan::Join { left: Box::new(left), right: r, kind, on });
+        let (r, r_dt) = push(rk, ratio, spec, right, r_dt, report)?;
+        return Ok((
+            Plan::Join { left: Box::new(left), right: Box::new(r), kind, on },
+            DerivedTree::binary(d, l_dt, r_dt),
+        ));
     }
 
     report.blockers.push(format!(
@@ -372,10 +453,7 @@ fn push_join(
          equality condition",
         key.join(",")
     ));
-    Ok(Plan::Hash {
-        input: Box::new(Plan::Join { left: Box::new(left), right: Box::new(right), kind, on }),
-        key,
-        ratio,
-        spec,
-    })
+    let join = Plan::Join { left: Box::new(left), right: Box::new(right), kind, on };
+    let join_dt = DerivedTree::binary(d.clone(), l_dt, r_dt);
+    Ok((Plan::Hash { input: Box::new(join), key, ratio, spec }, DerivedTree::unary(d, join_dt)))
 }

@@ -225,6 +225,66 @@ mod tests {
         );
     }
 
+    /// Count the `Hash` nodes of a plan and return the minimum ratio seen.
+    fn hash_nodes(plan: &Plan) -> (usize, f64) {
+        match plan {
+            Plan::Hash { input, ratio, .. } => {
+                let (n, r) = hash_nodes(input);
+                (n + 1, r.min(*ratio))
+            }
+            Plan::Scan { .. } => (0, f64::INFINITY),
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::Aggregate { input, .. } => hash_nodes(input),
+            Plan::Join { left, right, .. }
+            | Plan::Union { left, right }
+            | Plan::Intersect { left, right }
+            | Plan::Difference { left, right } => {
+                let (ln, lr) = hash_nodes(left);
+                let (rn, rr) = hash_nodes(right);
+                (ln + rn, lr.min(rr))
+            }
+        }
+    }
+
+    #[test]
+    fn adjacent_hashes_with_shared_spec_compose_to_min_ratio() {
+        // η_{0.7} ∘ η_{0.4} with one (key, spec) ≡ η_{0.4}: the optimizer
+        // must collapse the pair into a single hash and keep the result
+        // identical (this subsumes the old "leave them unswapped" behavior).
+        let spec = HashSpec::with_seed(9);
+        let plan = Plan::scan("fact")
+            .select(col("x").gt(lit(2.0)))
+            .hash(&["factId"], 0.4, spec)
+            .hash(&["factId"], 0.7, spec);
+        let db = db();
+        let b = Bindings::from_database(&db);
+        let expected = evaluate(&plan, &b).unwrap();
+        let (optimized, _) = optimize(&plan, &db).unwrap();
+        let got = evaluate(&optimized, &b).unwrap();
+        assert!(got.same_contents(&expected), "η∘η composition changed the sample");
+        let (n, min_ratio) = hash_nodes(&optimized);
+        assert_eq!(n, 1, "adjacent hashes should compose into one: {optimized:?}");
+        assert!((min_ratio - 0.4).abs() < 1e-12, "composed ratio must be min: {min_ratio}");
+    }
+
+    #[test]
+    fn adjacent_hashes_with_different_specs_stay_stacked() {
+        let plan = Plan::scan("fact").hash(&["factId"], 0.4, HashSpec::with_seed(1)).hash(
+            &["factId"],
+            0.7,
+            HashSpec::with_seed(2),
+        );
+        let db = db();
+        let b = Bindings::from_database(&db);
+        let expected = evaluate(&plan, &b).unwrap();
+        let (optimized, _) = optimize(&plan, &db).unwrap();
+        let got = evaluate(&optimized, &b).unwrap();
+        assert!(got.same_contents(&expected));
+        let (n, _) = hash_nodes(&optimized);
+        assert_eq!(n, 2, "independent samples must not merge: {optimized:?}");
+    }
+
     #[test]
     fn report_counts_projection_pruning() {
         // The aggregate needs only dimId and x; the join carries label/weight

@@ -27,14 +27,19 @@
 
 use svc_storage::{Result, Schema};
 
-use crate::derive::{derive, LeafProvider, SetOpKind};
+use crate::derive::{derive_tree, DerivedTree, LeafProvider, SetOpKind};
 use crate::plan::{JoinKind, Plan};
 use crate::scalar::{BinOp, Expr};
 
 /// Push every selection in `plan` as deep as legality allows. `moved`
 /// counts conjuncts that crossed at least one operator boundary.
+///
+/// Schemas come from one bottom-up [`derive_tree`] pass over the input plan;
+/// the recursion descends the plan and the tree in lockstep, so no node's
+/// subtree is ever re-derived.
 pub fn pushdown(plan: Plan, leaves: &dyn LeafProvider, moved: &mut usize) -> Result<Plan> {
-    push(plan, Vec::new(), leaves, moved)
+    let tree = derive_tree(&plan, leaves)?;
+    push(plan, &tree, Vec::new(), moved)
 }
 
 /// Split a predicate into its top-level conjuncts. SQL `WHERE` keeps a row
@@ -100,51 +105,38 @@ fn rename_cols(e: &Expr, rename: &dyn Fn(&str) -> Result<String>) -> Result<Expr
 }
 
 /// Core recursion: `preds` are conjuncts filtering this node's output,
-/// with names resolvable against this node's output schema.
-fn push(
-    plan: Plan,
-    mut preds: Vec<Expr>,
-    leaves: &dyn LeafProvider,
-    moved: &mut usize,
-) -> Result<Plan> {
+/// with names resolvable against this node's output schema. `dt` is the
+/// derived tree of `plan` (pre-rewrite; predicate movement never changes
+/// any node's schema, so the annotation stays exact throughout).
+fn push(plan: Plan, dt: &DerivedTree, mut preds: Vec<Expr>, moved: &mut usize) -> Result<Plan> {
     match plan {
         Plan::Select { input, predicate } => {
             split_conjuncts(predicate, &mut preds);
-            push(*input, preds, leaves, moved)
+            push(*input, dt.input(), preds, moved)
         }
         Plan::Scan { .. } => Ok(wrap(plan, preds)),
         Plan::Hash { input, key, ratio, spec } => {
             // Canonical order σ(η(..)): η evaluates first (and is usually
             // already at a leaf), the σ filters the smaller sample above.
-            let inner = push(*input, Vec::new(), leaves, moved)?;
+            let inner = push(*input, dt.input(), Vec::new(), moved)?;
             Ok(wrap(Plan::Hash { input: Box::new(inner), key, ratio, spec }, preds))
         }
         Plan::Project { input, columns } => {
             if preds.is_empty() {
-                let inner = push(*input, Vec::new(), leaves, moved)?;
+                let inner = push(*input, dt.input(), Vec::new(), moved)?;
                 return Ok(Plan::Project { input: Box::new(inner), columns });
             }
-            let out_schema =
-                derive(&Plan::Project { input: input.clone(), columns: columns.clone() }, leaves)?
-                    .schema;
+            let out_schema = &dt.derived.schema;
             let lowered = preds
                 .into_iter()
-                .map(|p| substitute(&p, &out_schema, &columns))
+                .map(|p| substitute(&p, out_schema, &columns))
                 .collect::<Result<Vec<_>>>()?;
             *moved += lowered.len();
-            let inner = push(*input, lowered, leaves, moved)?;
+            let inner = push(*input, dt.input(), lowered, moved)?;
             Ok(Plan::Project { input: Box::new(inner), columns })
         }
         Plan::Aggregate { input, group_by, aggregates } => {
-            let out_schema = derive(
-                &Plan::Aggregate {
-                    input: input.clone(),
-                    group_by: group_by.clone(),
-                    aggregates: aggregates.clone(),
-                },
-                leaves,
-            )?
-            .schema;
+            let out_schema = &dt.derived.schema;
             let mut below = Vec::new();
             let mut above = Vec::new();
             for p in preds {
@@ -161,17 +153,13 @@ fn push(
                 }
             }
             *moved += below.len();
-            let inner = push(*input, below, leaves, moved)?;
+            let inner = push(*input, dt.input(), below, moved)?;
             Ok(wrap(Plan::Aggregate { input: Box::new(inner), group_by, aggregates }, above))
         }
         Plan::Join { left, right, kind, on } => {
-            let l_d = derive(&left, leaves)?;
-            let r_d = derive(&right, leaves)?;
-            let out_schema = derive(
-                &Plan::Join { left: left.clone(), right: right.clone(), kind, on: on.clone() },
-                leaves,
-            )?
-            .schema;
+            let (l_t, r_t) = dt.pair();
+            let (l_d, r_d) = (&l_t.derived, &r_t.derived);
+            let out_schema = &dt.derived.schema;
             let l_arity = l_d.schema.len();
 
             let push_left_ok =
@@ -214,18 +202,18 @@ fn push(
                 }
             }
             *moved += l_preds.len() + r_preds.len();
-            let l = push(*left, l_preds, leaves, moved)?;
-            let r = push(*right, r_preds, leaves, moved)?;
+            let l = push(*left, l_t, l_preds, moved)?;
+            let r = push(*right, r_t, r_preds, moved)?;
             Ok(wrap(Plan::Join { left: Box::new(l), right: Box::new(r), kind, on }, above))
         }
         Plan::Union { left, right } => {
-            push_setop(*left, *right, SetOpKind::Union, preds, leaves, moved)
+            push_setop(*left, *right, dt, SetOpKind::Union, preds, moved)
         }
         Plan::Intersect { left, right } => {
-            push_setop(*left, *right, SetOpKind::Intersect, preds, leaves, moved)
+            push_setop(*left, *right, dt, SetOpKind::Intersect, preds, moved)
         }
         Plan::Difference { left, right } => {
-            push_setop(*left, *right, SetOpKind::Difference, preds, leaves, moved)
+            push_setop(*left, *right, dt, SetOpKind::Difference, preds, moved)
         }
     }
 }
@@ -237,18 +225,19 @@ fn push(
 fn push_setop(
     left: Plan,
     right: Plan,
+    dt: &DerivedTree,
     op: SetOpKind,
     preds: Vec<Expr>,
-    leaves: &dyn LeafProvider,
     moved: &mut usize,
 ) -> Result<Plan> {
+    let (l_t, r_t) = dt.pair();
     if preds.is_empty() {
-        let l = push(left, Vec::new(), leaves, moved)?;
-        let r = push(right, Vec::new(), leaves, moved)?;
+        let l = push(left, l_t, Vec::new(), moved)?;
+        let r = push(right, r_t, Vec::new(), moved)?;
         return Ok(op.rebuild(l, r));
     }
-    let l_schema = derive(&left, leaves)?.schema;
-    let r_schema = derive(&right, leaves)?.schema;
+    let l_schema = &l_t.derived.schema;
+    let r_schema = &r_t.derived.schema;
     let mut l_preds = Vec::with_capacity(preds.len());
     let mut r_preds = Vec::with_capacity(preds.len());
     for p in &preds {
@@ -256,8 +245,8 @@ fn push_setop(
         r_preds.push(rename_cols(p, &|n| Ok(r_schema.field(l_schema.resolve(n)?).name.clone()))?);
     }
     *moved += preds.len();
-    let l = push(left, l_preds, leaves, moved)?;
-    let r = push(right, r_preds, leaves, moved)?;
+    let l = push(left, l_t, l_preds, moved)?;
+    let r = push(right, r_t, r_preds, moved)?;
     Ok(op.rebuild(l, r))
 }
 

@@ -23,14 +23,22 @@ use std::collections::BTreeSet;
 
 use svc_storage::{Result, Schema};
 
-use crate::derive::{derive, LeafProvider, SetOpKind};
+use crate::derive::{
+    derive_aggregate, derive_hash, derive_join, derive_project, derive_select, derive_setop,
+    derive_tree, Derived, DerivedTree, LeafProvider, SetOpKind,
+};
 use crate::plan::{JoinKind, Plan};
 use crate::scalar::{col, Expr};
 
 /// Prune unused columns below joins, aggregates, and set operations.
 /// `pruned` counts inserted or narrowed projections.
+///
+/// Schemas of the *input* plan come from one bottom-up [`derive_tree`]
+/// pass; the recursion returns each *rewritten* node's [`Derived`] so
+/// parents compose their own types in O(1) — no node is ever re-derived.
 pub fn prune(plan: Plan, leaves: &dyn LeafProvider, pruned: &mut usize) -> Result<Plan> {
-    prune_node(plan, None, leaves, pruned)
+    let tree = derive_tree(&plan, leaves)?;
+    Ok(prune_node(plan, &tree, None, pruned)?.0)
 }
 
 /// Resolve `names` against `schema`, returning the exact field names.
@@ -45,26 +53,28 @@ fn exact<'a>(
     Ok(())
 }
 
-/// Wrap `child` in a bare-column projection keeping exactly the `keep`
-/// columns (in child schema order); identity when nothing would be dropped.
+/// Wrap `child` (whose derived type is `child_d`) in a bare-column
+/// projection keeping exactly the `keep` columns (in child schema order);
+/// identity when nothing would be dropped.
 fn wrap_keep(
     child: Plan,
+    child_d: Derived,
     keep: &BTreeSet<String>,
-    leaves: &dyn LeafProvider,
     pruned: &mut usize,
-) -> Result<Plan> {
-    let schema = derive(&child, leaves)?.schema;
-    if schema.names().iter().all(|n| keep.contains(*n)) {
-        return Ok(child);
+) -> Result<(Plan, Derived)> {
+    if child_d.schema.names().iter().all(|n| keep.contains(*n)) {
+        return Ok((child, child_d));
     }
-    let columns: Vec<(String, Expr)> = schema
+    let columns: Vec<(String, Expr)> = child_d
+        .schema
         .names()
         .iter()
         .filter(|n| keep.contains(**n))
         .map(|n| (n.to_string(), col(*n)))
         .collect();
     *pruned += 1;
-    Ok(Plan::Project { input: Box::new(child), columns })
+    let out = derive_project(&child_d, &columns)?;
+    Ok((Plan::Project { input: Box::new(child), columns }, out))
 }
 
 /// Simulate [`Schema::concat`]'s collision renaming for a pruned join and
@@ -101,54 +111,51 @@ fn join_names_stable(
 
 /// Core recursion. `required` holds exact output-schema column names the
 /// parent needs; `None` means all columns are needed (the root, and any
-/// context that must preserve the full schema).
+/// context that must preserve the full schema). `dt` is the derived tree of
+/// the *original* `plan`; the returned [`Derived`] describes the rewritten
+/// (possibly narrowed) node.
 fn prune_node(
     plan: Plan,
+    dt: &DerivedTree,
     required: Option<BTreeSet<String>>,
-    leaves: &dyn LeafProvider,
     pruned: &mut usize,
-) -> Result<Plan> {
+) -> Result<(Plan, Derived)> {
     match plan {
-        Plan::Scan { .. } => Ok(plan),
+        Plan::Scan { .. } => Ok((plan, dt.derived.clone())),
         Plan::Select { input, predicate } => {
             // Same schema below; the predicate's columns become required.
             let required = match required {
                 None => None,
                 Some(mut r) => {
-                    let schema = derive(&input, leaves)?.schema;
-                    exact(&schema, predicate.referenced_columns(), &mut r)?;
+                    let schema = &dt.input().derived.schema;
+                    exact(schema, predicate.referenced_columns(), &mut r)?;
                     Some(r)
                 }
             };
-            Ok(Plan::Select {
-                input: Box::new(prune_node(*input, required, leaves, pruned)?),
-                predicate,
-            })
+            let (inner, inner_d) = prune_node(*input, dt.input(), required, pruned)?;
+            let out = derive_select(&inner_d, &predicate)?;
+            Ok((Plan::Select { input: Box::new(inner), predicate }, out))
         }
         Plan::Hash { input, key, ratio, spec } => {
             let required = match required {
                 None => None,
                 Some(mut r) => {
-                    let schema = derive(&input, leaves)?.schema;
-                    exact(&schema, key.iter().map(String::as_str), &mut r)?;
+                    let schema = &dt.input().derived.schema;
+                    exact(schema, key.iter().map(String::as_str), &mut r)?;
                     Some(r)
                 }
             };
-            Ok(Plan::Hash {
-                input: Box::new(prune_node(*input, required, leaves, pruned)?),
-                key,
-                ratio,
-                spec,
-            })
+            let (inner, inner_d) = prune_node(*input, dt.input(), required, pruned)?;
+            let out = derive_hash(&inner_d, &key, ratio)?;
+            Ok((Plan::Hash { input: Box::new(inner), key, ratio, spec }, out))
         }
         Plan::Project { input, columns } => {
-            let in_d = derive(&input, leaves)?;
+            let in_d = &dt.input().derived;
             // Narrow the projection itself to required ∪ its output key.
             let columns = match &required {
                 None => columns,
                 Some(r) => {
-                    let out = crate::derive::derive_project(&in_d, &columns)?;
-                    let key_names: BTreeSet<&str> = out.key_names().into_iter().collect();
+                    let key_names: BTreeSet<&str> = dt.derived.key_names().into_iter().collect();
                     let kept: Vec<(String, Expr)> = columns
                         .iter()
                         .filter(|(alias, _)| {
@@ -170,13 +177,12 @@ fn prune_node(
                 exact(&in_d.schema, e.referenced_columns(), &mut input_required)?;
             }
             exact(&in_d.schema, in_d.key_names(), &mut input_required)?;
-            Ok(Plan::Project {
-                input: Box::new(prune_node(*input, Some(input_required), leaves, pruned)?),
-                columns,
-            })
+            let (inner, inner_d) = prune_node(*input, dt.input(), Some(input_required), pruned)?;
+            let out = derive_project(&inner_d, &columns)?;
+            Ok((Plan::Project { input: Box::new(inner), columns }, out))
         }
         Plan::Aggregate { input, group_by, aggregates } => {
-            let in_d = derive(&input, leaves)?;
+            let in_d = &dt.input().derived;
             let aggregates = match &required {
                 None => aggregates,
                 Some(r) => {
@@ -196,20 +202,14 @@ fn prune_node(
                 exact(&in_d.schema, spec.arg.referenced_columns(), &mut input_required)?;
             }
             exact(&in_d.schema, in_d.key_names(), &mut input_required)?;
-            Ok(Plan::Aggregate {
-                input: Box::new(prune_node(*input, Some(input_required), leaves, pruned)?),
-                group_by,
-                aggregates,
-            })
+            let (inner, inner_d) = prune_node(*input, dt.input(), Some(input_required), pruned)?;
+            let out = derive_aggregate(&inner_d, &group_by, &aggregates)?;
+            Ok((Plan::Aggregate { input: Box::new(inner), group_by, aggregates }, out))
         }
         Plan::Join { left, right, kind, on } => {
-            let l_d = derive(&left, leaves)?;
-            let r_d = derive(&right, leaves)?;
-            let out_schema = derive(
-                &Plan::Join { left: left.clone(), right: right.clone(), kind, on: on.clone() },
-                leaves,
-            )?
-            .schema;
+            let (l_t, r_t) = dt.pair();
+            let (l_d, r_d) = (&l_t.derived, &r_t.derived);
+            let out_schema = &dt.derived.schema;
             let l_arity = l_d.schema.len();
             let semi_like = matches!(kind, JoinKind::Semi | JoinKind::Anti);
 
@@ -220,7 +220,7 @@ fn prune_node(
                 None => out_schema.names().iter().map(|s| s.to_string()).collect(),
                 Some(r) => {
                     let mut exact_out = BTreeSet::new();
-                    exact(&out_schema, r.iter().map(String::as_str), &mut exact_out)?;
+                    exact(out_schema, r.iter().map(String::as_str), &mut exact_out)?;
                     exact_out
                 }
             };
@@ -263,7 +263,7 @@ fn prune_node(
                     &r_names,
                     right.name_hint(),
                     &required_out,
-                    &out_schema,
+                    out_schema,
                     l_arity,
                     &r_positions,
                 ) {
@@ -272,20 +272,22 @@ fn prune_node(
                 }
             }
 
-            let l = prune_node(*left, Some(l_keep.clone()), leaves, pruned)?;
-            let r = prune_node(*right, Some(r_keep.clone()), leaves, pruned)?;
-            let l = wrap_keep(l, &l_keep, leaves, pruned)?;
-            let r = wrap_keep(r, &r_keep, leaves, pruned)?;
-            Ok(Plan::Join { left: Box::new(l), right: Box::new(r), kind, on })
+            let right_hint = right.name_hint().to_string();
+            let (l, l_d2) = prune_node(*left, l_t, Some(l_keep.clone()), pruned)?;
+            let (r, r_d2) = prune_node(*right, r_t, Some(r_keep.clone()), pruned)?;
+            let (l, l_d2) = wrap_keep(l, l_d2, &l_keep, pruned)?;
+            let (r, r_d2) = wrap_keep(r, r_d2, &r_keep, pruned)?;
+            let out = derive_join(&l_d2, &r_d2, kind, &on, &right_hint)?.0;
+            Ok((Plan::Join { left: Box::new(l), right: Box::new(r), kind, on }, out))
         }
         Plan::Union { left, right } => {
-            prune_setop(*left, *right, SetOpKind::Union, required, leaves, pruned)
+            prune_setop(*left, *right, dt, SetOpKind::Union, required, pruned)
         }
         Plan::Intersect { left, right } => {
-            prune_setop(*left, *right, SetOpKind::Intersect, required, leaves, pruned)
+            prune_setop(*left, *right, dt, SetOpKind::Intersect, required, pruned)
         }
         Plan::Difference { left, right } => {
-            prune_setop(*left, *right, SetOpKind::Difference, required, leaves, pruned)
+            prune_setop(*left, *right, dt, SetOpKind::Difference, required, pruned)
         }
     }
 }
@@ -295,13 +297,13 @@ fn prune_node(
 fn prune_setop(
     left: Plan,
     right: Plan,
+    dt: &DerivedTree,
     shape: SetOpKind,
     required: Option<BTreeSet<String>>,
-    leaves: &dyn LeafProvider,
     pruned: &mut usize,
-) -> Result<Plan> {
-    let l_d = derive(&left, leaves)?;
-    let r_d = derive(&right, leaves)?;
+) -> Result<(Plan, Derived)> {
+    let (l_t, r_t) = dt.pair();
+    let (l_d, r_d) = (&l_t.derived, &r_t.derived);
     let keep_pos: BTreeSet<usize> = match &required {
         None => (0..l_d.schema.len()).collect(),
         Some(r) => {
@@ -318,17 +320,19 @@ fn prune_setop(
         keep_pos.iter().map(|&i| l_d.schema.field(i).name.clone()).collect();
     let r_keep: BTreeSet<String> =
         keep_pos.iter().map(|&i| r_d.schema.field(i).name.clone()).collect();
-    let l = prune_node(left, Some(l_keep.clone()), leaves, pruned)?;
-    let r = prune_node(right, Some(r_keep.clone()), leaves, pruned)?;
-    let l = wrap_keep(l, &l_keep, leaves, pruned)?;
-    let r = wrap_keep(r, &r_keep, leaves, pruned)?;
-    Ok(shape.rebuild(l, r))
+    let (l, l_d2) = prune_node(left, l_t, Some(l_keep.clone()), pruned)?;
+    let (r, r_d2) = prune_node(right, r_t, Some(r_keep.clone()), pruned)?;
+    let (l, l_d2) = wrap_keep(l, l_d2, &l_keep, pruned)?;
+    let (r, r_d2) = wrap_keep(r, r_d2, &r_keep, pruned)?;
+    let out = derive_setop(&l_d2, &r_d2, shape)?;
+    Ok((shape.rebuild(l, r), out))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::aggregate::{AggFunc, AggSpec};
+    use crate::derive::derive;
     use crate::eval::{evaluate, Bindings};
     use crate::scalar::lit;
     use svc_storage::{DataType, Database, Table, Value};

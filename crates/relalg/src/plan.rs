@@ -200,6 +200,48 @@ impl Plan {
         }
     }
 
+    /// Rewrite every leaf name through `f` (`None` keeps the name). Used by
+    /// the mini-batch maintenance path to give each delta chunk its own
+    /// `__ins.T@p` / `__del.T@p` bindings while sharing one plan shape.
+    pub fn rename_leaves(self, f: &mut impl FnMut(&str) -> Option<String>) -> Plan {
+        match self {
+            Plan::Scan { table } => {
+                let table = f(&table).unwrap_or(table);
+                Plan::Scan { table }
+            }
+            Plan::Select { input, predicate } => {
+                Plan::Select { input: Box::new(input.rename_leaves(f)), predicate }
+            }
+            Plan::Project { input, columns } => {
+                Plan::Project { input: Box::new(input.rename_leaves(f)), columns }
+            }
+            Plan::Join { left, right, kind, on } => Plan::Join {
+                left: Box::new(left.rename_leaves(f)),
+                right: Box::new(right.rename_leaves(f)),
+                kind,
+                on,
+            },
+            Plan::Aggregate { input, group_by, aggregates } => {
+                Plan::Aggregate { input: Box::new(input.rename_leaves(f)), group_by, aggregates }
+            }
+            Plan::Union { left, right } => Plan::Union {
+                left: Box::new(left.rename_leaves(f)),
+                right: Box::new(right.rename_leaves(f)),
+            },
+            Plan::Intersect { left, right } => Plan::Intersect {
+                left: Box::new(left.rename_leaves(f)),
+                right: Box::new(right.rename_leaves(f)),
+            },
+            Plan::Difference { left, right } => Plan::Difference {
+                left: Box::new(left.rename_leaves(f)),
+                right: Box::new(right.rename_leaves(f)),
+            },
+            Plan::Hash { input, key, ratio, spec } => {
+                Plan::Hash { input: Box::new(input.rename_leaves(f)), key, ratio, spec }
+            }
+        }
+    }
+
     /// A short name for the relation produced by this plan, used to
     /// disambiguate column names on join outputs.
     pub fn name_hint(&self) -> &str {

@@ -153,6 +153,52 @@ impl Deltas {
         Ok(())
     }
 
+    /// The subset of this delta set touching only the named tables. Used to
+    /// scope a maintenance pass to the tables a view actually reads; delta
+    /// sets of other tables are dropped (they stay pending in `self`).
+    pub fn restricted_to(&self, tables: &[&str]) -> Deltas {
+        Deltas {
+            sets: self
+                .sets
+                .iter()
+                .filter(|(name, set)| !set.is_empty() && tables.contains(&name.as_str()))
+                .map(|(name, set)| (name.clone(), set.clone()))
+                .collect(),
+        }
+    }
+
+    /// Split the pending deltas row-wise into at most `parts` chunks of
+    /// near-equal size (insertions and deletions of every table are dealt
+    /// round-robin). Keys stay unique within each chunk because they were
+    /// unique in `self`; merging the chunks back reproduces `self` exactly.
+    /// Chunks that would be empty are omitted, so short tails never produce
+    /// zero-record partitions.
+    pub fn partition(&self, parts: usize) -> Vec<Deltas> {
+        let parts = parts.max(1);
+        let mut out: Vec<Deltas> = (0..parts).map(|_| Deltas::new()).collect();
+        for (name, set) in &self.sets {
+            if set.is_empty() {
+                continue;
+            }
+            for chunk in out.iter_mut() {
+                chunk
+                    .sets
+                    .entry(name.clone())
+                    .or_insert_with(|| DeltaSet::empty_like(&set.insertions));
+            }
+            for (i, row) in set.insertions.rows().iter().enumerate() {
+                let target = out[i % parts].sets.get_mut(name).expect("chunk set");
+                target.insertions.insert(row.clone()).expect("unique keys split uniquely");
+            }
+            for (i, row) in set.deletions.rows().iter().enumerate() {
+                let target = out[i % parts].sets.get_mut(name).expect("chunk set");
+                target.deletions.insert(row.clone()).expect("unique keys split uniquely");
+            }
+        }
+        out.retain(|d| !d.is_empty());
+        out
+    }
+
     /// Build the *new state* of one base table without touching the
     /// database: `(R − ∇R) ∪ ∆R`. Used by recomputation maintenance and as
     /// ground truth in tests.
@@ -213,6 +259,38 @@ mod tests {
         deltas.apply_to(&mut db).unwrap();
         assert!(deltas.is_empty());
         assert!(db.table("t").unwrap().same_contents(&applied));
+    }
+
+    #[test]
+    fn partition_round_trips_and_skips_empty_chunks() {
+        let mut db = db();
+        let mut deltas = Deltas::new();
+        for i in 100..107i64 {
+            deltas.insert(&db, "t", vec![Value::Int(i), Value::Int(1)]).unwrap();
+        }
+        deltas.delete(&db, "t", &vec![Value::Int(0), Value::Null]).unwrap();
+        deltas.delete(&db, "t", &vec![Value::Int(1), Value::Null]).unwrap();
+
+        let chunks = deltas.partition(4);
+        assert!(chunks.len() <= 4 && !chunks.is_empty());
+        assert!(chunks.iter().all(|c| !c.is_empty()), "no empty chunks");
+        assert_eq!(chunks.iter().map(Deltas::len).sum::<usize>(), deltas.len());
+
+        // Merging the chunks back reproduces the original delta set.
+        let mut merged = Deltas::new();
+        for c in &chunks {
+            merged.merge(c.clone()).unwrap();
+        }
+        let direct = deltas.applied_state(&db, "t").unwrap();
+        let via_chunks = merged.applied_state(&db, "t").unwrap();
+        assert!(direct.same_contents(&via_chunks));
+
+        // Far more parts than records: every chunk still carries work.
+        let wide = deltas.partition(64);
+        assert!(wide.len() <= deltas.len());
+        assert!(wide.iter().all(|c| !c.is_empty()));
+
+        deltas.apply_to(&mut db).unwrap();
     }
 
     #[test]

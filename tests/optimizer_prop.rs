@@ -220,6 +220,47 @@ fn eta_depth_no_regression_on_maintenance_strategies() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
+    /// η∘η with one shared (key, spec) composes to η_min — equivalence of
+    /// the composed rewrite for arbitrary ratio pairs, plan shapes, and
+    /// stacking orders.
+    #[test]
+    fn stacked_hashes_compose_equivalently(
+        n_facts in 30usize..120,
+        n_dims in 4usize..12,
+        variant in 0u8..8,
+        r1 in 0.05f64..0.95,
+        r2 in 0.05f64..0.95,
+        seed in 0u64..500,
+        data_seed in 0u64..200,
+    ) {
+        let db = build_db(n_facts, n_dims, data_seed);
+        let base = plan_variant(variant);
+        let derived = stale_view_cleaning::relalg::derive::derive(&base, &db).unwrap();
+        let key: Vec<String> = derived.key_names().iter().map(|s| s.to_string()).collect();
+        prop_assert!(!key.is_empty(), "every plan variant derives a non-empty key");
+        let key_refs: Vec<&str> = key.iter().map(|s| s.as_str()).collect();
+        let spec = HashSpec::with_seed(seed);
+        let plan = base.hash(&key_refs, r1, spec).hash(&key_refs, r2, spec);
+
+        let b = Bindings::from_database(&db);
+        let expected = evaluate(&plan, &b).unwrap();
+        let (optimized, _) = optimize(&plan, &db).unwrap();
+        let got = evaluate(&optimized, &b).unwrap();
+        prop_assert!(
+            got.same_contents(&expected),
+            "variant {variant}: η∘η (m1={r1:.3}, m2={r2:.3}) composition diverged, {} vs {} rows",
+            got.len(),
+            expected.len()
+        );
+        // The composed sample is exactly the tighter single hash.
+        let single = plan_variant(variant).hash(&key_refs, r1.min(r2), spec);
+        let single_eval = evaluate(&single, &b).unwrap();
+        prop_assert!(
+            got.same_contents(&single_eval),
+            "variant {variant}: composed sample differs from η_min"
+        );
+    }
+
     /// Definition-shaped plans (optionally η-wrapped): the full rule set
     /// must preserve the evaluated relation exactly.
     #[test]
