@@ -9,7 +9,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 use svc_relalg::eval::{evaluate, Bindings};
-use svc_relalg::optimizer::optimize;
+use svc_relalg::optimizer::{optimize, optimize_with, CardEstimator};
 use svc_relalg::plan::Plan;
 use svc_storage::{Result, StorageError, Table};
 
@@ -139,17 +139,35 @@ impl WorkerPool {
     /// mini-batch maintenance path: one plan per view (or per delta chunk),
     /// all reading the same bound relations.
     ///
-    /// Each plan is run through the standard optimizer exactly once, on the
-    /// driver, before the workers pick plans off a shared queue. Results
-    /// come back in input order; once any plan errors, workers stop picking
-    /// up new plans (in-flight evaluations finish) and the error is
-    /// returned.
+    /// Each plan is run through the standard optimizer exactly once, as
+    /// part of its worker task. Results come back in input order; once any
+    /// plan errors, workers stop picking up new plans (in-flight
+    /// evaluations finish) and the error is returned.
     pub fn evaluate_plans(&self, plans: &[Plan], bindings: &Bindings<'_>) -> Result<Vec<Table>> {
-        let mut optimized = Vec::with_capacity(plans.len());
-        for plan in plans {
-            optimized.push(optimize(plan, bindings)?.0);
-        }
-        self.run_batch(optimized.len(), |i| evaluate(&optimized[i], bindings))
+        self.evaluate_plans_with(plans, bindings, None)
+    }
+
+    /// [`WorkerPool::evaluate_plans`] with an optional cardinality
+    /// estimator: each plan's join regions are then reordered by estimated
+    /// cost — the per-partition batch plans of mini-batch maintenance all
+    /// share one join shape, so one good order pays off across the whole
+    /// batch. Optimization runs *inside* the worker tasks (the rule
+    /// engine, estimator, and bindings are all read-only), so the rewrite
+    /// cost parallelizes with the evaluation instead of serializing on the
+    /// driver.
+    pub fn evaluate_plans_with(
+        &self,
+        plans: &[Plan],
+        bindings: &Bindings<'_>,
+        est: Option<&dyn CardEstimator>,
+    ) -> Result<Vec<Table>> {
+        self.run_batch(plans.len(), |i| {
+            let (optimized, _) = match est {
+                Some(e) => optimize_with(&plans[i], bindings, e)?,
+                None => optimize(&plans[i], bindings)?,
+            };
+            evaluate(&optimized, bindings)
+        })
     }
 
     /// [`WorkerPool::evaluate_plans`] without the optimizer pass: every plan

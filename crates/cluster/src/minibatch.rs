@@ -30,7 +30,8 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use std::time::Instant;
 
-use svc_ivm::delta::{del_leaf_at, ins_leaf_at};
+use svc_catalog::Catalog;
+use svc_ivm::delta::{del_leaf, del_leaf_at, ins_leaf, ins_leaf_at};
 use svc_ivm::strategy::{
     batch_change_plans, maintenance_plan, merge_change_plan, MaintCatalog, CHANGE_LEAF, STALE_LEAF,
 };
@@ -90,6 +91,10 @@ pub struct BatchPipeline {
     /// Run every change plan through the optimizer before evaluation
     /// (disabled by the benchmarks to measure the optimizer's contribution).
     pub optimize_plans: bool,
+    /// Base-table statistics catalog; when set (and `optimize_plans` is
+    /// on), batch plans additionally get cost-based join reordering, with
+    /// the delta-chunk and stale-view leaves overlaid on the fly.
+    pub catalog: Option<Arc<Catalog>>,
 }
 
 impl BatchPipeline {
@@ -99,13 +104,20 @@ impl BatchPipeline {
             pool: Arc::new(WorkerPool::new(workers)),
             partitions: workers * 2,
             optimize_plans: true,
+            catalog: None,
         }
     }
 
     /// A pipeline sharing an existing pool.
     pub fn on_pool(pool: Arc<WorkerPool>) -> BatchPipeline {
         let partitions = pool.workers() * 2;
-        BatchPipeline { pool, partitions, optimize_plans: true }
+        BatchPipeline { pool, partitions, optimize_plans: true, catalog: None }
+    }
+
+    /// Attach a statistics catalog (see [`BatchPipeline::catalog`]).
+    pub fn with_catalog(mut self, catalog: Arc<Catalog>) -> BatchPipeline {
+        self.catalog = Some(catalog);
+        self
     }
 
     /// Bring `view` up to date with respect to `pending` (not consumed —
@@ -163,7 +175,17 @@ impl BatchPipeline {
             let (plan, _kind) = maintenance_plan(&canonical, &cat, &info)?;
             let bindings = maintenance_bindings(db, &pending, view.table());
             let mut results = if self.optimize_plans {
-                self.pool.evaluate_plans(std::slice::from_ref(&plan), &bindings)?
+                // The maintenance plan reads the stale view and the plain
+                // `__ins.T`/`__del.T` leaves; overlay stats for both.
+                let scoped = self.catalog.as_deref().map(|c| {
+                    delta_leaf_stats(c, Some(view.table()), std::slice::from_ref(&pending), false)
+                });
+                let est = scoped.as_ref().map(|s| s.estimator());
+                self.pool.evaluate_plans_with(
+                    std::slice::from_ref(&plan),
+                    &bindings,
+                    est.as_ref().map(|e| e as &dyn svc_relalg::optimizer::CardEstimator),
+                )?
             } else {
                 self.pool.evaluate_plans_raw(std::slice::from_ref(&plan), &bindings)?
             };
@@ -185,7 +207,7 @@ impl BatchPipeline {
         let exact = chunk_parallel_exact(&canonical.plan, &pending);
         let n_batches = if exact { run.records.div_ceil(batch_size) } else { 1 };
         for batch in pending.partition(n_batches) {
-            let plans = self.run_change_batch(db, view, &canonical, &cat, &merge, &batch, exact)?;
+            let plans = self.run_change_batch(db, view, &canonical, &cat, &merge, batch, exact)?;
             run.batches += 1;
             run.plans_evaluated += plans;
         }
@@ -202,14 +224,14 @@ impl BatchPipeline {
         canonical: &svc_ivm::Canonical,
         cat: &MaintCatalog<'_>,
         merge: &Plan,
-        batch: &Deltas,
+        batch: Deltas,
         chunk_parallel: bool,
     ) -> Result<usize> {
         // Map stage: one signed change table per delta chunk, all plans
         // bound side by side (`Deltas::partition` never emits empty chunks,
-        // so no worker slot is burned on a no-op partition).
-        let chunks =
-            if chunk_parallel { batch.partition(self.partitions) } else { vec![batch.clone()] };
+        // so no worker slot is burned on a no-op partition). The batch is
+        // consumed — partitioning moves rows into their chunks.
+        let chunks = if chunk_parallel { batch.partition(self.partitions) } else { vec![batch] };
         let plans = batch_change_plans(canonical, cat, &chunks)?;
         let mut bindings = Bindings::from_database(db);
         for (p, chunk) in chunks.iter().enumerate() {
@@ -219,7 +241,18 @@ impl BatchPipeline {
             }
         }
         let changes = if self.optimize_plans {
-            self.pool.evaluate_plans(&plans, &bindings)?
+            // With a catalog attached, overlay stats for every chunk's
+            // delta leaves (tiny tables — the build scan is noise) so the
+            // per-partition change plans get cost-based join order too.
+            // Change plans never read `__stale` (the merge plan does, and
+            // it is optimized separately), so no view-wide stats build.
+            let scoped = self.catalog.as_deref().map(|c| delta_leaf_stats(c, None, &chunks, true));
+            let est = scoped.as_ref().map(|s| s.estimator());
+            self.pool.evaluate_plans_with(
+                &plans,
+                &bindings,
+                est.as_ref().map(|e| e as &dyn svc_relalg::optimizer::CardEstimator),
+            )?
         } else {
             self.pool.evaluate_plans_raw(&plans, &bindings)?
         };
@@ -260,6 +293,34 @@ impl BatchPipeline {
             })
             .collect()
     }
+}
+
+/// Catalog overlay for the delta leaves a maintenance or batch plan reads:
+/// one stats build per (small) delta table, plus the stale view when the
+/// plan actually scans it. `suffixed` selects the partition-suffixed
+/// `__ins.T@p` names of batch plans (one chunk per index).
+fn delta_leaf_stats<'a>(
+    catalog: &'a Catalog,
+    stale: Option<&svc_storage::Table>,
+    chunks: &[Deltas],
+    suffixed: bool,
+) -> svc_catalog::ScopedStats<'a> {
+    let mut scoped = catalog.scoped();
+    if let Some(stale) = stale {
+        scoped.bind_table(STALE_LEAF, stale);
+    }
+    for (p, chunk) in chunks.iter().enumerate() {
+        for (name, set) in chunk.iter() {
+            let (ins, del) = if suffixed {
+                (ins_leaf_at(name, p), del_leaf_at(name, p))
+            } else {
+                (ins_leaf(name), del_leaf(name))
+            };
+            scoped.bind_table(ins, &set.insertions);
+            scoped.bind_table(del, &set.deletions);
+        }
+    }
+    scoped
 }
 
 /// True iff evaluating per-chunk change tables independently is exact:
@@ -472,6 +533,39 @@ mod tests {
             assert_eq!(run.fallback_batches, 0, "change-table path expected");
             assert!(run.plans_evaluated >= run.batches);
         }
+    }
+
+    #[test]
+    fn pipeline_with_catalog_is_exact() {
+        let db = db();
+        let view = MaterializedView::create("v", visit_view(), &db).unwrap();
+        let deltas = log_stream(&db, 500);
+        let expected = view.recompute_fresh(&db, &deltas).unwrap();
+
+        let pipeline = BatchPipeline::new(2).with_catalog(Arc::new(Catalog::build(&db)));
+        let mut v = view.clone();
+        let run = pipeline.maintain(&db, &mut v, &deltas, 120).unwrap();
+        assert!(
+            v.table().approx_same_contents(&expected, 1e-9),
+            "catalog-driven pipeline diverged from recompute"
+        );
+        assert_eq!(run.fallback_batches, 0);
+
+        // The non-eligible fallback path with a catalog stays exact too.
+        let med = Plan::scan("video").aggregate(
+            &["videoId"],
+            vec![AggSpec::new("medDur", AggFunc::Median, col("duration"))],
+        );
+        let mview = MaterializedView::create("m", med, &db).unwrap();
+        let mut md = Deltas::new();
+        for vid in 80..110i64 {
+            md.insert(&db, "video", vec![Value::Int(vid), Value::Float(1.5)]).unwrap();
+        }
+        let expected = mview.recompute_fresh(&db, &md).unwrap();
+        let mut mv = mview.clone();
+        let run = pipeline.maintain(&db, &mut mv, &md, 10).unwrap();
+        assert!(mv.table().approx_same_contents(&expected, 1e-9));
+        assert_eq!(run.fallback_batches, run.batches);
     }
 
     #[test]

@@ -88,6 +88,10 @@ pub fn timeline_max_error_on(
     let svc_cfg = SvcConfig::with_ratio(cfg.ratio).reseeded(cfg.seed);
     let mut svc = SvcView::create("timeline", view_def, &db, svc_cfg)?;
     let mut pending = Deltas::new();
+    // One stats build up front; afterwards the catalog rides along with
+    // every delta commit, so the cleaning plans between refreshes get
+    // cost-based join order without ever rescanning the base tables.
+    let mut catalog = svc_catalog::Catalog::build(&db);
 
     // Current answers per query (refreshed by IVM or SVC cleanings).
     let mut answers: Vec<f64> =
@@ -103,17 +107,18 @@ pub fn timeline_max_error_on(
 
         if t % cfg.ivm_period == 0 {
             // Full refresh through the mini-batch pipeline: the view becomes
-            // exact, the sample is redrawn, and the deltas commit.
+            // exact, the sample is redrawn, and the deltas commit — stats
+            // first, so the catalog stays aligned with the base tables.
             let batch = pending.len().max(1);
             pipeline.maintain(&db, &mut svc.view, &pending, batch)?;
             svc.resample();
-            pending.apply_to(&mut db)?;
+            catalog.commit_deltas(&mut db, &mut pending)?;
             for (a, q) in answers.iter_mut().zip(queries) {
                 *a = svc.query_stale(q)?;
             }
         } else if let Some(p) = cfg.svc_period {
             if t % p == 0 {
-                let cleaned = svc.clean_sample(&db, &pending)?;
+                let cleaned = svc.clean_sample_with(&db, &pending, Some(&catalog))?;
                 for (a, q) in answers.iter_mut().zip(queries) {
                     *a = svc.estimate_corr(&cleaned, q)?.value;
                 }

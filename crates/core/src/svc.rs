@@ -11,11 +11,13 @@
 
 use svc_storage::{Database, Deltas, Result, StorageError, Table};
 
+use svc_catalog::{Catalog, ScopedStats};
+use svc_ivm::delta::{del_leaf, ins_leaf};
 use svc_ivm::strategy::{MaintCatalog, PlanKind, STALE_LEAF};
 use svc_ivm::view::{maintenance_bindings, MaterializedView};
 use svc_relalg::derive::Derived;
 use svc_relalg::eval::evaluate;
-use svc_relalg::optimizer::optimize;
+use svc_relalg::optimizer::{optimize, optimize_with};
 use svc_relalg::plan::Plan;
 use svc_sampling::operator::sample_by_key;
 use svc_sampling::pushdown::PushdownReport;
@@ -88,6 +90,21 @@ impl SvcView {
         db: &Database,
         deltas: &Deltas,
     ) -> Result<(Plan, PushdownReport, PlanKind)> {
+        self.cleaning_plan_with(db, deltas, None)
+    }
+
+    /// [`SvcView::cleaning_plan`] with an optional statistics catalog:
+    /// when present, the optimizer additionally reorders the cleaning
+    /// plan's join regions by estimated cost. The catalog covers the base
+    /// tables; the maintenance-only leaves (`__stale`, `__ins.T`,
+    /// `__del.T`) are overlaid with stats built from the concrete tables
+    /// about to be bound — all small relative to the base data.
+    pub fn cleaning_plan_with(
+        &self,
+        db: &Database,
+        deltas: &Deltas,
+        catalog: Option<&Catalog>,
+    ) -> Result<(Plan, PushdownReport, PlanKind)> {
         let (mplan, kind) = self.view.build_maintenance_plan(db, deltas)?;
         let key_names = self.view.key_names();
         if key_names.is_empty() {
@@ -104,15 +121,50 @@ impl SvcView {
                 key: self.view.table().key().to_vec(),
             },
         };
-        let (optimized, report) = optimize(&hashed, &cat)?;
+        let (optimized, report) = match catalog {
+            Some(c) => {
+                let scoped = self.maintenance_stats(c, deltas);
+                optimize_with(&hashed, &cat, &scoped.estimator())?
+            }
+            None => optimize(&hashed, &cat)?,
+        };
         Ok((optimized, report.eta.into(), kind))
+    }
+
+    /// The catalog overlay for a cleaning plan: stale view and delta
+    /// relations bound by their plan leaf names. The stale leaf is priced
+    /// from the **stale sample** — that is the relation `clean_sample`
+    /// actually binds when η reaches every stale leaf (the common case),
+    /// and scanning the sample keeps this path O(sample), not O(view).
+    /// When η is blocked and the full view gets bound instead, every stale
+    /// branch is under-priced by the same factor `m`, which leaves the
+    /// ordinal comparisons the reorderer makes intact.
+    fn maintenance_stats<'a>(&self, catalog: &'a Catalog, deltas: &Deltas) -> ScopedStats<'a> {
+        let mut scoped = catalog.scoped();
+        scoped.bind_table(STALE_LEAF, &self.stale_sample);
+        for (name, set) in deltas.iter() {
+            scoped.bind_table(ins_leaf(name), &set.insertions);
+            scoped.bind_table(del_leaf(name), &set.deletions);
+        }
+        scoped
     }
 
     /// Problem 1 — stale sample view cleaning: materialize `Ŝ′`, the
     /// corresponding up-to-date sample, for a fraction of full maintenance
     /// cost.
     pub fn clean_sample(&self, db: &Database, deltas: &Deltas) -> Result<CleanedSample> {
-        let (plan, report, plan_kind) = self.cleaning_plan(db, deltas)?;
+        self.clean_sample_with(db, deltas, None)
+    }
+
+    /// [`SvcView::clean_sample`] with an optional statistics catalog (see
+    /// [`SvcView::cleaning_plan_with`]).
+    pub fn clean_sample_with(
+        &self,
+        db: &Database,
+        deltas: &Deltas,
+        catalog: Option<&Catalog>,
+    ) -> Result<CleanedSample> {
+        let (plan, report, plan_kind) = self.cleaning_plan_with(db, deltas, catalog)?;
         // When the η reached every stale-view leaf, those branches read only
         // hash-selected rows, so binding the (much smaller) stale sample is
         // the exact same relation — the hash is idempotent on it. Blockers

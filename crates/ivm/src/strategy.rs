@@ -23,7 +23,7 @@
 use svc_storage::{Database, Result, StorageError};
 
 use svc_relalg::derive::{derive, Derived, LeafProvider};
-use svc_relalg::optimizer::{optimize, OptimizeReport};
+use svc_relalg::optimizer::{optimize, optimize_with, CardEstimator, OptimizeReport};
 use svc_relalg::plan::{JoinKind, Plan};
 use svc_relalg::scalar::{col, lit, Expr, Func};
 
@@ -159,8 +159,24 @@ pub fn optimized_maintenance_plan(
     cat: &MaintCatalog<'_>,
     info: &DeltaInfo,
 ) -> Result<(Plan, PlanKind, OptimizeReport)> {
+    optimized_maintenance_plan_with(canonical, cat, info, None)
+}
+
+/// [`optimized_maintenance_plan`] with an optional cardinality estimator:
+/// when present, the optimizer additionally reorders the maintenance
+/// plan's join regions by estimated cost (base-table statistics come from
+/// the `svc-catalog` crate, which implements the estimator).
+pub fn optimized_maintenance_plan_with(
+    canonical: &Canonical,
+    cat: &MaintCatalog<'_>,
+    info: &DeltaInfo,
+    est: Option<&dyn CardEstimator>,
+) -> Result<(Plan, PlanKind, OptimizeReport)> {
     let (plan, kind) = maintenance_plan(canonical, cat, info)?;
-    let (plan, report) = optimize(&plan, cat)?;
+    let (plan, report) = match est {
+        Some(est) => optimize_with(&plan, cat, est)?,
+        None => optimize(&plan, cat)?,
+    };
     Ok((plan, kind, report))
 }
 

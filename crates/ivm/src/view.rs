@@ -12,7 +12,7 @@ use svc_relalg::scalar::Expr;
 use crate::canon::{canonicalize, Canonical};
 use crate::delta::{del_leaf, ins_leaf, DeltaInfo};
 use crate::strategy::{
-    maintenance_plan, optimized_maintenance_plan, MaintCatalog, PlanKind, STALE_LEAF,
+    maintenance_plan, optimized_maintenance_plan_with, MaintCatalog, PlanKind, STALE_LEAF,
 };
 
 /// A materialized view: the user-facing definition, its canonical
@@ -122,12 +122,25 @@ impl MaterializedView {
     /// maintenance period ends). The maintenance plan goes through the
     /// optimizer exactly once. Returns the strategy that was used.
     pub fn maintain(&mut self, db: &Database, deltas: &Deltas) -> Result<PlanKind> {
+        self.maintain_with(db, deltas, None)
+    }
+
+    /// [`MaterializedView::maintain`] with an optional cardinality
+    /// estimator: the maintenance plan's joins are then reordered by
+    /// estimated cost before evaluation.
+    pub fn maintain_with(
+        &mut self,
+        db: &Database,
+        deltas: &Deltas,
+        est: Option<&dyn svc_relalg::optimizer::CardEstimator>,
+    ) -> Result<PlanKind> {
         let info = DeltaInfo::of(deltas);
         let cat = MaintCatalog {
             db,
             stale: Derived { schema: self.table.schema().clone(), key: self.table.key().to_vec() },
         };
-        let (plan, kind, _report) = optimized_maintenance_plan(&self.canonical, &cat, &info)?;
+        let (plan, kind, _report) =
+            optimized_maintenance_plan_with(&self.canonical, &cat, &info, est)?;
         let new_table = {
             let bindings = maintenance_bindings(db, deltas, &self.table);
             evaluate(&plan, &bindings)?
@@ -387,7 +400,7 @@ mod tests {
                 key: view.table().key().to_vec(),
             },
         };
-        let chunks = deltas.partition(4);
+        let chunks = deltas.clone().partition(4);
         assert!(chunks.len() > 1, "enough records to actually partition");
         let plans = batch_change_plans(view.canonical(), &cat, &chunks).unwrap();
         assert_eq!(plans.len(), chunks.len());

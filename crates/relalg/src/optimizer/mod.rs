@@ -18,12 +18,22 @@
 //!   ([`crate::derive`]) requires;
 //! * [`eta`] — **η hash-sampling pushdown**: the paper's Definition 3
 //!   rewrite (Section 4.3/4.4 legality conditions) expressed as a rule, so
-//!   that cleaning a sample touches only hash-selected rows.
+//!   that cleaning a sample touches only hash-selected rows;
+//! * [`constfold`] — **constant folding**: column-free subexpressions
+//!   evaluate at plan time; `σ(true)` vanishes;
+//! * [`joinorder`] — **cost-based join reordering**: inner-join regions are
+//!   rebuilt in the cheapest order a [`cost::CardEstimator`] can find (DP up
+//!   to 8 relations, greedy beyond). This rule only runs when the caller
+//!   supplies an estimator — see [`optimize_with`] and the `svc-catalog`
+//!   crate, which implements the estimator on top of table statistics.
 //!
 //! The legacy entry point `svc_sampling::push_down` is now a thin wrapper
 //! over the η rule of this engine.
 
+pub mod constfold;
+pub mod cost;
 pub mod eta;
+pub mod joinorder;
 pub mod predicate;
 pub mod projection;
 pub mod rules;
@@ -33,8 +43,11 @@ use svc_storage::Result;
 use crate::derive::LeafProvider;
 use crate::plan::Plan;
 
+pub use cost::CardEstimator;
 pub use eta::EtaReport;
-pub use rules::{EtaPushdown, PredicatePushdown, ProjectionPruning, Rule};
+pub use rules::{
+    ConstantFolding, EtaPushdown, JoinReorder, PredicatePushdown, ProjectionPruning, Rule,
+};
 
 /// What a full optimization run did.
 #[derive(Debug, Clone, Default)]
@@ -46,29 +59,48 @@ pub struct OptimizeReport {
     pub predicates_pushed: usize,
     /// Number of pruning projections inserted or narrowed.
     pub projections_pruned: usize,
+    /// Number of constant subexpressions folded (and `σ(true)` removed).
+    pub constants_folded: usize,
+    /// Number of join regions whose tree the cost-based rule rebuilt.
+    pub joins_reordered: usize,
     /// What the η push-down rule achieved (depth, blockers, sampled leaves).
     pub eta: EtaReport,
 }
 
-/// A fixed-point rewrite engine over [`Plan`]s.
-pub struct Optimizer {
-    rules: Vec<Box<dyn Rule>>,
+/// A fixed-point rewrite engine over [`Plan`]s. The lifetime bounds rules
+/// that borrow a caller-owned cardinality estimator ([`JoinReorder`]).
+pub struct Optimizer<'e> {
+    rules: Vec<Box<dyn Rule + 'e>>,
     /// Safety cap on rule sweeps; the standard rule set reaches its fixed
     /// point in two or three.
     pub max_passes: usize,
 }
 
-impl Optimizer {
+impl<'e> Optimizer<'e> {
     /// Engine with an explicit rule list.
-    pub fn with_rules(rules: Vec<Box<dyn Rule>>) -> Optimizer {
+    pub fn with_rules(rules: Vec<Box<dyn Rule + 'e>>) -> Optimizer<'e> {
         Optimizer { rules, max_passes: 8 }
     }
 
-    /// The standard rule set: predicate pushdown, projection pruning, and
-    /// η pushdown, in that order.
-    pub fn standard() -> Optimizer {
+    /// The standard rule set: constant folding, predicate pushdown,
+    /// projection pruning, and η pushdown, in that order.
+    pub fn standard() -> Optimizer<'static> {
         Optimizer::with_rules(vec![
+            Box::new(ConstantFolding),
             Box::new(PredicatePushdown),
+            Box::new(ProjectionPruning),
+            Box::new(EtaPushdown),
+        ])
+    }
+
+    /// The standard rule set plus cost-based join reordering, which slots
+    /// in after predicate pushdown (so filtered leaves carry their σ when
+    /// estimated) and before projection pruning.
+    pub fn standard_with_cost(est: &'e dyn CardEstimator) -> Optimizer<'e> {
+        Optimizer::with_rules(vec![
+            Box::new(ConstantFolding),
+            Box::new(PredicatePushdown),
+            Box::new(JoinReorder { est }),
             Box::new(ProjectionPruning),
             Box::new(EtaPushdown),
         ])
@@ -76,7 +108,7 @@ impl Optimizer {
 
     /// Engine running only the η rule — the exact Definition 3 rewrite,
     /// used by the `svc_sampling::push_down` compatibility wrapper.
-    pub fn eta_only() -> Optimizer {
+    pub fn eta_only() -> Optimizer<'static> {
         Optimizer::with_rules(vec![Box::new(EtaPushdown)])
     }
 
@@ -106,6 +138,17 @@ impl Optimizer {
 /// every evaluated plan is optimized exactly once.
 pub fn optimize(plan: &Plan, leaves: &impl LeafProvider) -> Result<(Plan, OptimizeReport)> {
     Optimizer::standard().run(plan, leaves)
+}
+
+/// [`optimize`] plus cost-based join reordering driven by `est` — the
+/// entry point the evaluation layers use when a statistics catalog is
+/// available.
+pub fn optimize_with(
+    plan: &Plan,
+    leaves: &impl LeafProvider,
+    est: &dyn CardEstimator,
+) -> Result<(Plan, OptimizeReport)> {
+    Optimizer::standard_with_cost(est).run(plan, leaves)
 }
 
 #[cfg(test)]

@@ -56,6 +56,21 @@ fn split_conjuncts(e: Expr, out: &mut Vec<Expr>) {
     }
 }
 
+/// Split the σ chain at the top of `plan` off into its conjuncts (in the
+/// same order [`wrap`] emits them, so strip ∘ wrap is the identity).
+fn strip_top_selects(plan: Plan) -> (Plan, Vec<Expr>) {
+    match plan {
+        Plan::Select { input, predicate } => {
+            let (core, mut below) = strip_top_selects(*input);
+            let mut preds = Vec::new();
+            split_conjuncts(predicate, &mut preds);
+            below.extend(preds);
+            (core, below)
+        }
+        other => (other, Vec::new()),
+    }
+}
+
 /// Recombine conjuncts (in collection order, so repeated passes rebuild an
 /// identical tree) and wrap `plan` in a single σ; identity when empty.
 fn wrap(plan: Plan, preds: Vec<Expr>) -> Plan {
@@ -116,10 +131,21 @@ fn push(plan: Plan, dt: &DerivedTree, mut preds: Vec<Expr>, moved: &mut usize) -
         }
         Plan::Scan { .. } => Ok(wrap(plan, preds)),
         Plan::Hash { input, key, ratio, spec } => {
-            // Canonical order σ(η(..)): η evaluates first (and is usually
-            // already at a leaf), the σ filters the smaller sample above.
-            let inner = push(*input, dt.input(), Vec::new(), moved)?;
-            Ok(wrap(Plan::Hash { input: Box::new(inner), key, ratio, spec }, preds))
+            // σ commutes with η (both are row-local filters), so conjuncts
+            // continue *through* a blocked η toward the operators below it.
+            // The shared canonical form with the η rule is σ-above-η: any
+            // conjunct that would come to rest directly beneath the η is
+            // lifted back above it, so this rule and the η push-down (which
+            // sinks η below σ) can never ping-pong a σ/η pair. Conjuncts
+            // that make real progress deeper — into a join side, below a
+            // γ — stay down there, which is new ground the old rule (a hard
+            // stop at every η) never reached.
+            // Crossing the η itself is not counted as movement (a lifted
+            // conjunct ends where it started); conjuncts that settle deeper
+            // are counted by the join/γ/Π arms they cross.
+            let inner = push(*input, dt.input(), preds, moved)?;
+            let (core, rest) = strip_top_selects(inner);
+            Ok(wrap(Plan::Hash { input: Box::new(core), key, ratio, spec }, rest))
         }
         Plan::Project { input, columns } => {
             if preds.is_empty() {
@@ -368,6 +394,56 @@ mod tests {
         let (out, moved) = run(plan);
         assert!(moved >= 1);
         assert_eq!(top_selects(&out), 0);
+    }
+
+    #[test]
+    fn conjuncts_continue_below_a_blocked_eta() {
+        use svc_storage::HashSpec;
+        // η rests above the join; the σ conjuncts must pass through it and
+        // sink into the join sides instead of stopping at the η.
+        let plan = Plan::scan("fact")
+            .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")])
+            .hash(&["factId", "dimId"], 0.5, HashSpec::with_seed(5))
+            .select(col("x").gt(lit(3.0)).and(col("w").lt(lit(2.0))));
+        let (out, moved) = run(plan);
+        assert_eq!(moved, 2, "both conjuncts cross the η into the join: {out:?}");
+        assert_eq!(top_selects(&out), 0);
+        let Plan::Hash { input, .. } = &out else { panic!("η stays on top: {out:?}") };
+        assert!(matches!(**input, Plan::Join { .. }), "no σ may rest under the η: {input:?}");
+    }
+
+    #[test]
+    fn resting_conjuncts_are_lifted_back_above_eta() {
+        use svc_storage::HashSpec;
+        // Nothing below the η to cross: the conjunct is lifted back above
+        // it (canonical σ-above-η), and a σ written below the η is
+        // canonicalized up as well. Neither counts as movement.
+        let spec = HashSpec::with_seed(6);
+        let above = Plan::scan("fact").hash(&["factId"], 0.5, spec).select(col("x").gt(lit(3.0)));
+        let (out, moved) = run(above.clone());
+        assert_eq!(moved, 0);
+        assert_eq!(out, above, "canonical input passes through unchanged");
+
+        let below = Plan::scan("fact").select(col("x").gt(lit(3.0))).hash(&["factId"], 0.5, spec);
+        let (out, moved) = run(below);
+        assert_eq!(moved, 0);
+        assert_eq!(out, above, "σ below η canonicalizes to σ above η");
+    }
+
+    #[test]
+    fn eta_and_sigma_pair_reaches_fixed_point() {
+        use svc_storage::HashSpec;
+        let db = db();
+        let plan = Plan::scan("fact")
+            .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")])
+            .hash(&["factId", "dimId"], 0.4, HashSpec::with_seed(7))
+            .select(col("x").gt(lit(1.0)));
+        let mut moved = 0;
+        let once = pushdown(plan, &db, &mut moved).unwrap();
+        let mut again = 0;
+        let twice = pushdown(once.clone(), &db, &mut again).unwrap();
+        assert_eq!(again, 0, "second pass must be a no-op");
+        assert_eq!(once, twice);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use svc_storage::Result;
 
 use crate::derive::LeafProvider;
+use crate::optimizer::cost::CardEstimator;
 use crate::optimizer::OptimizeReport;
 use crate::plan::Plan;
 
@@ -66,6 +67,52 @@ impl Rule for ProjectionPruning {
         let out = crate::optimizer::projection::prune(plan, leaves, &mut pruned)?;
         report.projections_pruned += pruned;
         Ok((out, pruned > 0))
+    }
+}
+
+/// Constant folding (see [`crate::optimizer::constfold`]).
+pub struct ConstantFolding;
+
+impl Rule for ConstantFolding {
+    fn name(&self) -> &'static str {
+        "constant-folding"
+    }
+
+    fn apply(
+        &self,
+        plan: Plan,
+        leaves: &dyn LeafProvider,
+        report: &mut OptimizeReport,
+    ) -> Result<(Plan, bool)> {
+        let mut folded = 0;
+        let out = crate::optimizer::constfold::fold(plan, leaves, &mut folded)?;
+        report.constants_folded += folded;
+        Ok((out, folded > 0))
+    }
+}
+
+/// Cost-based join reordering (see [`crate::optimizer::joinorder`]); only
+/// active when the optimizer was given a [`CardEstimator`].
+pub struct JoinReorder<'e> {
+    /// The statistics-backed cardinality estimator driving the search.
+    pub est: &'e dyn CardEstimator,
+}
+
+impl Rule for JoinReorder<'_> {
+    fn name(&self) -> &'static str {
+        "join-reorder"
+    }
+
+    fn apply(
+        &self,
+        plan: Plan,
+        leaves: &dyn LeafProvider,
+        report: &mut OptimizeReport,
+    ) -> Result<(Plan, bool)> {
+        let mut reordered = 0;
+        let out = crate::optimizer::joinorder::reorder(plan, leaves, self.est, &mut reordered)?;
+        report.joins_reordered += reordered;
+        Ok((out, reordered > 0))
     }
 }
 

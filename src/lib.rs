@@ -3,6 +3,7 @@
 //! Umbrella crate re-exporting the full Stale View Cleaning (SVC) stack.
 //! See `svc_core` for the main entry points.
 
+pub use svc_catalog as catalog;
 pub use svc_cluster as cluster;
 pub use svc_core as core;
 pub use svc_ivm as ivm;
