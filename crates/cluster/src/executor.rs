@@ -8,7 +8,8 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
-use svc_relalg::eval::{evaluate, Bindings};
+use svc_relalg::eval::Bindings;
+use svc_relalg::exec::{compile, PhysicalPlan};
 use svc_relalg::optimizer::{optimize, optimize_with, CardEstimator};
 use svc_relalg::plan::Plan;
 use svc_storage::{Result, StorageError, Table};
@@ -151,10 +152,12 @@ impl WorkerPool {
     /// estimator: each plan's join regions are then reordered by estimated
     /// cost — the per-partition batch plans of mini-batch maintenance all
     /// share one join shape, so one good order pays off across the whole
-    /// batch. Optimization runs *inside* the worker tasks (the rule
-    /// engine, estimator, and bindings are all read-only), so the rewrite
-    /// cost parallelizes with the evaluation instead of serializing on the
-    /// driver.
+    /// batch. Each plan is optimized and **compiled exactly once** before
+    /// it runs; both happen *inside* the worker tasks (the rule engine,
+    /// estimator, and bindings are all read-only), so the compile cost
+    /// parallelizes with the evaluation instead of serializing on the
+    /// driver. Callers that reuse plans across calls should compile
+    /// themselves and use [`WorkerPool::run_compiled`].
     pub fn evaluate_plans_with(
         &self,
         plans: &[Plan],
@@ -166,19 +169,31 @@ impl WorkerPool {
                 Some(e) => optimize_with(&plans[i], bindings, e)?,
                 None => optimize(&plans[i], bindings)?,
             };
-            evaluate(&optimized, bindings)
+            compile(&optimized, bindings)?.run(bindings)
         })
     }
 
     /// [`WorkerPool::evaluate_plans`] without the optimizer pass: every plan
-    /// is evaluated exactly as written. The optimizer-off arm of the
+    /// is compiled and run exactly as written. The optimizer-off arm of the
     /// mini-batch benchmarks.
     pub fn evaluate_plans_raw(
         &self,
         plans: &[Plan],
         bindings: &Bindings<'_>,
     ) -> Result<Vec<Table>> {
-        self.run_batch(plans.len(), |i| evaluate(&plans[i], bindings))
+        self.run_batch(plans.len(), |i| compile(&plans[i], bindings)?.run(bindings))
+    }
+
+    /// Evaluate pre-compiled physical plans against shared bindings — the
+    /// zero-recompilation fan-out used by `BatchPipeline`'s per-epoch plan
+    /// cache: every batch after the first skips optimization, schema
+    /// derivation, and predicate binding entirely.
+    pub fn run_compiled(
+        &self,
+        plans: &[PhysicalPlan],
+        bindings: &Bindings<'_>,
+    ) -> Result<Vec<Table>> {
+        self.run_batch(plans.len(), |i| plans[i].run(bindings))
     }
 
     /// Run `n` numbered tasks off a shared queue on the pool and collect
@@ -249,6 +264,7 @@ pub fn spin(units: u64) -> u64 {
 mod tests {
     use super::*;
     use svc_relalg::aggregate::AggSpec;
+    use svc_relalg::eval::evaluate;
     use svc_relalg::scalar::{col, lit};
     use svc_storage::{DataType, Database, Schema, Value};
 

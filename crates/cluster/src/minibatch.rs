@@ -26,8 +26,8 @@
 //! overhead plus per-record spin work) for calibrating the Figure 14 curves
 //! against an idealized Spark-like scheduler.
 
-use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use svc_catalog::Catalog;
@@ -37,8 +37,9 @@ use svc_ivm::strategy::{
 };
 use svc_ivm::view::{maintenance_bindings, MaterializedView};
 use svc_relalg::derive::Derived;
-use svc_relalg::eval::{evaluate, Bindings};
-use svc_relalg::optimizer::optimize;
+use svc_relalg::eval::Bindings;
+use svc_relalg::exec::{compile, PhysicalPlan};
+use svc_relalg::optimizer::{optimize, optimize_with};
 use svc_relalg::plan::Plan;
 use svc_storage::{Database, Deltas, Result, StorageError};
 
@@ -95,6 +96,82 @@ pub struct BatchPipeline {
     /// on), batch plans additionally get cost-based join reordering, with
     /// the delta-chunk and stale-view leaves overlaid on the fly.
     pub catalog: Option<Arc<Catalog>>,
+    /// Compiled per-partition change plans, cached across batches and
+    /// `maintain` calls. Shared by clones (same pipeline, same cache);
+    /// entries are keyed by the partitioning-epoch knobs and dropped when
+    /// the attached catalog changes — see [`CompileCache`].
+    cache: Arc<Mutex<CompileCache>>,
+}
+
+/// The cache of compiled batch plans.
+///
+/// Everything a compiled plan set depends on is part of its key: the
+/// partition count and optimizer toggle (the *partitioning epoch* knobs —
+/// a repartition therefore never sees stale plans, it simply keys to a
+/// fresh entry and recompiles exactly once), the canonical view plan and
+/// stale type, and the batch's chunk signature (chunk count and, per
+/// chunk, which tables have pending insertions/deletions). Keying rather
+/// than clearing also lets two live pipeline clones with different knobs
+/// share the cache without thrashing each other.
+///
+/// The statistics catalog is the one input handled by identity instead:
+/// the cache *holds* the `Arc<Catalog>` its entries were optimized under
+/// (holding it keeps the allocation alive, so `Arc::ptr_eq` cannot be
+/// fooled by address reuse) and drops every entry when a different catalog
+/// is attached — cached join orders may reflect the old statistics.
+#[derive(Debug, Default)]
+struct CompileCache {
+    catalog: Option<Arc<Catalog>>,
+    entries: HashMap<String, Arc<Vec<PhysicalPlan>>>,
+    /// Total plan-set compilations performed (test/diagnostics hook).
+    compiles: usize,
+}
+
+/// Entry cap: one long-lived pipeline maintaining many views over
+/// shifting chunk signatures must not grow without bound. A full flush at
+/// the cap is crude but safe — everything recompiles at most once after.
+const COMPILE_CACHE_CAP: usize = 64;
+
+impl CompileCache {
+    /// Drop every entry if `catalog` is not the one the cache was filled
+    /// under. Called under the lock by both lookup and store: the lock is
+    /// released during compilation, so the store must re-validate.
+    fn sync_catalog(&mut self, catalog: &Option<Arc<Catalog>>) {
+        let same = match (&self.catalog, catalog) {
+            (None, None) => true,
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        };
+        if !same {
+            self.entries.clear();
+            self.catalog = catalog.clone();
+        }
+    }
+
+    /// The entry for `key` under the caller's catalog.
+    fn lookup(
+        &mut self,
+        catalog: &Option<Arc<Catalog>>,
+        key: &str,
+    ) -> Option<Arc<Vec<PhysicalPlan>>> {
+        self.sync_catalog(catalog);
+        self.entries.get(key).cloned()
+    }
+
+    /// Insert a freshly compiled plan set.
+    fn store(
+        &mut self,
+        catalog: &Option<Arc<Catalog>>,
+        key: String,
+        plans: Arc<Vec<PhysicalPlan>>,
+    ) {
+        self.sync_catalog(catalog);
+        if self.entries.len() >= COMPILE_CACHE_CAP {
+            self.entries.clear();
+        }
+        self.entries.insert(key, plans);
+        self.compiles += 1;
+    }
 }
 
 impl BatchPipeline {
@@ -105,19 +182,34 @@ impl BatchPipeline {
             partitions: workers * 2,
             optimize_plans: true,
             catalog: None,
+            cache: Arc::default(),
         }
     }
 
     /// A pipeline sharing an existing pool.
     pub fn on_pool(pool: Arc<WorkerPool>) -> BatchPipeline {
         let partitions = pool.workers() * 2;
-        BatchPipeline { pool, partitions, optimize_plans: true, catalog: None }
+        BatchPipeline {
+            pool,
+            partitions,
+            optimize_plans: true,
+            catalog: None,
+            cache: Arc::default(),
+        }
     }
 
     /// Attach a statistics catalog (see [`BatchPipeline::catalog`]).
     pub fn with_catalog(mut self, catalog: Arc<Catalog>) -> BatchPipeline {
         self.catalog = Some(catalog);
         self
+    }
+
+    /// How many batch-plan sets this pipeline has compiled so far — the
+    /// observable behind the "compile at most once per partitioning epoch"
+    /// guarantee (tests assert it stays flat across repeated batches and
+    /// resets work after a repartition).
+    pub fn plan_compiles(&self) -> usize {
+        self.cache.lock().expect("compile cache poisoned").compiles
     }
 
     /// Bring `view` up to date with respect to `pending` (not consumed —
@@ -197,17 +289,24 @@ impl BatchPipeline {
             return Ok(run);
         }
 
+        // The merge plan is invariant across batches: optimize and compile
+        // it once per call, run it once per change-table fold.
         let merge = {
             let (m, _) = optimize(&merge_change_plan(&canonical, &cat)?, &cat)?;
-            m
+            compile(&m, &cat)?
         };
+        // Cache identity of this view's batch plans: the generated plan
+        // set is a pure function of the canonical plan and the stale type
+        // (plus the chunk signature appended per batch).
+        let view_key = format!("{:?}|{:?}", canonical.plan, cat.stale);
         // Batch boundaries obey the same exactness condition as chunk
         // parallelism: every batch's change table reads the original base
         // state, so batches (like chunks) must not interact.
         let exact = chunk_parallel_exact(&canonical.plan, &pending);
         let n_batches = if exact { run.records.div_ceil(batch_size) } else { 1 };
         for batch in pending.partition(n_batches) {
-            let plans = self.run_change_batch(db, view, &canonical, &cat, &merge, batch, exact)?;
+            let plans =
+                self.run_change_batch(db, view, &canonical, &cat, &merge, batch, exact, &view_key)?;
             run.batches += 1;
             run.plans_evaluated += plans;
         }
@@ -223,16 +322,17 @@ impl BatchPipeline {
         view: &mut MaterializedView,
         canonical: &svc_ivm::Canonical,
         cat: &MaintCatalog<'_>,
-        merge: &Plan,
+        merge: &PhysicalPlan,
         batch: Deltas,
         chunk_parallel: bool,
+        view_key: &str,
     ) -> Result<usize> {
         // Map stage: one signed change table per delta chunk, all plans
         // bound side by side (`Deltas::partition` never emits empty chunks,
         // so no worker slot is burned on a no-op partition). The batch is
         // consumed — partitioning moves rows into their chunks.
         let chunks = if chunk_parallel { batch.partition(self.partitions) } else { vec![batch] };
-        let plans = batch_change_plans(canonical, cat, &chunks)?;
+        let compiled = self.compiled_batch_plans(canonical, cat, &chunks, view_key)?;
         let mut bindings = Bindings::from_database(db);
         for (p, chunk) in chunks.iter().enumerate() {
             for (name, set) in chunk.iter() {
@@ -240,22 +340,7 @@ impl BatchPipeline {
                 bindings.bind(del_leaf_at(name, p), &set.deletions);
             }
         }
-        let changes = if self.optimize_plans {
-            // With a catalog attached, overlay stats for every chunk's
-            // delta leaves (tiny tables — the build scan is noise) so the
-            // per-partition change plans get cost-based join order too.
-            // Change plans never read `__stale` (the merge plan does, and
-            // it is optimized separately), so no view-wide stats build.
-            let scoped = self.catalog.as_deref().map(|c| delta_leaf_stats(c, None, &chunks, true));
-            let est = scoped.as_ref().map(|s| s.estimator());
-            self.pool.evaluate_plans_with(
-                &plans,
-                &bindings,
-                est.as_ref().map(|e| e as &dyn svc_relalg::optimizer::CardEstimator),
-            )?
-        } else {
-            self.pool.evaluate_plans_raw(&plans, &bindings)?
-        };
+        let changes = self.pool.run_compiled(&compiled, &bindings)?;
 
         // Reduce stage (driver): fold each change table into the view. The
         // merge is associative for the change-table-eligible merge rules,
@@ -266,12 +351,78 @@ impl BatchPipeline {
                 let mut mb = Bindings::new();
                 mb.bind(STALE_LEAF, &current);
                 mb.bind(CHANGE_LEAF, change);
-                evaluate(merge, &mb)?
+                merge.run(&mb)?
             };
             current = next;
         }
         view.set_table(current);
-        Ok(plans.len())
+        Ok(compiled.len())
+    }
+
+    /// The compiled per-partition change plans for one batch: served from
+    /// the epoch cache when this chunk signature was seen before, compiled
+    /// (optimize → compile, once per plan) and cached otherwise.
+    fn compiled_batch_plans(
+        &self,
+        canonical: &svc_ivm::Canonical,
+        cat: &MaintCatalog<'_>,
+        chunks: &[Deltas],
+        view_key: &str,
+    ) -> Result<Arc<Vec<PhysicalPlan>>> {
+        use std::fmt::Write;
+        // The generated plan set depends on the epoch knobs, the view, the
+        // chunk count, and per chunk which tables have pending
+        // insertions/deletions (the change-table expression prunes absent
+        // delta sides). Record exactly that.
+        let mut key = format!("p{}|o{}|{view_key}", self.partitions, u8::from(self.optimize_plans));
+        for chunk in chunks {
+            key.push(';');
+            for (name, set) in chunk.iter() {
+                let _ = write!(
+                    key,
+                    "{name}:{}{},",
+                    u8::from(!set.insertions.is_empty()),
+                    u8::from(!set.deletions.is_empty())
+                );
+            }
+        }
+        if let Some(hit) =
+            self.cache.lock().expect("compile cache poisoned").lookup(&self.catalog, &key)
+        {
+            return Ok(hit);
+        }
+
+        let plans = batch_change_plans(canonical, cat, chunks)?;
+        let compiled: Vec<PhysicalPlan> = if self.optimize_plans {
+            // With a catalog attached, overlay stats for every chunk's
+            // delta leaves (tiny tables — the build scan is noise) so the
+            // per-partition change plans get cost-based join order too.
+            // Change plans never read `__stale` (the merge plan does, and
+            // it is optimized separately), so no view-wide stats build.
+            // Optimization + compilation fan out on the pool: this is the
+            // once-per-epoch cold path, but with many partitions it still
+            // should not serialize on the driver.
+            let scoped = self.catalog.as_deref().map(|c| delta_leaf_stats(c, None, chunks, true));
+            let est = scoped.as_ref().map(|s| s.estimator());
+            let est: Option<&dyn svc_relalg::optimizer::CardEstimator> =
+                est.as_ref().map(|e| e as &dyn svc_relalg::optimizer::CardEstimator);
+            self.pool.run_batch(plans.len(), |i| {
+                let (optimized, _) = match est {
+                    Some(e) => optimize_with(&plans[i], cat, e)?,
+                    None => optimize(&plans[i], cat)?,
+                };
+                svc_relalg::exec::compile_with(&optimized, cat, est)
+            })?
+        } else {
+            self.pool.run_batch(plans.len(), |i| compile(&plans[i], cat))?
+        };
+        let compiled = Arc::new(compiled);
+        self.cache.lock().expect("compile cache poisoned").store(
+            &self.catalog,
+            key,
+            compiled.clone(),
+        );
+        Ok(compiled)
     }
 
     /// Measure throughput across batch sizes on real plans (Figure 14a,
@@ -665,6 +816,39 @@ mod tests {
         assert_eq!(run.records, 0);
         assert_eq!(run.batches, 0);
         assert!(v.table().same_contents(&before));
+    }
+
+    #[test]
+    fn batch_plans_compile_once_per_partitioning_epoch() {
+        let db = db();
+        let view = MaterializedView::create("v", visit_view(), &db).unwrap();
+        // Insert-only stream: every batch has the same chunk signature, so
+        // one compiled plan set serves all of them.
+        let mut deltas = Deltas::new();
+        for s in 2_000..2_400i64 {
+            deltas.insert(&db, "log", vec![Value::Int(s), Value::Int(s % 80)]).unwrap();
+        }
+        let mut pipeline = BatchPipeline::new(2);
+        let mut v = view.clone();
+        let run = pipeline.maintain(&db, &mut v, &deltas, 50).unwrap();
+        assert_eq!(run.batches, 8);
+        assert_eq!(pipeline.plan_compiles(), 1, "one signature, one compile across 8 batches");
+
+        // A second maintenance pass with the same shape replays the cache.
+        let mut v2 = view.clone();
+        pipeline.maintain(&db, &mut v2, &deltas, 50).unwrap();
+        assert_eq!(pipeline.plan_compiles(), 1, "identical stream must not recompile");
+
+        // Repartitioning starts a new epoch: the old plans are invalid
+        // (different chunk count) and exactly one new set is compiled.
+        pipeline.partitions = 3;
+        let mut v3 = view.clone();
+        pipeline.maintain(&db, &mut v3, &deltas, 60).unwrap();
+        assert_eq!(pipeline.plan_compiles(), 2, "repartition compiles a fresh set");
+        let expected = view.recompute_fresh(&db, &deltas).unwrap();
+        assert!(v3.table().approx_same_contents(&expected, 1e-9));
+        assert!(v.table().approx_same_contents(&expected, 1e-9));
+        assert!(v2.table().approx_same_contents(&expected, 1e-9));
     }
 
     #[test]

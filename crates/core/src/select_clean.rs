@@ -11,10 +11,15 @@
 use std::collections::HashSet;
 
 use svc_catalog::TableStats;
+use svc_relalg::eval::Bindings;
+use svc_relalg::plan::Plan;
 use svc_relalg::scalar::Expr;
 use svc_stats::clt::sum_interval;
 use svc_stats::moments::Moments;
 use svc_storage::{KeyTuple, Result, Table};
+
+/// Leaf name the stale view binds to inside the select-cleaning pipeline.
+const VIEW_LEAF: &str = "__select_view";
 
 use crate::config::SvcConfig;
 use crate::estimate::{Estimate, Method};
@@ -85,21 +90,19 @@ pub fn clean_select_with(
     let estimated_stale_matches = stats.map(|s| s.estimate_filter_rows(predicate));
     let provably_empty = stats.is_some_and(|s| s.prove_empty_filter(predicate));
 
-    // The stale answer. This is deliberately a direct filtered copy rather
-    // than a trip through the plan evaluator: a σ over a single bound leaf
-    // has no structure for the optimizer to rewrite, and `evaluate` on a
-    // Scan clones the whole view before filtering, while this loop copies
-    // only the matching rows. Plan-shaped selects over views go through
-    // [`crate::svc::SvcView`], whose plans are optimized exactly once.
-    // When the stats prove emptiness, even that scan is unnecessary.
-    let mut result = stale_view.empty_like();
-    if !provably_empty {
-        for row in stale_view.rows() {
-            if pred.matches(row) {
-                result.insert(row.clone())?;
-            }
-        }
-    }
+    // The stale answer: a compiled fused `Scan→σ` pipeline over the bound
+    // view — one streaming pass that borrows every row and copies only the
+    // matches (a σ over a single leaf has no structure for the optimizer,
+    // so the plan runs as written). When the stats prove emptiness, even
+    // that pass is unnecessary.
+    let mut result = if provably_empty {
+        stale_view.empty_like()
+    } else {
+        let plan = Plan::scan(VIEW_LEAF).select(predicate.clone());
+        let mut bindings = Bindings::new();
+        bindings.bind(VIEW_LEAF, stale_view);
+        svc_relalg::exec::compile(&plan, &bindings)?.run(&bindings)?
+    };
 
     let mut updated = 0usize;
     let mut added = 0usize;

@@ -16,7 +16,7 @@ use svc_ivm::delta::{del_leaf, ins_leaf};
 use svc_ivm::strategy::{MaintCatalog, PlanKind, STALE_LEAF};
 use svc_ivm::view::{maintenance_bindings, MaterializedView};
 use svc_relalg::derive::Derived;
-use svc_relalg::eval::evaluate;
+
 use svc_relalg::optimizer::{optimize, optimize_with};
 use svc_relalg::plan::Plan;
 use svc_sampling::operator::sample_by_key;
@@ -182,8 +182,11 @@ impl SvcView {
             self.view.table()
         };
         let canonical = {
+            // Compile the cleaning expression once and stream it: the η
+            // filters run over borrowed base/delta/stale rows, cloning
+            // only hash-selected survivors.
             let bindings = maintenance_bindings(db, deltas, stale_binding);
-            evaluate(&plan, &bindings)?
+            svc_relalg::exec::compile(&plan, &bindings)?.run(&bindings)?
         };
         let public = self.view.public_of(&canonical)?;
         Ok(CleanedSample { canonical, public, report, plan_kind })

@@ -141,9 +141,13 @@ impl MaterializedView {
         };
         let (plan, kind, _report) =
             optimized_maintenance_plan_with(&self.canonical, &cat, &info, est)?;
+        // Compile against the maintenance catalog (schemas only), then run
+        // against the concrete bindings: the compile/run split of the
+        // streaming executor, spelled out where the plan is built.
+        let compiled = svc_relalg::exec::compile_with(&plan, &cat, est)?;
         let new_table = {
             let bindings = maintenance_bindings(db, deltas, &self.table);
-            evaluate(&plan, &bindings)?
+            compiled.run(&bindings)?
         };
         self.table = new_table;
         Ok(kind)

@@ -65,14 +65,27 @@ fn derived_of(t: &Table) -> Derived {
 
 /// Evaluate a plan against bindings, producing a keyed table.
 ///
-/// Callers that want the plan optimized should run it through
-/// [`crate::optimizer::optimize`] first — evaluation itself never rewrites,
-/// so the higher layers control that each plan is optimized exactly once.
+/// This is a thin wrapper over the streaming executor: the plan is
+/// compiled ([`crate::exec::compile`]) and run once. Callers that evaluate
+/// the same plan repeatedly should compile once themselves and reuse the
+/// [`crate::exec::PhysicalPlan`]. Callers that want the plan optimized
+/// should run it through [`crate::optimizer::optimize`] first — evaluation
+/// itself never rewrites, so the higher layers control that each plan is
+/// optimized exactly once.
 pub fn evaluate(plan: &Plan, bindings: &Bindings<'_>) -> Result<Table> {
+    crate::exec::compile(plan, bindings)?.run(bindings)
+}
+
+/// The legacy recursive evaluator: materializes a keyed [`Table`] (index
+/// included) at *every* node and clones the entire bound relation at every
+/// `Scan`. Kept as the baseline the streaming executor is property-tested
+/// against (`tests/exec_prop.rs`) and benchmarked against (`fig_exec`); new
+/// code should call [`evaluate`].
+pub fn evaluate_materializing(plan: &Plan, bindings: &Bindings<'_>) -> Result<Table> {
     match plan {
         Plan::Scan { table } => Ok(bindings.table(table)?.clone()),
         Plan::Select { input, predicate } => {
-            let child = evaluate(input, bindings)?;
+            let child = evaluate_materializing(input, bindings)?;
             let out = derive_select(&derived_of(&child), predicate)?;
             let pred = predicate.bind(child.schema())?;
             // Filtering a keyed table keeps keys unique; move the surviving
@@ -82,7 +95,7 @@ pub fn evaluate(plan: &Plan, bindings: &Bindings<'_>) -> Result<Table> {
             Table::from_unique_rows(out.schema, out.key, rows)
         }
         Plan::Project { input, columns } => {
-            let child = evaluate(input, bindings)?;
+            let child = evaluate_materializing(input, bindings)?;
             let out = derive_project(&derived_of(&child), columns)?;
             let bound: Vec<_> =
                 columns.iter().map(|(_, e)| e.bind(child.schema())).collect::<Result<_>>()?;
@@ -91,39 +104,39 @@ pub fn evaluate(plan: &Plan, bindings: &Bindings<'_>) -> Result<Table> {
             Table::from_rows(out.schema, out.key, rows)
         }
         Plan::Join { left, right, kind, on } => {
-            let l = evaluate(left, bindings)?;
-            let r = evaluate(right, bindings)?;
+            let l = evaluate_materializing(left, bindings)?;
+            let r = evaluate_materializing(right, bindings)?;
             let (out, on_idx) =
                 derive_join(&derived_of(&l), &derived_of(&r), *kind, on, right.name_hint())?;
             run_join(l, &r, *kind, &on_idx, &out)
         }
         Plan::Aggregate { input, group_by, aggregates } => {
-            let child = evaluate(input, bindings)?;
+            let child = evaluate_materializing(input, bindings)?;
             let out = derive_aggregate(&derived_of(&child), group_by, aggregates)?;
             let group_idx = child.schema().resolve_all(group_by)?;
             let aggs = bind_aggs(aggregates, child.schema())?;
-            run_aggregate(&child, &group_idx, &aggs, &out)
+            run_aggregate(&child, &group_idx, &aggs, &out, None)
         }
         Plan::Union { left, right } => {
-            let l = evaluate(left, bindings)?;
-            let r = evaluate(right, bindings)?;
+            let l = evaluate_materializing(left, bindings)?;
+            let r = evaluate_materializing(right, bindings)?;
             let out = derive_setop(&derived_of(&l), &derived_of(&r), SetOpKind::Union)?;
             run_union(l, r, &out)
         }
         Plan::Intersect { left, right } => {
-            let l = evaluate(left, bindings)?;
-            let r = evaluate(right, bindings)?;
+            let l = evaluate_materializing(left, bindings)?;
+            let r = evaluate_materializing(right, bindings)?;
             let out = derive_setop(&derived_of(&l), &derived_of(&r), SetOpKind::Intersect)?;
             run_intersect(l, &r, &out)
         }
         Plan::Difference { left, right } => {
-            let l = evaluate(left, bindings)?;
-            let r = evaluate(right, bindings)?;
+            let l = evaluate_materializing(left, bindings)?;
+            let r = evaluate_materializing(right, bindings)?;
             let out = derive_setop(&derived_of(&l), &derived_of(&r), SetOpKind::Difference)?;
             run_difference(l, &r, &out)
         }
         Plan::Hash { input, key, ratio, spec } => {
-            let child = evaluate(input, bindings)?;
+            let child = evaluate_materializing(input, bindings)?;
             let out = derive_hash(&derived_of(&child), key, *ratio)?;
             let key_idx = child.schema().resolve_all(key)?;
             // Hash the key columns in place (no KeyTuple allocation) and

@@ -1,0 +1,295 @@
+//! Lowering [`Plan`]s to physical nodes: schemas derived, predicates and
+//! projections bound, join columns resolved, group maps sized — all
+//! exactly once, at compile time. Running the compiled plan does none of
+//! that work again.
+
+use svc_storage::{DataType, Result, Schema, StorageError, Table};
+
+use crate::aggregate::{bind_aggs, AggFunc};
+use crate::derive::{derive_join, derive_tree, DerivedTree, LeafProvider, SetOpKind};
+use crate::optimizer::cost::CardEstimator;
+use crate::plan::{JoinKind, Plan};
+use crate::scalar::BoundExpr;
+
+use super::pipeline::FusedOp;
+
+/// A leaf reference resolved at compile time: the bound table is looked up
+/// by name at run time and validated against the compiled schema/key, so a
+/// compiled plan can safely be reused against fresh bindings (new delta
+/// chunks, an updated stale view) as long as the shapes still match.
+#[derive(Debug, Clone)]
+pub struct LeafRef {
+    /// Binding name of the relation.
+    pub name: String,
+    /// Schema the plan was compiled against.
+    pub schema: Schema,
+    /// Key positions the plan was compiled against.
+    pub key: Vec<usize>,
+}
+
+impl LeafRef {
+    /// Look the leaf up in `bindings` and verify it still has the compiled
+    /// shape — schema **and** key: fused-scan roots skip duplicate-key
+    /// validation trusting the compiled key, and PK-probe joins trust the
+    /// bound table's own index, so a same-schema rebind with a different
+    /// primary key must be rejected, not silently mis-executed.
+    pub fn resolve<'a>(&self, bindings: &crate::eval::Bindings<'a>) -> Result<&'a Table> {
+        let t = bindings.table(&self.name)?;
+        if t.schema() != &self.schema {
+            return Err(StorageError::Invalid(format!(
+                "leaf `{}` was rebound with schema [{}], but the plan was compiled against [{}]",
+                self.name,
+                t.schema(),
+                self.schema
+            )));
+        }
+        if t.key() != self.key {
+            return Err(StorageError::Invalid(format!(
+                "leaf `{}` was rebound with a different primary key than the plan was compiled \
+                 against",
+                self.name
+            )));
+        }
+        Ok(t)
+    }
+}
+
+/// The right input of a physical join.
+#[derive(Debug, Clone)]
+pub enum JoinRight {
+    /// Probe the bound table's existing primary-key index — the right side
+    /// is a bare leaf joined on exactly its key. Zero materialization, no
+    /// build pass: delta-sized left inputs probe large base relations in
+    /// O(|left|).
+    PkProbeLeaf(LeafRef),
+    /// Materialize the right child and hash-build over its join columns.
+    Build(Box<Node>),
+}
+
+/// One physical operator. Unary σ/Π/η chains are fused into their source
+/// node ([`Node::FusedScan`] / [`Node::Fused`]); joins, aggregates, and
+/// set operations are pipeline breakers that materialize plain `Vec<Row>`
+/// batches — never an intermediate keyed [`Table`].
+#[derive(Debug, Clone)]
+pub enum Node {
+    /// A fused chain rooted at a leaf: rows are borrowed straight from the
+    /// bound table and only survivors are cloned.
+    FusedScan {
+        /// The source relation.
+        leaf: LeafRef,
+        /// Compiled operator chain (may be empty for a bare scan).
+        ops: Vec<FusedOp>,
+    },
+    /// A fused chain over a materialized child batch; rows move through.
+    Fused {
+        /// The breaker producing the input batch.
+        input: Box<Node>,
+        /// Compiled operator chain.
+        ops: Vec<FusedOp>,
+    },
+    /// Equi-join breaker.
+    Join {
+        /// Left (probe) input.
+        left: Box<Node>,
+        /// Right (build or PK-probe) input.
+        right: JoinRight,
+        /// Join flavor.
+        kind: JoinKind,
+        /// Resolved `(left, right)` join column positions.
+        on_idx: Vec<(usize, usize)>,
+        /// Left input arity (NULL padding for right-outer rows).
+        pad_left: usize,
+        /// Right input arity (NULL padding for left-outer rows).
+        pad_right: usize,
+    },
+    /// γ breaker. When the input is a fused scan, rows stream borrowed from
+    /// the base table directly into the group map — the input batch is
+    /// never materialized.
+    Aggregate {
+        /// Input node.
+        input: Box<Node>,
+        /// Resolved group column positions.
+        group_idx: Vec<usize>,
+        /// Bound aggregate specs.
+        aggs: Vec<(AggFunc, DataType, BoundExpr)>,
+        /// Distinct-group estimate (catalog NDV) for pre-sizing, if known.
+        groups_hint: Option<usize>,
+    },
+    /// ∪ / ∩ / − breaker.
+    SetOp {
+        /// Which set operation.
+        kind: SetOpKind,
+        /// Left input.
+        left: Box<Node>,
+        /// Right input.
+        right: Box<Node>,
+    },
+}
+
+impl Node {
+    /// Append a fused op, wrapping breakers in a [`Node::Fused`] shell.
+    fn push_op(self, op: FusedOp) -> Node {
+        match self {
+            Node::FusedScan { leaf, mut ops } => {
+                ops.push(op);
+                Node::FusedScan { leaf, ops }
+            }
+            Node::Fused { input, mut ops } => {
+                ops.push(op);
+                Node::Fused { input, ops }
+            }
+            other => Node::Fused { input: Box::new(other), ops: vec![op] },
+        }
+    }
+
+    /// Compact structural description (`fused-scan(T)[σ,η] → γ` style) for
+    /// tests and debugging.
+    pub fn describe(&self) -> String {
+        fn tags(ops: &[FusedOp]) -> String {
+            if ops.is_empty() {
+                String::new()
+            } else {
+                format!("[{}]", ops.iter().map(FusedOp::tag).collect::<String>())
+            }
+        }
+        match self {
+            Node::FusedScan { leaf, ops } => format!("fused-scan({}){}", leaf.name, tags(ops)),
+            Node::Fused { input, ops } => format!("fused({}){}", input.describe(), tags(ops)),
+            Node::Join { left, right, kind, .. } => {
+                let r = match right {
+                    JoinRight::PkProbeLeaf(leaf) => format!("pk-probe({})", leaf.name),
+                    JoinRight::Build(node) => format!("build({})", node.describe()),
+                };
+                format!("join:{kind:?}({}, {r})", left.describe())
+            }
+            Node::Aggregate { input, .. } => format!("γ({})", input.describe()),
+            Node::SetOp { kind, left, right } => {
+                format!("{kind:?}({}, {})", left.describe(), right.describe())
+            }
+        }
+    }
+}
+
+/// Lowering context: the leaf provider (for estimator calls) and an
+/// optional cardinality estimator for group-map sizing.
+pub(super) struct Lowering<'a> {
+    pub leaves: &'a dyn LeafProvider,
+    pub est: Option<&'a dyn CardEstimator>,
+}
+
+/// Cap on pre-sized group maps: a wild NDV estimate must not allocate
+/// gigabytes up front.
+const MAX_GROUPS_HINT: usize = 1 << 22;
+
+impl Lowering<'_> {
+    /// Lower `plan` against its derived tree (computed once at the root).
+    pub(super) fn lower(&self, plan: &Plan, tree: &DerivedTree) -> Result<Node> {
+        Ok(match plan {
+            Plan::Scan { table } => Node::FusedScan {
+                leaf: LeafRef {
+                    name: table.clone(),
+                    schema: tree.derived.schema.clone(),
+                    key: tree.derived.key.clone(),
+                },
+                ops: Vec::new(),
+            },
+            Plan::Select { input, predicate } => {
+                let child = self.lower(input, tree.input())?;
+                let pred = predicate.bind(&tree.input().derived.schema)?;
+                child.push_op(FusedOp::Filter(pred))
+            }
+            Plan::Project { input, columns } => {
+                let child = self.lower(input, tree.input())?;
+                let in_schema = &tree.input().derived.schema;
+                let bound: Vec<BoundExpr> =
+                    columns.iter().map(|(_, e)| e.bind(in_schema)).collect::<Result<_>>()?;
+                child.push_op(FusedOp::Map(bound))
+            }
+            Plan::Hash { input, key, ratio, spec } => {
+                let child = self.lower(input, tree.input())?;
+                let key_idx = tree.input().derived.schema.resolve_all(key)?;
+                child.push_op(FusedOp::Hash { key_idx, ratio: *ratio, spec: *spec })
+            }
+            Plan::Join { left, right, kind, on } => {
+                let (lt, rt) = tree.pair();
+                let (_, on_idx) =
+                    derive_join(&lt.derived, &rt.derived, *kind, on, right.name_hint())?;
+                let pad_left = lt.derived.schema.len();
+                let pad_right = rt.derived.schema.len();
+                let right_cols: Vec<usize> = on_idx.iter().map(|&(_, r)| r).collect();
+                let lowered_left = Box::new(self.lower(left, lt)?);
+                // PK-probe only for *bare* leaves: a filtered right side
+                // must materialize so the probe sees post-filter rows.
+                let right = if matches!(&**right, Plan::Scan { .. })
+                    && crate::join::pk_probe_applies(*kind, &right_cols, &rt.derived.key)
+                {
+                    JoinRight::PkProbeLeaf(LeafRef {
+                        name: right.leaf_tables()[0].to_string(),
+                        schema: rt.derived.schema.clone(),
+                        key: rt.derived.key.clone(),
+                    })
+                } else {
+                    JoinRight::Build(Box::new(self.lower(right, rt)?))
+                };
+                Node::Join { left: lowered_left, right, kind: *kind, on_idx, pad_left, pad_right }
+            }
+            Plan::Aggregate { input, group_by, aggregates } => {
+                let child = self.lower(input, tree.input())?;
+                let in_schema = &tree.input().derived.schema;
+                let group_idx = in_schema.resolve_all(group_by)?;
+                let aggs = bind_aggs(aggregates, in_schema)?;
+                let groups_hint = self.groups_hint(input, &group_idx);
+                Node::Aggregate { input: Box::new(child), group_idx, aggs, groups_hint }
+            }
+            Plan::Union { left, right } => self.lower_setop(SetOpKind::Union, left, right, tree)?,
+            Plan::Intersect { left, right } => {
+                self.lower_setop(SetOpKind::Intersect, left, right, tree)?
+            }
+            Plan::Difference { left, right } => {
+                self.lower_setop(SetOpKind::Difference, left, right, tree)?
+            }
+        })
+    }
+
+    fn lower_setop(
+        &self,
+        kind: SetOpKind,
+        left: &Plan,
+        right: &Plan,
+        tree: &DerivedTree,
+    ) -> Result<Node> {
+        let (lt, rt) = tree.pair();
+        Ok(Node::SetOp {
+            kind,
+            left: Box::new(self.lower(left, lt)?),
+            right: Box::new(self.lower(right, rt)?),
+        })
+    }
+
+    /// Estimated distinct-group count of a γ over `input`, from the
+    /// caller's cardinality estimator (catalog NDV): the product of the
+    /// group columns' distinct counts, capped by the input row estimate.
+    /// Estimation failures fall back to the input-length heuristic.
+    fn groups_hint(&self, input: &Plan, group_idx: &[usize]) -> Option<usize> {
+        let est = self.est?;
+        let card = est.estimate(input, self.leaves).ok()?;
+        let mut groups = 1.0f64;
+        for &i in group_idx {
+            groups *= card.distinct.get(i).copied().unwrap_or(1.0).max(1.0);
+        }
+        Some(groups.min(card.rows.max(1.0)).min(MAX_GROUPS_HINT as f64) as usize)
+    }
+}
+
+/// Re-derive the tree and lower — the single entry used by
+/// [`super::compile`] / [`super::compile_with`].
+pub(super) fn lower_plan(
+    plan: &Plan,
+    leaves: &dyn LeafProvider,
+    est: Option<&dyn CardEstimator>,
+) -> Result<(Node, crate::derive::Derived)> {
+    let tree = derive_tree(plan, &leaves)?;
+    let out = tree.derived.clone();
+    let node = Lowering { leaves, est }.lower(plan, &tree)?;
+    Ok((node, out))
+}

@@ -1,0 +1,140 @@
+//! Executing compiled nodes: streams for fused chains, `Vec<Row>` batches
+//! for breakers. No intermediate keyed [`Table`] is ever built — the
+//! plan root wraps the final batch exactly once.
+
+use svc_storage::{Result, Row, Table};
+
+use crate::aggregate::GroupMap;
+use crate::eval::Bindings;
+use crate::join::{join_rows, join_rows_pk_probe};
+use crate::setops::{difference_rows, intersect_rows, union_rows};
+
+use super::compile::{JoinRight, Node};
+use super::pipeline::{feed_borrowed, feed_owned};
+
+/// A node's output rows for read-only consumers (join build sides, set-op
+/// right inputs): a bare leaf scan lends the bound table's rows directly —
+/// no clone at all — while anything else materializes.
+enum Batch<'a> {
+    Borrowed(&'a [Row]),
+    Owned(Vec<Row>),
+}
+
+impl std::ops::Deref for Batch<'_> {
+    type Target = [Row];
+    fn deref(&self) -> &[Row] {
+        match self {
+            Batch::Borrowed(rows) => rows,
+            Batch::Owned(rows) => rows,
+        }
+    }
+}
+
+/// Run a node for a consumer that only reads the batch.
+fn run_node_ref<'a>(node: &Node, b: &Bindings<'a>) -> Result<Batch<'a>> {
+    match node {
+        Node::FusedScan { leaf, ops } if ops.is_empty() => {
+            Ok(Batch::Borrowed(leaf.resolve(b)?.rows()))
+        }
+        other => Ok(Batch::Owned(run_node(other, b)?)),
+    }
+}
+
+/// Run a node to a materialized row batch.
+pub(super) fn run_node(node: &Node, b: &Bindings<'_>) -> Result<Vec<Row>> {
+    Ok(match node {
+        Node::FusedScan { leaf, ops } => {
+            let t = leaf.resolve(b)?;
+            if ops.is_empty() {
+                // Bare scan: every row survives; clone the rows, skip the
+                // per-row op dispatch.
+                t.rows().to_vec()
+            } else {
+                let mut out: Vec<Row> = Vec::new();
+                for row in t.rows() {
+                    feed_borrowed(row, ops, &mut out);
+                }
+                out
+            }
+        }
+        Node::Fused { input, ops } => {
+            let rows = run_node(input, b)?;
+            let mut out: Vec<Row> = Vec::with_capacity(rows.len());
+            for row in rows {
+                feed_owned(row, ops, &mut out);
+            }
+            out
+        }
+        Node::Join { left, right, kind, on_idx, pad_left, pad_right } => {
+            let lrows = run_node(left, b)?;
+            match right {
+                JoinRight::PkProbeLeaf(leaf) => {
+                    let t = leaf.resolve(b)?;
+                    let left_cols: Vec<usize> = on_idx.iter().map(|&(l, _)| l).collect();
+                    join_rows_pk_probe(lrows, t, *kind, &left_cols, *pad_right)
+                }
+                JoinRight::Build(rnode) => {
+                    let rrows = run_node_ref(rnode, b)?;
+                    join_rows(lrows, &rrows, *kind, on_idx, *pad_left, *pad_right)
+                }
+            }
+        }
+        Node::Aggregate { input, group_idx, aggs, groups_hint } => {
+            let make = |input_len: usize| match groups_hint {
+                Some(h) => GroupMap::with_capacity(group_idx, aggs, *h),
+                None => GroupMap::with_input_len(group_idx, aggs, input_len),
+            };
+            match &**input {
+                // γ over a fused scan: stream borrowed rows straight into
+                // the group map — the filtered input batch never exists.
+                Node::FusedScan { leaf, ops } => {
+                    let t = leaf.resolve(b)?;
+                    let mut gm = make(t.len());
+                    for row in t.rows() {
+                        feed_borrowed(row, ops, &mut gm);
+                    }
+                    gm.finish()
+                }
+                other => {
+                    let rows = run_node(other, b)?;
+                    let mut gm = make(rows.len());
+                    for row in &rows {
+                        gm.push(row);
+                    }
+                    gm.finish()
+                }
+            }
+        }
+        Node::SetOp { kind, left, right } => {
+            let lrows = run_node(left, b)?;
+            match kind {
+                crate::derive::SetOpKind::Union => union_rows(lrows, run_node(right, b)?),
+                crate::derive::SetOpKind::Intersect => {
+                    intersect_rows(lrows, &run_node_ref(right, b)?)
+                }
+                crate::derive::SetOpKind::Difference => {
+                    difference_rows(lrows, &run_node_ref(right, b)?)
+                }
+            }
+        }
+    })
+}
+
+/// Wrap the root batch into the output [`Table`], building the key index
+/// exactly once. Fused chains over a keyed source are key-unique by
+/// construction (filters and key-preserving maps cannot introduce
+/// duplicates), so they skip per-row duplicate validation the same way the
+/// legacy evaluator's σ/η nodes did; breaker roots keep the validating
+/// build.
+pub(super) fn finish_root(
+    node: &Node,
+    out: &crate::derive::Derived,
+    rows: Vec<Row>,
+) -> Result<Table> {
+    match node {
+        Node::FusedScan { .. } => {
+            Table::from_unique_rows(out.schema.clone(), out.key.clone(), rows)
+        }
+        _ => Table::from_rows(out.schema.clone(), out.key.clone(), rows),
+    }
+}

@@ -1,4 +1,11 @@
 //! Hash-based equi-join execution for all [`JoinKind`]s.
+//!
+//! Two layers: row-based cores ([`join_rows`], [`join_rows_pk_probe`]) that
+//! operate on plain `Vec<Row>` batches — these are what the streaming
+//! executor (`crate::exec`) calls, and they never allocate a `KeyTuple` per
+//! probed row (keys are hashed in place via [`KeyTuple::hash_of`] and
+//! candidates verified by column equality) — and the legacy table-based
+//! wrapper [`run_join`] used by the materializing evaluator.
 
 use std::collections::HashMap;
 
@@ -7,88 +14,90 @@ use svc_storage::{KeyTuple, Result, Row, Table, Value};
 use crate::derive::Derived;
 use crate::plan::JoinKind;
 
-/// Join key for probing: NULL keys never match (SQL semantics), which we
-/// encode by excluding rows with NULL join values from the build side and
-/// treating them as unmatched on the probe side.
-fn join_key(row: &Row, cols: &[usize]) -> Option<KeyTuple> {
-    if cols.iter().any(|&i| row[i].is_null()) {
-        return None;
-    }
-    Some(KeyTuple::of(row, cols))
+/// NULL join keys never match (SQL semantics): rows with a NULL join value
+/// are excluded from the build side and treated as unmatched on the probe
+/// side.
+#[inline]
+fn key_has_null(row: &[Value], cols: &[usize]) -> bool {
+    cols.iter().any(|&i| row[i].is_null())
 }
 
-/// Execute an equi-join. The left input is consumed so its rows can be
-/// *moved* into the output (the evaluator materializes every node, so the
-/// left table is always an owned intermediate); `on_idx` holds resolved
-/// `(left, right)` column positions; `out` is the derived output type from
-/// [`crate::derive::derive_join`].
-pub fn run_join(
-    left: Table,
-    right: &Table,
+/// True when probing `right`'s primary-key index directly is legal: the
+/// join reads the right side on exactly its key and the kind needs no
+/// right-side bookkeeping.
+pub fn pk_probe_applies(kind: JoinKind, right_cols: &[usize], right_key: &[usize]) -> bool {
+    right_cols == right_key
+        && matches!(kind, JoinKind::Inner | JoinKind::Left | JoinKind::Semi | JoinKind::Anti)
+}
+
+/// Execute an equi-join over row batches. `left` is consumed so its rows
+/// move into the output; `right` is borrowed (its rows are cloned only into
+/// actual matches). `pad_left`/`pad_right` are the input arities, used to
+/// NULL-pad outer-join rows. The build side hashes the right join columns
+/// in place — no per-row `KeyTuple` — and probe candidates are verified by
+/// column equality.
+pub fn join_rows(
+    left: Vec<Row>,
+    right: &[Row],
     kind: JoinKind,
     on_idx: &[(usize, usize)],
-    out: &Derived,
-) -> Result<Table> {
+    pad_left: usize,
+    pad_right: usize,
+) -> Vec<Row> {
     let left_cols: Vec<usize> = on_idx.iter().map(|&(l, _)| l).collect();
     let right_cols: Vec<usize> = on_idx.iter().map(|&(_, r)| r).collect();
 
-    // Fast path: when the right side is joined on exactly its primary key
-    // and no right-side bookkeeping is needed, probe its existing PK index
-    // instead of building a hash table — O(|left|) instead of
-    // O(|left| + |right|). This is what makes delta-sized probes against
-    // large base relations cheap (the FK-join pattern of every maintenance
-    // plan).
-    if right_cols == right.key()
-        && matches!(kind, JoinKind::Inner | JoinKind::Left | JoinKind::Semi | JoinKind::Anti)
-    {
-        return run_join_pk_probe(left, right, kind, &left_cols, out);
-    }
-
-    // Build side: right rows indexed by join key.
-    let mut build: HashMap<KeyTuple, Vec<usize>> = HashMap::new();
-    for (i, row) in right.rows().iter().enumerate() {
-        if let Some(k) = join_key(row, &right_cols) {
-            build.entry(k).or_default().push(i);
+    // Build side: right row indices chained under the in-place key hash.
+    let mut build: HashMap<u64, Vec<u32>> = HashMap::with_capacity(right.len());
+    for (i, row) in right.iter().enumerate() {
+        if !key_has_null(row, &right_cols) {
+            build.entry(KeyTuple::hash_of(row, &right_cols)).or_default().push(i as u32);
         }
     }
 
     let mut rows: Vec<Row> = Vec::new();
-    let mut right_matched = vec![false; right.rows().len()];
+    let mut right_matched = vec![false; right.len()];
+    // Reused per probe: indices of right rows whose key columns actually
+    // equal the probe key (hash candidates minus collisions).
+    let mut matches: Vec<u32> = Vec::new();
 
-    let pad_right = right.schema().len();
-    let pad_left = left.schema().len();
-
-    for lrow in left.into_rows() {
-        let matches = join_key(&lrow, &left_cols).and_then(|k| build.get(&k));
+    for lrow in left {
+        matches.clear();
+        if !key_has_null(&lrow, &left_cols) {
+            if let Some(chain) = build.get(&KeyTuple::hash_of(&lrow, &left_cols)) {
+                matches.extend(chain.iter().copied().filter(|&ri| {
+                    KeyTuple::cols_eq(&lrow, &left_cols, &right[ri as usize], &right_cols)
+                }));
+            }
+        }
         match kind {
             JoinKind::Semi => {
-                if matches.is_some_and(|m| !m.is_empty()) {
+                if !matches.is_empty() {
                     rows.push(lrow);
                 }
             }
             JoinKind::Anti => {
-                if matches.is_none_or(|m| m.is_empty()) {
+                if matches.is_empty() {
                     rows.push(lrow);
                 }
             }
-            _ => match matches {
-                Some(idxs) => {
-                    // Clone the left row for all matches but the last, which
-                    // takes ownership.
-                    let (last, rest) = idxs.split_last().expect("build entries are non-empty");
+            _ => match matches.split_last() {
+                Some((last, rest)) => {
+                    // Clone the left row for all matches but the last,
+                    // which takes ownership.
                     for &ri in rest {
                         if matches!(kind, JoinKind::Full | JoinKind::Right) {
-                            right_matched[ri] = true;
+                            right_matched[ri as usize] = true;
                         }
                         let mut row = lrow.clone();
-                        row.extend_from_slice(&right.rows()[ri]);
+                        row.extend_from_slice(&right[ri as usize]);
                         rows.push(row);
                     }
                     if matches!(kind, JoinKind::Full | JoinKind::Right) {
-                        right_matched[*last] = true;
+                        right_matched[*last as usize] = true;
                     }
                     let mut row = lrow;
-                    row.extend_from_slice(&right.rows()[*last]);
+                    row.extend_from_slice(&right[*last as usize]);
                     rows.push(row);
                 }
                 None => {
@@ -103,12 +112,10 @@ pub fn run_join(
     }
 
     if matches!(kind, JoinKind::Right | JoinKind::Full) {
-        for (ri, rrow) in right.rows().iter().enumerate() {
-            let unmatched = !right_matched[ri];
-            // Rows with NULL join keys never entered the build map; they are
-            // unmatched by construction.
-            let null_key = join_key(rrow, &right_cols).is_none();
-            if unmatched || (null_key && matches!(kind, JoinKind::Right | JoinKind::Full)) {
+        for (ri, rrow) in right.iter().enumerate() {
+            // Rows with NULL join keys never entered the build map; they
+            // are unmatched by construction.
+            if !right_matched[ri] || key_has_null(rrow, &right_cols) {
                 let mut row: Row = std::iter::repeat_n(Value::Null, pad_left).collect();
                 row.extend_from_slice(rrow);
                 rows.push(row);
@@ -116,22 +123,32 @@ pub fn run_join(
         }
     }
 
-    Table::from_rows(out.schema.clone(), out.key.clone(), rows)
+    rows
 }
 
 /// PK-probe variant: each left row looks up at most one right partner via
-/// the right table's primary-key index. Left rows are moved, never cloned.
-fn run_join_pk_probe(
-    left: Table,
+/// the right table's existing primary-key index — O(|left|) probes with no
+/// build pass over the right side at all, which is what makes delta-sized
+/// probes against large base relations cheap (the FK-join pattern of every
+/// maintenance plan). Left rows are moved, never cloned; the probe tuple's
+/// `Vec` is allocated once and reused across rows.
+pub fn join_rows_pk_probe(
+    left: Vec<Row>,
     right: &Table,
     kind: JoinKind,
     left_cols: &[usize],
-    out: &Derived,
-) -> Result<Table> {
-    let pad_right = right.schema().len();
-    let mut rows: Vec<svc_storage::Row> = Vec::new();
-    for lrow in left.into_rows() {
-        let partner = join_key(&lrow, left_cols).and_then(|k| right.get(&k));
+    pad_right: usize,
+) -> Vec<Row> {
+    let mut rows: Vec<Row> = Vec::new();
+    let mut probe = KeyTuple(Vec::with_capacity(left_cols.len()));
+    for lrow in left {
+        let partner = if key_has_null(&lrow, left_cols) {
+            None
+        } else {
+            probe.0.clear();
+            probe.0.extend(left_cols.iter().map(|&i| lrow[i].clone()));
+            right.get(&probe)
+        };
         match kind {
             JoinKind::Semi => {
                 if partner.is_some() {
@@ -161,6 +178,29 @@ fn run_join_pk_probe(
             JoinKind::Right | JoinKind::Full => unreachable!("generic path handles outer joins"),
         }
     }
+    rows
+}
+
+/// Execute an equi-join between materialized tables. The left input is
+/// consumed so its rows can be *moved* into the output; `on_idx` holds
+/// resolved `(left, right)` column positions; `out` is the derived output
+/// type from [`crate::derive::derive_join`].
+pub fn run_join(
+    left: Table,
+    right: &Table,
+    kind: JoinKind,
+    on_idx: &[(usize, usize)],
+    out: &Derived,
+) -> Result<Table> {
+    let right_cols: Vec<usize> = on_idx.iter().map(|&(_, r)| r).collect();
+    let pad_left = left.schema().len();
+    let pad_right = right.schema().len();
+    let rows = if pk_probe_applies(kind, &right_cols, right.key()) {
+        let left_cols: Vec<usize> = on_idx.iter().map(|&(l, _)| l).collect();
+        join_rows_pk_probe(left.into_rows(), right, kind, &left_cols, pad_right)
+    } else {
+        join_rows(left.into_rows(), right.rows(), kind, on_idx, pad_left, pad_right)
+    };
     Table::from_rows(out.schema.clone(), out.key.clone(), rows)
 }
 
@@ -251,5 +291,18 @@ mod tests {
         let t = run_join(l, &r, JoinKind::Anti, &on_idx, &out).unwrap();
         // NULL-keyed row is kept by anti-join (NOT EXISTS semantics).
         assert_eq!(t.len(), 2);
+    }
+
+    /// The generic row path must agree with the PK-probe path wherever both
+    /// are legal, including duplicate probe keys on the left.
+    #[test]
+    fn generic_rows_path_agrees_with_pk_probe() {
+        let l = left();
+        let r = right();
+        for kind in [JoinKind::Inner, JoinKind::Left, JoinKind::Semi, JoinKind::Anti] {
+            let generic = join_rows(l.rows().to_vec(), r.rows(), kind, &[(1, 0)], 2, 2);
+            let probed = join_rows_pk_probe(l.rows().to_vec(), &r, kind, &[1], 2);
+            assert_eq!(generic, probed, "{kind:?} diverged");
+        }
     }
 }

@@ -12,8 +12,14 @@
 //! * [`derive`] — output schema and **primary-key derivation** for every
 //!   node (Definition 2): every derived relation is keyed, which is the
 //!   provenance mechanism that makes hash push-down sound.
-//! * [`eval`] — a straightforward hash-based evaluator producing
-//!   [`svc_storage::Table`]s from plans bound to concrete relations.
+//! * [`eval`] — plan evaluation producing [`svc_storage::Table`]s from
+//!   plans bound to concrete relations; [`eval::evaluate`] is a thin
+//!   compile-and-run wrapper over the streaming executor.
+//! * [`exec`] — the compile-once streaming executor: [`exec::compile`]
+//!   binds schemas/predicates/projections once, [`exec::PhysicalPlan::run`]
+//!   streams fused `Scan→σ→Π→η` chains over borrowed rows with pipeline
+//!   breakers materializing plain row batches (no intermediate keyed
+//!   tables, no scan clones).
 //!
 //! * [`optimizer`] — the rule-driven rewrite engine (predicate pushdown,
 //!   projection pruning, and the Definition 3 η push-down) every evaluated
@@ -28,6 +34,7 @@ pub mod aggregate;
 pub mod derive;
 pub mod display;
 pub mod eval;
+pub mod exec;
 pub mod join;
 pub mod optimizer;
 pub mod plan;
@@ -36,7 +43,8 @@ pub mod setops;
 
 pub use aggregate::{AggFunc, AggSpec};
 pub use derive::{derive, Derived, LeafProvider};
-pub use eval::{evaluate, Bindings};
+pub use eval::{evaluate, evaluate_materializing, Bindings};
+pub use exec::{compile, compile_with, PhysicalPlan};
 pub use optimizer::{optimize, EtaReport, OptimizeReport, Optimizer};
 pub use plan::{JoinKind, Plan};
 pub use scalar::{col, lit, BinOp, BoundExpr, Expr, Func};

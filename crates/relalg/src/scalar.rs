@@ -14,7 +14,7 @@
 
 use std::fmt;
 
-use svc_storage::{DataType, Result, Row, Schema, StorageError, Value};
+use svc_storage::{DataType, Result, Schema, StorageError, Value};
 
 /// Binary operators.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -339,8 +339,10 @@ fn eval_logic(op: BinOp, l: &Value, r: &Value) -> Value {
 }
 
 impl BoundExpr {
-    /// Evaluate against a row.
-    pub fn eval(&self, row: &Row) -> Value {
+    /// Evaluate against a row (any `Value` slice — owned rows and rows
+    /// borrowed from a base table both work, which is what lets the
+    /// streaming executor filter without cloning first).
+    pub fn eval(&self, row: &[Value]) -> Value {
         match self {
             BoundExpr::Col(i) => row[*i].clone(),
             BoundExpr::Lit(v) => v.clone(),
@@ -397,7 +399,7 @@ impl BoundExpr {
 
     /// Evaluate as a predicate: true iff the result is exactly `Bool(true)`
     /// (SQL WHERE semantics: NULL filters the row out).
-    pub fn matches(&self, row: &Row) -> bool {
+    pub fn matches(&self, row: &[Value]) -> bool {
         self.eval(row) == Value::Bool(true)
     }
 }
@@ -451,6 +453,7 @@ impl fmt::Display for Expr {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use svc_storage::Row;
 
     fn schema() -> Schema {
         Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Float), ("s", DataType::Str)])
@@ -500,7 +503,7 @@ mod tests {
         let pred = col("a").gt(lit(0i64)).bind(&schema()).unwrap();
         assert!(pred.matches(&row(1, 0.0, "")));
         assert!(!pred.matches(&row(-1, 0.0, "")));
-        assert!(!pred.matches(&vec![Value::Null, Value::Float(0.0), Value::str("")]));
+        assert!(!pred.matches(&[Value::Null, Value::Float(0.0), Value::str("")]));
     }
 
     #[test]

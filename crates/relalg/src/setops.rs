@@ -1,5 +1,11 @@
 //! Set operations ∪, ∩, − with set (duplicate-eliminating) semantics over
 //! whole rows.
+//!
+//! The row-based cores ([`union_rows`], [`intersect_rows`],
+//! [`difference_rows`]) are shared by the streaming executor
+//! (`crate::exec`), which works on plain `Vec<Row>` batches; the `run_*`
+//! wrappers keep the legacy table-in/table-out shape for the materializing
+//! evaluator.
 
 use std::collections::HashSet;
 
@@ -7,46 +13,64 @@ use svc_storage::{Result, Row, Table};
 
 use crate::derive::Derived;
 
-/// Union: all distinct rows from both inputs. Both inputs are consumed so
-/// every output row is moved; only the dedup set pays a clone per distinct
-/// row.
-pub fn run_union(left: Table, right: Table, out: &Derived) -> Result<Table> {
-    let mut seen: HashSet<Row> = HashSet::with_capacity(left.len() + right.len());
-    let mut rows = Vec::with_capacity(left.len() + right.len());
-    for row in left.into_rows().into_iter().chain(right.into_rows()) {
+/// Union core: all distinct rows from both inputs, moved into the output;
+/// only the dedup set pays a clone per distinct row.
+pub fn union_rows(left: Vec<Row>, right: Vec<Row>) -> Vec<Row> {
+    let cap = left.len() + right.len();
+    let mut seen: HashSet<Row> = HashSet::with_capacity(cap);
+    let mut rows = Vec::with_capacity(cap);
+    for row in left.into_iter().chain(right) {
         if !seen.contains(&row) {
             seen.insert(row.clone());
             rows.push(row);
         }
     }
-    Table::from_rows(out.schema.clone(), out.key.clone(), rows)
+    rows
 }
 
-/// Intersection: distinct rows present in both inputs.
-pub fn run_intersect(left: Table, right: &Table, out: &Derived) -> Result<Table> {
-    let right_set: HashSet<&Row> = right.rows().iter().collect();
+/// Intersection core: distinct left rows present in the right input.
+pub fn intersect_rows(left: Vec<Row>, right: &[Row]) -> Vec<Row> {
+    let right_set: HashSet<&Row> = right.iter().collect();
     let mut seen: HashSet<Row> = HashSet::new();
     let mut rows = Vec::new();
-    for row in left.into_rows() {
+    for row in left {
         if right_set.contains(&row) && !seen.contains(&row) {
             seen.insert(row.clone());
             rows.push(row);
         }
     }
-    Table::from_rows(out.schema.clone(), out.key.clone(), rows)
+    rows
 }
 
-/// Difference: distinct left rows not present in the right input.
-pub fn run_difference(left: Table, right: &Table, out: &Derived) -> Result<Table> {
-    let right_set: HashSet<&Row> = right.rows().iter().collect();
+/// Difference core: distinct left rows not present in the right input.
+pub fn difference_rows(left: Vec<Row>, right: &[Row]) -> Vec<Row> {
+    let right_set: HashSet<&Row> = right.iter().collect();
     let mut seen: HashSet<Row> = HashSet::new();
     let mut rows = Vec::new();
-    for row in left.into_rows() {
+    for row in left {
         if !right_set.contains(&row) && !seen.contains(&row) {
             seen.insert(row.clone());
             rows.push(row);
         }
     }
+    rows
+}
+
+/// Union: all distinct rows from both inputs.
+pub fn run_union(left: Table, right: Table, out: &Derived) -> Result<Table> {
+    let rows = union_rows(left.into_rows(), right.into_rows());
+    Table::from_rows(out.schema.clone(), out.key.clone(), rows)
+}
+
+/// Intersection: distinct rows present in both inputs.
+pub fn run_intersect(left: Table, right: &Table, out: &Derived) -> Result<Table> {
+    let rows = intersect_rows(left.into_rows(), right.rows());
+    Table::from_rows(out.schema.clone(), out.key.clone(), rows)
+}
+
+/// Difference: distinct left rows not present in the right input.
+pub fn run_difference(left: Table, right: &Table, out: &Derived) -> Result<Table> {
+    let rows = difference_rows(left.into_rows(), right.rows());
     Table::from_rows(out.schema.clone(), out.key.clone(), rows)
 }
 

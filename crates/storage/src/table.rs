@@ -9,6 +9,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use crate::error::{Result, StorageError};
 use crate::schema::Schema;
@@ -23,6 +24,28 @@ impl KeyTuple {
     /// Extract the key tuple of `row` given key column positions.
     pub fn of(row: &Row, key_cols: &[usize]) -> KeyTuple {
         KeyTuple(key_cols.iter().map(|&i| row[i].clone()).collect())
+    }
+
+    /// Hash the `key_cols` of `row` in place — the borrow-based companion
+    /// of [`KeyTuple::of`] for probe paths that only need a hash code: no
+    /// `Vec` is allocated and no `Value` is cloned. Two rows whose key
+    /// columns are equal (`Value::eq`) always hash equally; callers verify
+    /// candidate matches by comparing the columns themselves.
+    #[inline]
+    pub fn hash_of(row: &[Value], key_cols: &[usize]) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for &i in key_cols {
+            row[i].hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Column-wise equality of two rows' key projections, without
+    /// extracting either tuple. Pairs with [`KeyTuple::hash_of`] to verify
+    /// hash-map candidates on join/group probe paths.
+    #[inline]
+    pub fn cols_eq(a: &[Value], a_cols: &[usize], b: &[Value], b_cols: &[usize]) -> bool {
+        a_cols.len() == b_cols.len() && a_cols.iter().zip(b_cols).all(|(&i, &j)| a[i] == b[j])
     }
 }
 
@@ -41,12 +64,37 @@ impl fmt::Display for KeyTuple {
 
 /// An in-memory relation: a schema, a primary key, and rows with a key
 /// index for point lookups, updates, and deletes.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Table {
     schema: Schema,
     key: Vec<usize>,
     rows: Vec<Row>,
     index: HashMap<KeyTuple, usize>,
+}
+
+thread_local! {
+    /// Per-thread count of full-table clones (see [`Table::clone_count`]).
+    /// Thread-local on purpose: plan execution is synchronous on the
+    /// calling thread, so a test can read the counter, run a plan, and
+    /// compare without clones from concurrently-running tests (cargo runs
+    /// test binaries multi-threaded) polluting the reading.
+    static TABLE_CLONES: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+impl Clone for Table {
+    fn clone(&self) -> Table {
+        // Cloning a table copies every row *and* rebuilds nothing — the key
+        // index is cloned too. It is exactly the cost the streaming
+        // executor exists to avoid on scan paths, so each clone is counted:
+        // tests assert that fused pipelines never take this path.
+        TABLE_CLONES.with(|c| c.set(c.get() + 1));
+        Table {
+            schema: self.schema.clone(),
+            key: self.key.clone(),
+            rows: self.rows.clone(),
+            index: self.index.clone(),
+        }
+    }
 }
 
 impl Table {
@@ -72,10 +120,19 @@ impl Table {
     pub fn from_rows(schema: Schema, key: Vec<usize>, rows: Vec<Row>) -> Result<Table> {
         let mut t = Table::with_key_indices(schema, key)?;
         t.rows.reserve(rows.len());
+        t.index.reserve(rows.len());
         for row in rows {
             t.insert(row)?;
         }
         Ok(t)
+    }
+
+    /// Number of full-table clones performed **on this thread** since it
+    /// started. Observability hook for the zero-scan-clone guarantee of
+    /// the streaming executor: take a reading, run a plan (execution is
+    /// synchronous on the calling thread), compare.
+    pub fn clone_count() -> usize {
+        TABLE_CLONES.with(std::cell::Cell::get)
     }
 
     /// Bulk-build from rows already known to be key-unique and of the right
@@ -330,6 +387,28 @@ mod tests {
         assert!(a.same_contents(&b));
         b.upsert(vec![Value::Int(1), Value::str("z")]).unwrap();
         assert!(!a.same_contents(&b));
+    }
+
+    #[test]
+    fn hash_of_agrees_with_tuple_hash_semantics() {
+        // hash_of must be a function of the key *values* only: equal key
+        // projections hash equally regardless of where the columns sit.
+        let a = vec![Value::Int(7), Value::str("x"), Value::Float(1.5)];
+        let b = vec![Value::str("x"), Value::Int(7)];
+        assert_eq!(KeyTuple::hash_of(&a, &[0, 1]), KeyTuple::hash_of(&b, &[1, 0]));
+        assert!(KeyTuple::cols_eq(&a, &[0, 1], &b, &[1, 0]));
+        assert!(!KeyTuple::cols_eq(&a, &[0], &b, &[0]));
+        // Distinct values should (overwhelmingly) hash differently.
+        assert_ne!(KeyTuple::hash_of(&a, &[0]), KeyTuple::hash_of(&a, &[2]));
+    }
+
+    #[test]
+    fn clone_counter_observes_full_clones() {
+        let mut t = table();
+        t.insert(vec![Value::Int(1), Value::str("a")]).unwrap();
+        let before = Table::clone_count();
+        let _copy = t.clone();
+        assert!(Table::clone_count() > before, "clone must be counted");
     }
 
     #[test]

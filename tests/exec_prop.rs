@@ -1,0 +1,299 @@
+//! Property tests for the compile-once streaming executor: for randomized
+//! databases, plan shapes, and delta workloads, `compile(plan).run(b)`
+//! produces a table equal to the legacy materializing evaluator — on query
+//! plans, on optimized plans, and on the maintenance-strategy plans that
+//! `svc-ivm` compiles (evaluated under full maintenance bindings). Plus a
+//! regression test that `BatchPipeline`'s compiled-plan cache invalidates
+//! on repartition without changing results.
+
+use proptest::prelude::*;
+
+use stale_view_cleaning::cluster::minibatch::BatchPipeline;
+use stale_view_cleaning::ivm::view::{maintenance_bindings, MaterializedView};
+use stale_view_cleaning::relalg::aggregate::{AggFunc, AggSpec};
+use stale_view_cleaning::relalg::eval::{evaluate_materializing, Bindings};
+use stale_view_cleaning::relalg::exec::compile;
+use stale_view_cleaning::relalg::optimizer::optimize;
+use stale_view_cleaning::relalg::plan::{JoinKind, Plan};
+use stale_view_cleaning::relalg::scalar::{col, lit};
+use stale_view_cleaning::storage::{DataType, Database, Deltas, HashSpec, Schema, Table, Value};
+
+fn build_db(n_facts: usize, n_dims: usize, data_seed: u64) -> Database {
+    let mut s = data_seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut db = Database::new();
+    let mut dim = Table::new(
+        Schema::from_pairs(&[
+            ("dimId", DataType::Int),
+            ("weight", DataType::Float),
+            ("tag", DataType::Int),
+        ])
+        .unwrap(),
+        &["dimId"],
+    )
+    .unwrap();
+    for i in 0..n_dims as i64 {
+        dim.insert(vec![
+            Value::Int(i),
+            Value::Float((next() % 100) as f64 / 100.0),
+            Value::Int((next() % 5) as i64),
+        ])
+        .unwrap();
+    }
+    let mut fact = Table::new(
+        Schema::from_pairs(&[
+            ("factId", DataType::Int),
+            ("dimId", DataType::Int),
+            ("x", DataType::Float),
+            ("y", DataType::Float),
+        ])
+        .unwrap(),
+        &["factId"],
+    )
+    .unwrap();
+    for i in 0..n_facts as i64 {
+        fact.insert(vec![
+            Value::Int(i),
+            Value::Int((next() % n_dims as u64) as i64),
+            Value::Float((next() % 1000) as f64 / 1000.0),
+            Value::Float((next() % 500) as f64 / 100.0),
+        ])
+        .unwrap();
+    }
+    db.create_table("dim", dim);
+    db.create_table("fact", fact);
+    db
+}
+
+/// Plan shapes exercising every operator the executor lowers: fused σ/Π/η
+/// chains, FK joins (PK-probe), non-key joins (hash build), outer joins,
+/// aggregates over fused scans, and set operations.
+fn plan_variant(variant: u8) -> Plan {
+    match variant % 8 {
+        0 => Plan::scan("fact")
+            .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")])
+            .select(col("x").gt(lit(0.3)).and(col("weight").lt(lit(0.8)))),
+        1 => Plan::scan("fact")
+            .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")])
+            .aggregate(
+                &["dimId"],
+                vec![AggSpec::count_all("n"), AggSpec::new("sx", AggFunc::Sum, col("x"))],
+            )
+            .select(col("n").gt(lit(1i64)).and(col("dimId").lt(lit(10i64)))),
+        2 => Plan::scan("fact")
+            .project(vec![
+                ("factId", col("factId")),
+                ("dimId", col("dimId")),
+                ("x2", col("x").mul(lit(2.0))),
+            ])
+            .select(col("x2").gt(lit(0.5))),
+        3 => Plan::scan("fact")
+            .select(col("x").lt(lit(0.7)))
+            .union(Plan::scan("fact").select(col("x").ge(lit(0.4))))
+            .select(col("dimId").lt(lit(6i64))),
+        4 => Plan::scan("fact")
+            .join(Plan::scan("dim"), JoinKind::Left, &[("dimId", "dimId")])
+            .select(col("y").gt(lit(1.0)).and(col("weight").gt(lit(0.1)))),
+        5 => Plan::scan("fact")
+            .select(col("dimId").lt(lit(8i64)))
+            .difference(Plan::scan("fact").select(col("x").gt(lit(0.8))))
+            .select(col("y").lt(lit(4.0))),
+        6 => Plan::scan("fact")
+            .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")])
+            .aggregate(&["dimId", "tag"], vec![AggSpec::new("sy", AggFunc::Sum, col("y"))])
+            .project(vec![("dimId", col("dimId")), ("tag", col("tag")), ("sy", col("sy"))]),
+        _ => Plan::scan("fact")
+            .join(Plan::scan("dim"), JoinKind::Full, &[("dimId", "dimId")])
+            .select(col("x").gt(lit(0.2)).or(col("weight").gt(lit(0.5)))),
+    }
+}
+
+fn random_deltas(db: &Database, ops: &[(u8, u64)]) -> Deltas {
+    let mut deltas = Deltas::new();
+    let n_facts = db.table("fact").unwrap().len() as i64;
+    let n_dims = db.table("dim").unwrap().len() as i64;
+    let mut next_fact = 1_000_000i64;
+    for &(op, r) in ops {
+        match op % 3 {
+            0 => {
+                deltas
+                    .insert(
+                        db,
+                        "fact",
+                        vec![
+                            Value::Int(next_fact),
+                            Value::Int((r % n_dims as u64) as i64),
+                            Value::Float((r % 100) as f64 / 100.0),
+                            Value::Float((r % 77) as f64 / 10.0),
+                        ],
+                    )
+                    .unwrap();
+                next_fact += 1;
+            }
+            1 => {
+                let id = (r % n_facts as u64) as i64;
+                let _ = deltas.delete(
+                    db,
+                    "fact",
+                    &vec![Value::Int(id), Value::Null, Value::Null, Value::Null],
+                );
+            }
+            _ => {
+                let id = (r % n_facts as u64) as i64;
+                let _ = deltas.update(
+                    db,
+                    "fact",
+                    vec![
+                        Value::Int(id),
+                        Value::Int(((r / 7) % n_dims as u64) as i64),
+                        Value::Float((r % 91) as f64 / 91.0),
+                        Value::Float((r % 13) as f64),
+                    ],
+                );
+            }
+        }
+    }
+    deltas
+}
+
+/// Regression: `BatchPipeline` compiles each per-partition plan set at
+/// most once per partitioning epoch, recompiles after a repartition, and
+/// stays exact throughout — on a mixed insert/delete/update stream whose
+/// chunk signatures vary across batches.
+#[test]
+fn batch_pipeline_cache_survives_repartitions_exactly() {
+    let db = build_db(400, 12, 3);
+    let view_def = Plan::scan("fact")
+        .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")])
+        .aggregate(
+            &["dimId"],
+            vec![AggSpec::count_all("n"), AggSpec::new("avgx", AggFunc::Avg, col("x"))],
+        );
+    let view = MaterializedView::create("v", view_def, &db).unwrap();
+    let ops: Vec<(u8, u64)> = (0..240u64).map(|i| ((i % 3) as u8, i * 131 + 7)).collect();
+    let deltas = random_deltas(&db, &ops);
+    let expected = view.recompute_fresh(&db, &deltas).unwrap();
+
+    let mut pipeline = BatchPipeline::new(2);
+    let mut v = view.clone();
+    let run = pipeline.maintain(&db, &mut v, &deltas, 30).unwrap();
+    assert!(run.batches > 3, "enough batches to exercise the cache");
+    let first_epoch_compiles = pipeline.plan_compiles();
+    assert!(
+        first_epoch_compiles < run.batches,
+        "cache must amortize: {first_epoch_compiles} compiles over {} batches",
+        run.batches
+    );
+    assert!(v.table().approx_same_contents(&expected, 1e-9), "first epoch diverged");
+
+    // Same stream again: every signature is already compiled.
+    let mut v2 = view.clone();
+    pipeline.maintain(&db, &mut v2, &deltas, 30).unwrap();
+    assert_eq!(pipeline.plan_compiles(), first_epoch_compiles, "replay must not recompile");
+    assert!(v2.table().approx_same_contents(&expected, 1e-9));
+
+    // Repartition: new epoch, plans recompile, results stay exact.
+    pipeline.partitions = 5;
+    let mut v3 = view.clone();
+    pipeline.maintain(&db, &mut v3, &deltas, 30).unwrap();
+    assert!(
+        pipeline.plan_compiles() > first_epoch_compiles,
+        "repartition must invalidate the compiled-plan cache"
+    );
+    assert!(v3.table().approx_same_contents(&expected, 1e-9), "post-repartition diverged");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Query-shaped plans (optionally η-wrapped, optionally optimized):
+    /// the streaming executor must produce exactly the legacy evaluator's
+    /// relation.
+    #[test]
+    fn compiled_execution_matches_legacy_on_query_plans(
+        n_facts in 30usize..150,
+        n_dims in 4usize..16,
+        variant in 0u8..8,
+        hashed in 0u8..2,
+        optimized in 0u8..2,
+        ratio in 0.1f64..0.9,
+        seed in 0u64..500,
+        data_seed in 0u64..200,
+    ) {
+        let db = build_db(n_facts, n_dims, data_seed);
+        let mut plan = plan_variant(variant);
+        if hashed == 1 {
+            let derived = stale_view_cleaning::relalg::derive::derive(&plan, &db).unwrap();
+            let key: Vec<String> =
+                derived.key_names().iter().map(|s| s.to_string()).collect();
+            if !key.is_empty() {
+                let key_refs: Vec<&str> = key.iter().map(|s| s.as_str()).collect();
+                plan = plan.hash(&key_refs, ratio, HashSpec::with_seed(seed));
+            }
+        }
+        if optimized == 1 {
+            plan = optimize(&plan, &db).unwrap().0;
+        }
+        let b = Bindings::from_database(&db);
+        let expected = evaluate_materializing(&plan, &b).unwrap();
+        let got = compile(&plan, &b).unwrap().run(&b).unwrap();
+        prop_assert!(
+            got.same_contents(&expected),
+            "variant {} (hashed {}, optimized {}): executor diverged, {} vs {} rows",
+            variant, hashed, optimized, got.len(), expected.len()
+        );
+    }
+
+    /// Maintenance-strategy plans from svc-ivm, evaluated under maintenance
+    /// bindings (stale view + base tables + delta relations): compiled
+    /// execution must agree there too — this is the path `BatchPipeline`
+    /// and `MaterializedView::maintain` now run through.
+    #[test]
+    fn compiled_execution_matches_legacy_on_maintenance_plans(
+        n_facts in 40usize..120,
+        n_dims in 4usize..12,
+        view_kind in 0u8..3,
+        ops in proptest::collection::vec((0u8..3, 0u64..1_000_000), 1..50),
+        data_seed in 0u64..200,
+    ) {
+        let db = build_db(n_facts, n_dims, data_seed);
+        let view_def = match view_kind % 3 {
+            // Change-table strategy (additive aggregate).
+            0 => Plan::scan("fact")
+                .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")])
+                .aggregate(
+                    &["dimId"],
+                    vec![
+                        AggSpec::count_all("n"),
+                        AggSpec::new("avgx", AggFunc::Avg, col("x")),
+                    ],
+                ),
+            // Delta-apply strategy (SPJ view).
+            1 => Plan::scan("fact")
+                .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")])
+                .select(col("weight").gt(lit(0.2))),
+            // Recompute strategy (nested aggregate).
+            _ => Plan::scan("fact")
+                .aggregate(&["dimId"], vec![AggSpec::count_all("c")])
+                .aggregate(&["c"], vec![AggSpec::count_all("n")]),
+        };
+        let view = MaterializedView::create("v", view_def, &db).unwrap();
+        let deltas = random_deltas(&db, &ops);
+        let (plan, _kind) = view.build_maintenance_plan(&db, &deltas).unwrap();
+        let (plan, _) = optimize(&plan, &maintenance_bindings(&db, &deltas, view.table())).unwrap();
+
+        let bindings = maintenance_bindings(&db, &deltas, view.table());
+        let expected = evaluate_materializing(&plan, &bindings).unwrap();
+        let got = compile(&plan, &bindings).unwrap().run(&bindings).unwrap();
+        prop_assert!(
+            got.same_contents(&expected),
+            "view kind {}: maintenance execution diverged, {} vs {} rows",
+            view_kind, got.len(), expected.len()
+        );
+    }
+}
