@@ -1,0 +1,287 @@
+//! Morsel-parallel execution and pool-level contention on real plans.
+//!
+//! Two experiments, both on the shared-queue `WorkerPool`:
+//!
+//! * `morsel` — sequential `PhysicalPlan::run` vs morsel-parallel
+//!   `run_parallel` on pools of {1, 2, 4} workers, for the SVC cleaning
+//!   expression (m = 0.1) and the change-table maintenance plan of a
+//!   revenue roll-up (20% updates). Each compiled plan is identical across
+//!   arms; only the execution mode differs, and every parallel result is
+//!   checked row-for-row against the sequential one.
+//! * `contention` — Figure 14b on real plans: two `BatchPipeline`s
+//!   maintaining different views, first solo (one after the other), then
+//!   concurrently on ONE shared pool, whose queue interleaves both
+//!   pipelines' plan and morsel tasks. Reports per-pipeline throughput
+//!   solo vs contended.
+//!
+//! Writes `experiments/fig_contention.csv` / `.json`. Assertions scale
+//! with the machine: on ≥2 hardware threads the best parallel arm must not
+//! lose to sequential (CI smoke guard, 15% margin); at full scale on ≥4
+//! hardware threads at least one cleaning/maintenance plan must show ≥2×
+//! at 4 workers. Single-core machines run correctness-only (morsel
+//! execution cannot beat sequential without parallel hardware).
+
+use std::fs;
+use std::sync::Arc;
+
+use svc_bench::{bench_scale, experiments_dir, median_of, time, tpcd, Report};
+use svc_cluster::executor::WorkerPool;
+use svc_cluster::minibatch::BatchPipeline;
+use svc_ivm::view::{maintenance_bindings, MaterializedView};
+use svc_relalg::aggregate::{AggFunc, AggSpec};
+use svc_relalg::eval::Bindings;
+use svc_relalg::exec::{compile, PhysicalPlan};
+use svc_relalg::optimizer::optimize;
+use svc_storage::Table;
+use svc_workloads::tpcd_views::{join_view, revenue_expr};
+
+fn bench_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let (_, t) = time(&mut f);
+        samples.push(t);
+    }
+    median_of(&samples) * 1e3
+}
+
+/// Row-for-row order-sensitive comparison with float tolerance — morsel
+/// execution must not even reorder the output.
+fn same_rows_in_order(a: &Table, b: &Table) -> bool {
+    a.len() == b.len()
+        && a.rows().iter().zip(b.rows()).all(|(ra, rb)| {
+            ra.iter().zip(rb).all(|(x, y)| match (x.as_f64(), y.as_f64()) {
+                (Some(p), Some(q)) => (p - q).abs() <= 1e-9 * p.abs().max(q.abs()).max(1.0),
+                _ => x == y,
+            })
+        })
+}
+
+struct MorselRow {
+    plan: &'static str,
+    workers: usize,
+    rows_out: usize,
+    t_seq_ms: f64,
+    t_par_ms: f64,
+}
+
+fn measure_morsel(
+    label: &'static str,
+    compiled: &PhysicalPlan,
+    bindings: &Bindings<'_>,
+    pools: &[Arc<WorkerPool>],
+    morsel_of: impl Fn(usize) -> usize,
+    reps: usize,
+    rows: &mut Vec<MorselRow>,
+) {
+    let seq_out = compiled.run(bindings).expect("sequential run");
+    let t_seq = bench_ms(reps, || {
+        std::hint::black_box(compiled.run(bindings).expect("run"));
+    });
+    for pool in pools {
+        let morsel = morsel_of(pool.workers());
+        let par_out = compiled.run_parallel(bindings, pool.as_ref(), morsel).expect("parallel");
+        assert!(
+            same_rows_in_order(&par_out, &seq_out),
+            "{label} on {} workers: parallel result diverged",
+            pool.workers()
+        );
+        let t_par = bench_ms(reps, || {
+            std::hint::black_box(
+                compiled.run_parallel(bindings, pool.as_ref(), morsel).expect("run_parallel"),
+            );
+        });
+        rows.push(MorselRow {
+            plan: label,
+            workers: pool.workers(),
+            rows_out: par_out.len(),
+            t_seq_ms: t_seq,
+            t_par_ms: t_par,
+        });
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let data = tpcd(2.0, 2.0, 42);
+    let db = &data.db;
+    let lineitem_rows = db.table("lineitem").expect("lineitem").len();
+    println!("lineitem: {lineitem_rows} rows (scale {}), {cores} hardware threads", bench_scale());
+    let pools: Vec<Arc<WorkerPool>> =
+        [1usize, 2, 4].iter().map(|&w| Arc::new(WorkerPool::new(w))).collect();
+    let reps = 5;
+    let mut rows: Vec<MorselRow> = Vec::new();
+
+    // ── morsel: the SVC cleaning expression (m = 0.1) ────────────────────
+    {
+        let svc = svc_bench::join_view_svc(&data, 0.1);
+        let deltas = data.updates(0.10, 7).expect("updates");
+        let (plan, report, _kind) = svc.cleaning_plan(db, &deltas).expect("cleaning plan");
+        let stale_binding =
+            if report.fully_pushed() { svc.stale_sample() } else { svc.view.table() };
+        let mb = maintenance_bindings(db, &deltas, stale_binding);
+        let compiled = compile(&plan, &mb).expect("compile");
+        let morsel = |w: usize| (lineitem_rows / (8 * w)).max(256);
+        measure_morsel("cleaning", &compiled, &mb, &pools, morsel, reps, &mut rows);
+    }
+
+    // ── morsel: change-table maintenance of a revenue roll-up ────────────
+    {
+        let view_def = join_view().aggregate(
+            &["o_custkey"],
+            vec![AggSpec::count_all("n"), AggSpec::new("revenue", AggFunc::Sum, revenue_expr())],
+        );
+        let view = MaterializedView::create("revenue", view_def, db).expect("view");
+        let deltas = data.updates(0.20, 11).expect("updates");
+        let (mplan, _kind) = view.build_maintenance_plan(db, &deltas).expect("plan");
+        let mb = maintenance_bindings(db, &deltas, view.table());
+        let (plan, _) = optimize(&mplan, &mb).expect("optimize");
+        let compiled = compile(&plan, &mb).expect("compile");
+        let morsel = |w: usize| (lineitem_rows / (16 * w)).max(256);
+        measure_morsel("maintenance", &compiled, &mb, &pools, morsel, reps, &mut rows);
+    }
+
+    // ── contention: two pipelines, one shared pool (Figure 14b) ──────────
+    let shared = Arc::new(WorkerPool::new(4));
+    let mut pa = BatchPipeline::on_pool(shared.clone());
+    let mut pb = BatchPipeline::on_pool(shared.clone());
+    pb.morsel_size = Some((lineitem_rows / 32).max(256));
+    pa.partitions = 8;
+
+    let va = {
+        let def = join_view().aggregate(
+            &["o_custkey"],
+            vec![AggSpec::count_all("n"), AggSpec::new("revenue", AggFunc::Sum, revenue_expr())],
+        );
+        MaterializedView::create("rev_cust", def, db).expect("view a")
+    };
+    let vb = {
+        // Median blocks the change-table strategy, so pipeline B exercises
+        // the morsel-parallel fallback maintenance plan.
+        let def = join_view().aggregate(
+            &["o_custkey"],
+            vec![AggSpec::new("medRev", AggFunc::Median, revenue_expr())],
+        );
+        MaterializedView::create("med_cust", def, db).expect("view b")
+    };
+    let da = data.updates(0.10, 13).expect("deltas a");
+    let db_deltas = data.updates(0.10, 17).expect("deltas b");
+    let ea = va.recompute_fresh(db, &da).expect("fresh a");
+    let eb = vb.recompute_fresh(db, &db_deltas).expect("fresh b");
+    let batch = (da.len() / 6).max(1);
+
+    let run_a = |p: &BatchPipeline| {
+        let mut v = va.clone();
+        let run = p.maintain(db, &mut v, &da, batch).expect("maintain a");
+        assert!(v.table().approx_same_contents(&ea, 1e-9), "pipeline A diverged");
+        run.throughput()
+    };
+    let run_b = |p: &BatchPipeline| {
+        let mut v = vb.clone();
+        let run = p.maintain(db, &mut v, &db_deltas, batch).expect("maintain b");
+        assert!(v.table().approx_same_contents(&eb, 1e-9), "pipeline B diverged");
+        run.throughput()
+    };
+
+    // Solo: each pipeline alone on the (idle) shared pool.
+    let solo_a = run_a(&pa);
+    let solo_b = run_b(&pb);
+    // Contended: both at once; the shared queue interleaves their tasks.
+    let (mut cont_a, mut cont_b) = (0.0, 0.0);
+    std::thread::scope(|s| {
+        let ha = s.spawn(|| run_a(&pa));
+        let hb = s.spawn(|| run_b(&pb));
+        cont_a = ha.join().expect("contended A panicked");
+        cont_b = hb.join().expect("contended B panicked");
+    });
+
+    // ── report ───────────────────────────────────────────────────────────
+    let mut report = Report::new(
+        "fig_contention",
+        &["scenario", "plan", "workers", "rows", "t_seq_ms", "t_par_ms", "speedup"],
+    );
+    let mut json_rows = Vec::new();
+    let mut best_at_max_workers = 0.0f64;
+    for r in &rows {
+        let speedup = r.t_seq_ms / r.t_par_ms.max(1e-9);
+        if r.workers == 4 {
+            best_at_max_workers = best_at_max_workers.max(speedup);
+        }
+        report.row(vec![
+            "morsel".into(),
+            r.plan.into(),
+            r.workers.to_string(),
+            r.rows_out.to_string(),
+            format!("{:.3}", r.t_seq_ms),
+            format!("{:.3}", r.t_par_ms),
+            format!("{speedup:.2}"),
+        ]);
+        json_rows.push(format!(
+            "{{\"scenario\":\"morsel\",\"plan\":\"{}\",\"workers\":{},\"rows\":{},\
+             \"t_seq_ms\":{},\"t_par_ms\":{},\"speedup\":{speedup}}}",
+            r.plan, r.workers, r.rows_out, r.t_seq_ms, r.t_par_ms
+        ));
+    }
+    for (plan, solo, contended) in [("rev_cust", solo_a, cont_a), ("med_cust", solo_b, cont_b)] {
+        let ratio = contended / solo.max(1e-9);
+        report.row(vec![
+            "contention".into(),
+            plan.into(),
+            "4".into(),
+            "-".into(),
+            format!("{solo:.1}"),
+            format!("{contended:.1}"),
+            format!("{ratio:.2}"),
+        ]);
+        json_rows.push(format!(
+            "{{\"scenario\":\"contention\",\"plan\":\"{plan}\",\"workers\":4,\
+             \"solo_tps\":{solo},\"contended_tps\":{contended},\"ratio\":{ratio}}}"
+        ));
+    }
+    report.finish(
+        "morsel-parallel vs sequential (t_seq/t_par ms) + two-pipeline contention \
+         (solo/contended records-per-s)",
+    );
+
+    let json = format!(
+        "{{\"bench\":\"fig_contention\",\"workload\":\"tpcd\",\"scale\":{},\
+         \"lineitem_rows\":{lineitem_rows},\"hardware_threads\":{cores},\"rows\":[{}]}}\n",
+        bench_scale(),
+        json_rows.join(",")
+    );
+    let dir = experiments_dir();
+    let _ = fs::create_dir_all(&dir);
+    let path = dir.join("fig_contention.json");
+    match fs::write(&path, &json) {
+        Ok(()) => println!("[written {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+
+    assert!(solo_a > 0.0 && solo_b > 0.0 && cont_a > 0.0 && cont_b > 0.0);
+    // CI smoke guard: when the hardware actually carries the 4-worker pool
+    // (≥4 threads), the best morsel arm must not lose to sequential
+    // execution (15% margin for shared-runner noise). With 2–3 threads the
+    // pool is oversubscribed and only a loose sanity bound applies; on a
+    // single hardware thread morsel execution is pure overhead, so only
+    // correctness is asserted above.
+    if cores >= 4 {
+        assert!(
+            best_at_max_workers >= 0.85,
+            "morsel-parallel must not be slower at 4 workers on {cores}-thread hardware: \
+             best speedup {best_at_max_workers:.2}x"
+        );
+    } else if cores >= 2 {
+        assert!(
+            best_at_max_workers >= 0.6,
+            "morsel-parallel collapsed on oversubscribed {cores}-thread hardware: \
+             best speedup {best_at_max_workers:.2}x"
+        );
+    }
+    if bench_scale() >= 1.0 && cores >= 4 {
+        assert!(
+            best_at_max_workers >= 2.0,
+            "at least one cleaning/maintenance plan must show ≥2x at 4 workers at full \
+             scale, got {best_at_max_workers:.2}x"
+        );
+        println!("best 4-worker speedup at full scale: {best_at_max_workers:.2}x");
+    }
+}

@@ -1,15 +1,29 @@
-//! A worker pool with stage barriers and per-worker busy-time accounting —
-//! the synchronous-parallelism model whose idle gaps Figure 16 visualizes —
-//! plus the mini-batch plan-evaluation entry point
-//! ([`WorkerPool::evaluate_plans`]) that routes every plan through the
-//! `svc-relalg` optimizer exactly once before scheduling it.
+//! A worker pool with a **shared work queue**, stage barriers, and
+//! per-worker busy-time accounting — the synchronous-parallelism model
+//! whose idle gaps Figure 16 visualizes — plus the mini-batch
+//! plan-evaluation entry point ([`WorkerPool::evaluate_plans`]) that routes
+//! every plan through the `svc-relalg` optimizer exactly once before
+//! scheduling it.
+//!
+//! The pool owns `workers` persistent threads that pull tasks off one
+//! shared queue. Every entry point ([`WorkerPool::submit`],
+//! [`WorkerPool::run_batch`], [`WorkerPool::run_stages`], and the
+//! [`MorselScheduler`] impl behind `PhysicalPlan::run_parallel`) enqueues
+//! into that same queue, so tasks from *concurrent* callers — two
+//! `BatchPipeline`s maintaining different views, a plan batch and a
+//! morsel-parallel merge — interleave across one set of workers instead of
+//! each call spinning up its own thread scope. Task panics are caught on
+//! the worker, reported as an error to the submitting session only, and
+//! never corrupt or stall other sessions sharing the pool.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 use svc_relalg::eval::Bindings;
-use svc_relalg::exec::{compile, PhysicalPlan};
+use svc_relalg::exec::{compile, MorselScheduler, PhysicalPlan};
 use svc_relalg::optimizer::{optimize, optimize_with, CardEstimator};
 use svc_relalg::plan::Plan;
 use svc_storage::{Result, StorageError, Table};
@@ -76,22 +90,133 @@ impl ExecutionTrace {
     }
 }
 
-/// A fixed-size worker pool executing stages of closures with a barrier
-/// after each stage (the synchronous shuffle model of the paper's Spark
-/// setup).
+/// One unit of queued work: an index into its session's task range.
+struct QueuedTask {
+    session: Arc<Session>,
+    index: usize,
+}
+
+/// The type-erased task body of one submission. Holds a raw pointer to the
+/// caller's closure: [`WorkerPool::submit`] does not return until every
+/// task of the session has finished executing, so the pointee strictly
+/// outlives every dereference (the same contract `std::thread::scope`
+/// enforces for borrowed spawns).
+struct RawTask(*const (dyn Fn(usize, usize) + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls from any thread are fine) and
+// the pointer is only dereferenced while the submitting thread is parked in
+// `submit`, keeping the closure alive.
+unsafe impl Send for RawTask {}
+unsafe impl Sync for RawTask {}
+
+impl std::fmt::Debug for RawTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RawTask")
+    }
+}
+
+/// One `submit` call's bookkeeping: the erased task body, the number of
+/// tasks still outstanding, and whether any of them panicked.
+#[derive(Debug)]
+struct Session {
+    run: RawTask,
+    progress: Mutex<Progress>,
+    done: Condvar,
+}
+
+#[derive(Debug)]
+struct Progress {
+    remaining: usize,
+    panicked: bool,
+}
+
+impl Session {
+    /// Record one finished task; wakes the submitter when the session
+    /// completes.
+    fn complete(&self, panicked: bool) {
+        let mut p = self.progress.lock().expect("session progress poisoned");
+        p.remaining -= 1;
+        p.panicked |= panicked;
+        if p.remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+}
+
+/// State shared between the pool handle and its worker threads.
+#[derive(Debug)]
+struct PoolShared {
+    state: Mutex<PoolQueue>,
+    work: Condvar,
+}
+
+#[derive(Debug)]
+struct PoolQueue {
+    queue: VecDeque<QueuedTask>,
+    shutdown: bool,
+}
+
+impl std::fmt::Debug for QueuedTask {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "QueuedTask({})", self.index)
+    }
+}
+
+/// A stage task: claimed exactly once by the submitted closure.
+type StageTask = Mutex<Option<Box<dyn FnOnce() + Send>>>;
+
+thread_local! {
+    /// `(pool id, worker index)` of the pool worker running on this thread,
+    /// if any. Lets `submit` detect nested submission from one of its own
+    /// workers and run inline instead of queueing (queueing could deadlock
+    /// if every worker were parked waiting on a nested session).
+    static CURRENT_WORKER: std::cell::Cell<Option<(usize, usize)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+static NEXT_POOL_ID: AtomicUsize = AtomicUsize::new(0);
+
+/// A fixed-size worker pool: `workers` persistent threads pulling from one
+/// shared task queue. Barrier-style entry points ([`WorkerPool::run_stages`])
+/// are built on top of the queue, as is the `MorselScheduler` impl that
+/// lets compiled plans run morsel-parallel on the pool.
 #[derive(Debug)]
 pub struct WorkerPool {
     workers: usize,
+    id: usize,
+    shared: Arc<PoolShared>,
+    handles: Vec<std::thread::JoinHandle<()>>,
 }
 
-/// A stage task: claimed exactly once off the shared queue.
-type StageTask = Mutex<Option<Box<dyn FnOnce() + Send>>>;
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // `&mut self` proves no `submit` is in flight, so the queue is
+        // empty: every queued task belongs to a session some caller is
+        // still waiting on.
+        self.shared.state.lock().expect("pool queue poisoned").shutdown = true;
+        self.shared.work.notify_all();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
 
 impl WorkerPool {
-    /// Create a pool with `workers` threads per stage.
+    /// Create a pool with `workers` persistent worker threads.
     pub fn new(workers: usize) -> WorkerPool {
         assert!(workers > 0);
-        WorkerPool { workers }
+        let id = NEXT_POOL_ID.fetch_add(1, Ordering::Relaxed);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolQueue { queue: VecDeque::new(), shutdown: false }),
+            work: Condvar::new(),
+        });
+        let handles = (0..workers)
+            .map(|w| {
+                let shared = shared.clone();
+                std::thread::spawn(move || worker_loop(&shared, id, w))
+            })
+            .collect();
+        WorkerPool { workers, id, shared, handles }
     }
 
     /// Number of workers.
@@ -99,7 +224,54 @@ impl WorkerPool {
         self.workers
     }
 
-    /// Run `stages` sequentially; within a stage, tasks are pulled from a
+    /// Run tasks `0..n` on the shared queue and wait for all of them. Each
+    /// task receives `(task index, worker index)`. Tasks from concurrent
+    /// `submit` calls interleave on the same workers — this is the single
+    /// scheduling primitive every other entry point builds on. A panicking
+    /// task is caught on its worker (the worker survives, other sessions
+    /// are unaffected) and reported here as an error once the session
+    /// drains.
+    pub fn submit(&self, n: usize, run: &(dyn Fn(usize, usize) + Sync)) -> Result<()> {
+        if n == 0 {
+            return Ok(());
+        }
+        // Nested submission from one of this pool's own workers runs
+        // inline: parking a worker to wait on tasks that need a worker is
+        // a deadlock when the pool is saturated.
+        if let Some((pool, w)) = CURRENT_WORKER.with(std::cell::Cell::get) {
+            if pool == self.id {
+                let mut panicked = false;
+                for i in 0..n {
+                    panicked |= catch_unwind(AssertUnwindSafe(|| run(i, w))).is_err();
+                }
+                return session_outcome(panicked);
+            }
+        }
+        // SAFETY: erase the borrow to queue it on 'static worker threads.
+        // The wait loop below does not return until `remaining == 0`, i.e.
+        // until every dereference of the pointer has completed.
+        let run_static: &'static (dyn Fn(usize, usize) + Sync) =
+            unsafe { std::mem::transmute(run) };
+        let session = Arc::new(Session {
+            run: RawTask(run_static as *const _),
+            progress: Mutex::new(Progress { remaining: n, panicked: false }),
+            done: Condvar::new(),
+        });
+        {
+            let mut st = self.shared.state.lock().expect("pool queue poisoned");
+            for index in 0..n {
+                st.queue.push_back(QueuedTask { session: session.clone(), index });
+            }
+        }
+        self.shared.work.notify_all();
+        let mut p = session.progress.lock().expect("session progress poisoned");
+        while p.remaining > 0 {
+            p = session.done.wait(p).expect("session progress poisoned");
+        }
+        session_outcome(p.panicked)
+    }
+
+    /// Run `stages` sequentially; within a stage, tasks are pulled from the
     /// shared queue by all workers, and the stage ends when every task
     /// completed (the barrier). Returns the busy-interval trace.
     pub fn run_stages(&self, stages: Vec<Vec<Box<dyn FnOnce() + Send>>>) -> ExecutionTrace {
@@ -108,25 +280,14 @@ impl WorkerPool {
 
         for stage in stages {
             let tasks: Vec<StageTask> = stage.into_iter().map(|t| Mutex::new(Some(t))).collect();
-            let next = AtomicUsize::new(0);
-            std::thread::scope(|s| {
-                for w in 0..self.workers {
-                    let tasks = &tasks;
-                    let next = &next;
-                    let intervals = &intervals;
-                    s.spawn(move || loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= tasks.len() {
-                            break;
-                        }
-                        let task = tasks[i].lock().unwrap().take().expect("task taken once");
-                        let start = epoch.elapsed().as_secs_f64();
-                        task();
-                        let end = epoch.elapsed().as_secs_f64();
-                        intervals.lock().unwrap().push(BusyInterval { worker: w, start, end });
-                    });
-                }
-            });
+            self.submit(tasks.len(), &|i, w| {
+                let task = tasks[i].lock().unwrap().take().expect("task taken once");
+                let start = epoch.elapsed().as_secs_f64();
+                task();
+                let end = epoch.elapsed().as_secs_f64();
+                intervals.lock().unwrap().push(BusyInterval { worker: w, start, end });
+            })
+            .expect("stage task panicked");
         }
 
         ExecutionTrace {
@@ -196,41 +357,29 @@ impl WorkerPool {
         self.run_batch(plans.len(), |i| plans[i].run(bindings))
     }
 
-    /// Run `n` numbered tasks off a shared queue on the pool and collect
-    /// their results in index order. Once any task errors, workers stop
-    /// picking up new tasks (in-flight evaluations finish) and the first
-    /// error in index order is returned — tasks that did run never
-    /// masquerade as "not evaluated".
+    /// Run `n` numbered tasks off the shared queue and collect their
+    /// results in index order. Once any task errors, later tasks of this
+    /// batch are skipped as they come up (in-flight evaluations finish) and
+    /// the first error in index order is returned — tasks that did run
+    /// never masquerade as "not evaluated". A panicking task fails only
+    /// this batch; concurrent batches on the same pool are unaffected.
     pub fn run_batch<T, F>(&self, n: usize, eval: F) -> Result<Vec<T>>
     where
         T: Send,
         F: Fn(usize) -> Result<T> + Sync,
     {
         let slots: Vec<Mutex<Option<Result<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
-        let next = AtomicUsize::new(0);
-        let failed = std::sync::atomic::AtomicBool::new(false);
-        std::thread::scope(|s| {
-            for _ in 0..self.workers.min(n).max(1) {
-                let slots = &slots;
-                let next = &next;
-                let failed = &failed;
-                let eval = &eval;
-                s.spawn(move || loop {
-                    if failed.load(Ordering::Relaxed) {
-                        break;
-                    }
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= slots.len() {
-                        break;
-                    }
-                    let out = eval(i);
-                    if out.is_err() {
-                        failed.store(true, Ordering::Relaxed);
-                    }
-                    *slots[i].lock().unwrap() = Some(out);
-                });
+        let failed = AtomicBool::new(false);
+        self.submit(n, &|i, _w| {
+            if failed.load(Ordering::Relaxed) {
+                return;
             }
-        });
+            let out = eval(i);
+            if out.is_err() {
+                failed.store(true, Ordering::Relaxed);
+            }
+            *slots[i].lock().unwrap() = Some(out);
+        })?;
         if failed.load(Ordering::Relaxed) {
             for slot in &slots {
                 if let Some(Err(e)) = &*slot.lock().unwrap() {
@@ -246,6 +395,54 @@ impl WorkerPool {
                     .unwrap_or_else(|| Err(StorageError::Invalid("plan was not evaluated".into())))
             })
             .collect()
+    }
+}
+
+/// Morsel tasks from `PhysicalPlan::run_parallel` land on the same shared
+/// queue as whole-plan tasks, so intra-plan morsels and inter-plan batches
+/// from concurrent callers interleave across one set of workers.
+impl MorselScheduler for WorkerPool {
+    fn run_tasks(&self, n: usize, task: &(dyn Fn(usize) + Sync)) -> Result<()> {
+        self.submit(n, &|i, _w| task(i))
+    }
+}
+
+/// Map a session's panic flag to the submit result.
+fn session_outcome(panicked: bool) -> Result<()> {
+    if panicked {
+        Err(StorageError::Invalid(
+            "a worker task panicked; its session was aborted (other sessions on the pool are \
+             unaffected)"
+                .into(),
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// The persistent worker body: pull one task at a time off the shared
+/// queue, run it under `catch_unwind`, report completion to its session.
+fn worker_loop(shared: &PoolShared, pool_id: usize, w: usize) {
+    CURRENT_WORKER.with(|c| c.set(Some((pool_id, w))));
+    loop {
+        let task = {
+            let mut st = shared.state.lock().expect("pool queue poisoned");
+            loop {
+                if let Some(t) = st.queue.pop_front() {
+                    break t;
+                }
+                if st.shutdown {
+                    return;
+                }
+                st = shared.work.wait(st).expect("pool queue poisoned");
+            }
+        };
+        // SAFETY: the submitting thread is parked in `submit` until this
+        // session's `remaining` hits zero, which happens only after this
+        // call returns — the closure is alive for the whole call.
+        let run = unsafe { &*task.session.run.0 };
+        let panicked = catch_unwind(AssertUnwindSafe(|| run(task.index, w))).is_err();
+        task.session.complete(panicked);
     }
 }
 
@@ -366,6 +563,53 @@ mod tests {
             .unwrap_err();
         assert_eq!(ran.load(Ordering::Relaxed), 3, "no new pickups after the failure");
         assert!(err.to_string().contains("task 2 exploded"), "wrong error: {err}");
+    }
+
+    #[test]
+    fn panicking_task_fails_only_its_session() {
+        // Two sessions share one pool from different threads: the session
+        // with a panicking task gets an error; the other completes with
+        // correct results; the pool keeps working afterwards. This is the
+        // isolation contract morsel-parallel plans rely on.
+        let pool = std::sync::Arc::new(WorkerPool::new(2));
+        let (pa, pb) = (pool.clone(), pool.clone());
+        std::thread::scope(|s| {
+            let ha = s.spawn(move || {
+                pa.submit(8, &|i, _w| {
+                    if i == 3 {
+                        panic!("morsel exploded");
+                    }
+                })
+            });
+            let hb = s.spawn(move || pb.run_batch(64, |i| Ok(i * 2)));
+            let ra = ha.join().expect("submitting thread must not unwind");
+            let rb = hb.join().expect("concurrent batch must not unwind").unwrap();
+            assert!(ra.is_err(), "the panicking session must surface an error");
+            assert!(ra.unwrap_err().to_string().contains("panicked"));
+            assert_eq!(rb, (0..64).map(|i| i * 2).collect::<Vec<_>>());
+        });
+        // No worker died: the pool still drains new sessions.
+        let after = pool.run_batch(16, |i| Ok(i + 1)).unwrap();
+        assert_eq!(after, (0..16).map(|i| i + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_submission_from_a_worker_runs_inline() {
+        // A pool task that submits to its own pool must not deadlock, even
+        // with a single worker: nested sessions run inline on that worker
+        // instead of queueing behind themselves.
+        let pool = WorkerPool::new(1);
+        let total = AtomicUsize::new(0);
+        let (pool_ref, total_ref) = (&pool, &total);
+        pool.submit(2, &|_, _| {
+            pool_ref
+                .submit(3, &|_, _| {
+                    total_ref.fetch_add(1, Ordering::Relaxed);
+                })
+                .unwrap();
+        })
+        .unwrap();
+        assert_eq!(total.load(Ordering::Relaxed), 6, "2 outer × 3 inner tasks all ran");
     }
 
     #[test]

@@ -96,6 +96,15 @@ pub struct BatchPipeline {
     /// on), batch plans additionally get cost-based join reordering, with
     /// the delta-chunk and stale-view leaves overlaid on the fly.
     pub catalog: Option<Arc<Catalog>>,
+    /// Morsel size for intra-plan parallelism. When set, the plans that
+    /// run as a *single* task per batch — the sequential fallback
+    /// maintenance plan of non-change-table views and the driver-side
+    /// merge plan — execute morsel-parallel on the shared pool
+    /// (`PhysicalPlan::run_parallel`), their scans split into row ranges
+    /// that interleave with other sessions' tasks on the shared queue.
+    /// Per-partition change plans keep their inter-plan fan-out (many
+    /// small plans already saturate the pool).
+    pub morsel_size: Option<usize>,
     /// Compiled per-partition change plans, cached across batches and
     /// `maintain` calls. Shared by clones (same pipeline, same cache);
     /// entries are keyed by the partitioning-epoch knobs and dropped when
@@ -182,6 +191,7 @@ impl BatchPipeline {
             partitions: workers * 2,
             optimize_plans: true,
             catalog: None,
+            morsel_size: None,
             cache: Arc::default(),
         }
     }
@@ -194,6 +204,7 @@ impl BatchPipeline {
             partitions,
             optimize_plans: true,
             catalog: None,
+            morsel_size: None,
             cache: Arc::default(),
         }
     }
@@ -259,29 +270,54 @@ impl BatchPipeline {
             },
         };
         if !eligible {
-            // Sequential fallback: the whole pending set through the view's
-            // maintenance plan — a real plan (delta-apply or recompute),
-            // evaluated on the pool. Splitting it into mini-batches would
-            // be unsound: each batch's plan reads the *original* base
-            // tables, so earlier batches would be forgotten.
+            // Fallback: the whole pending set through the view's
+            // maintenance plan — a real plan (delta-apply or recompute).
+            // Splitting it into mini-batches would be unsound: each batch's
+            // plan reads the *original* base tables, so earlier batches
+            // would be forgotten. With a morsel size set, this single plan
+            // runs morsel-parallel on the pool (a lone sequential plan is
+            // exactly where intra-plan parallelism pays); otherwise it runs
+            // as one pool task.
             let (plan, _kind) = maintenance_plan(&canonical, &cat, &info)?;
             let bindings = maintenance_bindings(db, &pending, view.table());
-            let mut results = if self.optimize_plans {
-                // The maintenance plan reads the stale view and the plain
-                // `__ins.T`/`__del.T` leaves; overlay stats for both.
-                let scoped = self.catalog.as_deref().map(|c| {
+            // The maintenance plan reads the stale view and the plain
+            // `__ins.T`/`__del.T` leaves; overlay stats for both.
+            let scoped = if self.optimize_plans {
+                self.catalog.as_deref().map(|c| {
                     delta_leaf_stats(c, Some(view.table()), std::slice::from_ref(&pending), false)
-                });
-                let est = scoped.as_ref().map(|s| s.estimator());
-                self.pool.evaluate_plans_with(
-                    std::slice::from_ref(&plan),
-                    &bindings,
-                    est.as_ref().map(|e| e as &dyn svc_relalg::optimizer::CardEstimator),
-                )?
+                })
             } else {
-                self.pool.evaluate_plans_raw(std::slice::from_ref(&plan), &bindings)?
+                None
             };
-            view.set_table(results.pop().expect("one plan, one result"));
+            let est = scoped.as_ref().map(|s| s.estimator());
+            let est: Option<&dyn svc_relalg::optimizer::CardEstimator> =
+                est.as_ref().map(|e| e as &dyn svc_relalg::optimizer::CardEstimator);
+            let result = if let Some(morsel) = self.morsel_size {
+                let optimized = if self.optimize_plans {
+                    match est {
+                        Some(e) => optimize_with(&plan, &cat, e)?.0,
+                        None => optimize(&plan, &cat)?.0,
+                    }
+                } else {
+                    plan
+                };
+                svc_relalg::exec::compile_with(&optimized, &cat, est)?.run_parallel(
+                    &bindings,
+                    self.pool.as_ref(),
+                    morsel,
+                )?
+            } else if self.optimize_plans {
+                self.pool
+                    .evaluate_plans_with(std::slice::from_ref(&plan), &bindings, est)?
+                    .pop()
+                    .expect("one plan, one result")
+            } else {
+                self.pool
+                    .evaluate_plans_raw(std::slice::from_ref(&plan), &bindings)?
+                    .pop()
+                    .expect("one plan, one result")
+            };
+            view.set_table(result);
             run.batches = 1;
             run.plans_evaluated = 1;
             run.fallback_batches = 1;
@@ -297,8 +333,22 @@ impl BatchPipeline {
         };
         // Cache identity of this view's batch plans: the generated plan
         // set is a pure function of the canonical plan and the stale type
-        // (plus the chunk signature appended per batch).
-        let view_key = format!("{:?}|{:?}", canonical.plan, cat.stale);
+        // (plus the chunk signature appended per batch) — and the compiled
+        // plans additionally bake in the base-table shapes their leaves
+        // validate against at run time. Fingerprinting those shapes here
+        // means a base-schema (or key) change keys to a fresh entry and
+        // recompiles exactly once, instead of the cached plans failing
+        // leaf validation forever.
+        let view_key = {
+            use std::fmt::Write;
+            let mut key = format!("{:?}|{:?}", canonical.plan, cat.stale);
+            for leaf in canonical.plan.leaf_tables() {
+                if let Ok(t) = db.table(leaf) {
+                    let _ = write!(key, "|{leaf}:[{}]k{:?}", t.schema(), t.key());
+                }
+            }
+            key
+        };
         // Batch boundaries obey the same exactness condition as chunk
         // parallelism: every batch's change table reads the original base
         // state, so batches (like chunks) must not interact.
@@ -351,7 +401,10 @@ impl BatchPipeline {
                 let mut mb = Bindings::new();
                 mb.bind(STALE_LEAF, &current);
                 mb.bind(CHANGE_LEAF, change);
-                merge.run(&mb)?
+                match self.morsel_size {
+                    Some(morsel) => merge.run_parallel(&mb, self.pool.as_ref(), morsel)?,
+                    None => merge.run(&mb)?,
+                }
             };
             current = next;
         }
@@ -849,6 +902,121 @@ mod tests {
         assert!(v3.table().approx_same_contents(&expected, 1e-9));
         assert!(v.table().approx_same_contents(&expected, 1e-9));
         assert!(v2.table().approx_same_contents(&expected, 1e-9));
+    }
+
+    /// Two pipelines share one `WorkerPool` and maintain disjoint views
+    /// from concurrent driver threads: the shared queue interleaves their
+    /// tasks (plan batches from one, morsel tasks from the other) and both
+    /// converge to the `recompute_fresh` ground truth.
+    #[test]
+    fn concurrent_pipelines_on_a_shared_pool_both_converge() {
+        let db = db();
+        let pool = Arc::new(WorkerPool::new(2));
+        let p1 = BatchPipeline::on_pool(pool.clone());
+        let mut p2 = BatchPipeline::on_pool(pool.clone());
+        // The second pipeline opts into morsel parallelism, so whole-plan
+        // tasks and morsel tasks interleave on the same queue.
+        p2.morsel_size = Some(64);
+
+        let v1 = MaterializedView::create("v1", visit_view(), &db).unwrap();
+        // Median never merges: v2 exercises the fallback maintenance plan,
+        // which under `morsel_size` runs morsel-parallel on the pool.
+        let v2def = Plan::scan("video").aggregate(
+            &["videoId"],
+            vec![AggSpec::new("medDur", svc_relalg::aggregate::AggFunc::Median, col("duration"))],
+        );
+        let v2 = MaterializedView::create("v2", v2def, &db).unwrap();
+
+        let d1 = log_stream(&db, 600);
+        let mut d2 = Deltas::new();
+        for vid in 80..140i64 {
+            d2.insert(&db, "video", vec![Value::Int(vid), Value::Float(1.0 + (vid % 7) as f64)])
+                .unwrap();
+        }
+        let e1 = v1.recompute_fresh(&db, &d1).unwrap();
+        let e2 = v2.recompute_fresh(&db, &d2).unwrap();
+
+        std::thread::scope(|s| {
+            let h1 = s.spawn(|| {
+                let mut v = v1.clone();
+                p1.maintain(&db, &mut v, &d1, 40).map(|run| (v, run))
+            });
+            let h2 = s.spawn(|| {
+                let mut v = v2.clone();
+                p2.maintain(&db, &mut v, &d2, 40).map(|run| (v, run))
+            });
+            let (m1, run1) = h1.join().expect("pipeline 1 panicked").unwrap();
+            let (m2, run2) = h2.join().expect("pipeline 2 panicked").unwrap();
+            assert!(m1.table().approx_same_contents(&e1, 1e-9), "pipeline 1 diverged");
+            assert!(m2.table().approx_same_contents(&e2, 1e-9), "pipeline 2 diverged");
+            assert!(run1.batches > 1, "pipeline 1 actually mini-batched");
+            assert_eq!(run2.fallback_batches, run2.batches, "pipeline 2 took the fallback");
+        });
+    }
+
+    /// An error (or worker panic) inside one pipeline's plans must not
+    /// corrupt or deadlock a concurrent pipeline on the same pool —
+    /// extending the PR 2 error-path tests to the shared-queue world.
+    #[test]
+    fn failure_in_one_pipeline_leaves_the_other_exact() {
+        let db = db();
+        let pool = Arc::new(WorkerPool::new(2));
+        let healthy = BatchPipeline::on_pool(pool.clone());
+        let view = MaterializedView::create("v", visit_view(), &db).unwrap();
+        let deltas = log_stream(&db, 500);
+        let expected = view.recompute_fresh(&db, &deltas).unwrap();
+
+        std::thread::scope(|s| {
+            let pool_err = pool.clone();
+            let broken = s.spawn(move || {
+                // A doomed batch: missing leaf (error path) …
+                let b = Bindings::new();
+                let err = pool_err.evaluate_plans(&[Plan::scan("missing")], &b);
+                // … and a panicking morsel session (panic path).
+                let panicked = pool_err.submit(6, &|i, _w| {
+                    if i == 2 {
+                        panic!("injected morsel panic");
+                    }
+                });
+                (err, panicked)
+            });
+            let maintained = s.spawn(|| {
+                let mut v = view.clone();
+                healthy.maintain(&db, &mut v, &deltas, 60).map(|_| v)
+            });
+            let (err, panicked) = broken.join().expect("broken thread must not unwind");
+            assert!(err.is_err(), "missing leaf must error");
+            assert!(panicked.is_err(), "panicked session must error");
+            let v = maintained.join().expect("healthy pipeline panicked").unwrap();
+            assert!(
+                v.table().approx_same_contents(&expected, 1e-9),
+                "the healthy pipeline must stay exact despite the sick neighbor"
+            );
+        });
+        // The pool survives both failures for the next maintenance round.
+        let mut v = view.clone();
+        healthy.maintain(&db, &mut v, &deltas, 60).unwrap();
+        assert!(v.table().approx_same_contents(&expected, 1e-9));
+    }
+
+    /// `morsel_size` changes scheduling only, never results: fallback and
+    /// merge plans produce the same tables with and without it.
+    #[test]
+    fn morsel_size_is_result_invariant() {
+        let db = db();
+        let deltas = log_stream(&db, 400);
+        let view = MaterializedView::create("v", visit_view(), &db).unwrap();
+        let expected = view.recompute_fresh(&db, &deltas).unwrap();
+        for morsel in [Some(1), Some(33), Some(usize::MAX), None] {
+            let mut pipeline = BatchPipeline::new(2);
+            pipeline.morsel_size = morsel;
+            let mut v = view.clone();
+            pipeline.maintain(&db, &mut v, &deltas, 80).unwrap();
+            assert!(
+                v.table().approx_same_contents(&expected, 1e-9),
+                "morsel_size {morsel:?} changed the maintenance result"
+            );
+        }
     }
 
     #[test]

@@ -134,6 +134,20 @@ impl MaterializedView {
         deltas: &Deltas,
         est: Option<&dyn svc_relalg::optimizer::CardEstimator>,
     ) -> Result<PlanKind> {
+        self.maintain_with_mode(db, deltas, est, svc_relalg::exec::ExecMode::sequential())
+    }
+
+    /// [`MaterializedView::maintain_with`] with an execution mode: when the
+    /// mode carries a morsel scheduler (e.g. `svc-cluster`'s `WorkerPool`),
+    /// the compiled maintenance plan runs morsel-parallel — base and delta
+    /// scans split into row ranges, γ group maps merge at the barrier.
+    pub fn maintain_with_mode(
+        &mut self,
+        db: &Database,
+        deltas: &Deltas,
+        est: Option<&dyn svc_relalg::optimizer::CardEstimator>,
+        mode: svc_relalg::exec::ExecMode<'_>,
+    ) -> Result<PlanKind> {
         let info = DeltaInfo::of(deltas);
         let cat = MaintCatalog {
             db,
@@ -147,7 +161,7 @@ impl MaterializedView {
         let compiled = svc_relalg::exec::compile_with(&plan, &cat, est)?;
         let new_table = {
             let bindings = maintenance_bindings(db, deltas, &self.table);
-            compiled.run(&bindings)?
+            compiled.run_with(&bindings, mode)?
         };
         self.table = new_table;
         Ok(kind)

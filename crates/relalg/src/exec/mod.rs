@@ -29,19 +29,87 @@
 //! compiles its per-partition change plans once per partitioning epoch and
 //! reruns them across batches (`svc-cluster`'s `BatchPipeline`).
 
+mod batch;
 pub mod compile;
 pub mod pipeline;
 mod run;
 
-use svc_storage::{Result, Table};
+use std::fmt;
+
+use svc_storage::{Result, StorageError, Table};
 
 use crate::derive::{Derived, LeafProvider};
 use crate::eval::Bindings;
 use crate::optimizer::cost::CardEstimator;
 use crate::plan::Plan;
 
+pub use batch::fresh_batch_count;
 pub use compile::{JoinRight, LeafRef, Node};
 pub use pipeline::{FusedOp, RowSink};
+
+/// Something that can execute a batch of independent morsel tasks —
+/// typically `svc-cluster`'s `WorkerPool`, whose shared work queue
+/// interleaves morsels from concurrent plans across one set of worker
+/// threads. Implementations must run every index in `0..n` exactly once
+/// (concurrently or not) before returning, and should catch task panics,
+/// reporting them as an `Err` instead of unwinding into unrelated work.
+pub trait MorselScheduler: Sync {
+    /// Execute tasks `0..n` to completion.
+    fn run_tasks(&self, n: usize, task: &(dyn Fn(usize) + Sync)) -> Result<()>;
+}
+
+/// Runs every morsel inline on the calling thread — the no-pool fallback,
+/// and the degenerate point of the parallel-vs-sequential equivalence
+/// matrix (`tests/morsel_prop.rs`).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SequentialScheduler;
+
+impl MorselScheduler for SequentialScheduler {
+    fn run_tasks(&self, n: usize, task: &(dyn Fn(usize) + Sync)) -> Result<()> {
+        for i in 0..n {
+            task(i);
+        }
+        Ok(())
+    }
+}
+
+/// How a compiled plan executes: sequentially on the calling thread
+/// (default), or morsel-parallel on a scheduler. A copyable knob so the
+/// higher layers (`MaterializedView::maintain_with_mode`,
+/// `SvcView::clean_sample_with_mode`, `BatchPipeline`) can thread one
+/// execution policy through their hot paths.
+#[derive(Clone, Copy, Default)]
+pub struct ExecMode<'a> {
+    sched: Option<&'a dyn MorselScheduler>,
+    morsel: usize,
+}
+
+impl<'a> ExecMode<'a> {
+    /// Sequential execution on the calling thread.
+    pub fn sequential() -> ExecMode<'static> {
+        ExecMode { sched: None, morsel: 0 }
+    }
+
+    /// Morsel-parallel execution on `sched` with `morsel_size` rows per
+    /// morsel.
+    pub fn morsel(sched: &'a dyn MorselScheduler, morsel_size: usize) -> ExecMode<'a> {
+        ExecMode { sched: Some(sched), morsel: morsel_size }
+    }
+
+    /// True when a scheduler is attached.
+    pub fn is_parallel(&self) -> bool {
+        self.sched.is_some()
+    }
+}
+
+impl fmt::Debug for ExecMode<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.sched {
+            Some(_) => write!(f, "ExecMode::Morsel({})", self.morsel),
+            None => write!(f, "ExecMode::Sequential"),
+        }
+    }
+}
 
 /// A compiled, reusable physical plan. `Send + Sync`: worker pools share
 /// one compiled plan across threads.
@@ -58,6 +126,37 @@ impl PhysicalPlan {
     pub fn run(&self, bindings: &Bindings<'_>) -> Result<Table> {
         let rows = run::run_node(&self.root, bindings)?;
         run::finish_root(&self.root, &self.out, rows)
+    }
+
+    /// Evaluate morsel-parallel: base scans split into `morsel_size`-row
+    /// ranges, one fused pass runs per morsel on the scheduler, join
+    /// morsels probe a build side constructed once, and per-morsel γ group
+    /// maps merge at the pipeline barrier. The result — including output
+    /// order at the keyed root — is a function of the morsel size only,
+    /// never of the scheduler's thread count or interleaving; it matches
+    /// [`PhysicalPlan::run`] exactly up to float-sum rounding (partial sums
+    /// per morsel combine at the barrier).
+    pub fn run_parallel(
+        &self,
+        bindings: &Bindings<'_>,
+        sched: &dyn MorselScheduler,
+        morsel_size: usize,
+    ) -> Result<Table> {
+        if morsel_size == 0 {
+            return Err(StorageError::Invalid("morsel_size must be at least 1".into()));
+        }
+        let par = run::Par { sched, morsel: morsel_size };
+        let rows = run::run_node_par(&self.root, bindings, &par)?;
+        run::finish_root(&self.root, &self.out, rows)
+    }
+
+    /// Dispatch on an [`ExecMode`]: [`PhysicalPlan::run`] when sequential,
+    /// [`PhysicalPlan::run_parallel`] when a scheduler is attached.
+    pub fn run_with(&self, bindings: &Bindings<'_>, mode: ExecMode<'_>) -> Result<Table> {
+        match mode.sched {
+            Some(sched) => self.run_parallel(bindings, sched, mode.morsel),
+            None => self.run(bindings),
+        }
     }
 
     /// The derived output type (schema + key) of the plan.
@@ -273,5 +372,66 @@ mod tests {
     fn missing_leaf_errors_at_compile_time() {
         let b = Bindings::new();
         assert!(compile(&Plan::scan("nope"), &b).is_err());
+    }
+
+    /// The batch-buffer pool contract: after a warm-up run, re-running a
+    /// compiled plan allocates at most ONE fresh batch buffer per run (the
+    /// root batch the output table keeps) — every intermediate breaker
+    /// batch is served from the per-thread pool. Without recycling this
+    /// plan allocates a buffer per breaker per run.
+    #[test]
+    fn rerunning_a_compiled_plan_reuses_batch_buffers() {
+        let db = video_db();
+        let b = Bindings::from_database(&db);
+        // Two shapes: join (pk-probe) → γ → σ, and a union over filtered
+        // scans — covering fused batches, breaker batches, and the set-op
+        // path through the pool.
+        let plans = [
+            visit_view().select(col("visits").gt(lit(1i64))),
+            Plan::scan("video")
+                .select(col("ownerId").lt(lit(3i64)))
+                .union(Plan::scan("video").select(col("ownerId").gt(lit(4i64)))),
+        ];
+        for plan in plans {
+            let compiled = compile(&plan, &b).unwrap();
+            let first = compiled.run(&b).unwrap();
+            for round in 0..5 {
+                let before = fresh_batch_count();
+                let out = compiled.run(&b).unwrap();
+                let allocs = fresh_batch_count() - before;
+                assert!(
+                    allocs <= 1,
+                    "warmed-up run {round} of {plan:?} must allocate at most the root batch, \
+                     got {allocs}"
+                );
+                assert!(out.same_contents(&first));
+            }
+        }
+    }
+
+    /// `run_parallel` with the inline scheduler is the sequential executor
+    /// with extra seams; results and output order must match exactly.
+    #[test]
+    fn inline_parallel_run_matches_run_exactly() {
+        let db = video_db();
+        let b = Bindings::from_database(&db);
+        for plan in [
+            visit_view(),
+            Plan::scan("log").select(col("videoId").lt(lit(20i64))).hash(
+                &["sessionId"],
+                0.4,
+                HashSpec::with_seed(9),
+            ),
+            Plan::scan("video")
+                .difference(Plan::scan("video").select(col("ownerId").eq(lit(2i64)))),
+        ] {
+            let compiled = compile(&plan, &b).unwrap();
+            let seq = compiled.run(&b).unwrap();
+            for morsel in [1, 13, usize::MAX] {
+                let par = compiled.run_parallel(&b, &SequentialScheduler, morsel).unwrap();
+                assert!(par.rows() == seq.rows(), "morsel {morsel} changed rows or order");
+                assert_eq!(par.schema(), seq.schema());
+            }
+        }
     }
 }

@@ -1,16 +1,34 @@
 //! Executing compiled nodes: streams for fused chains, `Vec<Row>` batches
 //! for breakers. No intermediate keyed [`Table`] is ever built — the
-//! plan root wraps the final batch exactly once.
+//! plan root wraps the final batch exactly once. Batch buffers come from
+//! the per-thread pool ([`super::batch`]) and consumed inputs are recycled
+//! into it, so re-running a compiled plan allocates almost nothing.
+//!
+//! Two drivers share the per-operator cores:
+//!
+//! * [`run_node`] — the sequential executor: one thread walks the tree.
+//! * [`run_node_par`] — the morsel-parallel executor: base scans and
+//!   probe/fused inputs split into row-range morsels that run on a
+//!   [`super::MorselScheduler`]; per-morsel outputs concatenate **in
+//!   morsel order** and per-morsel γ [`GroupMap`]s merge in morsel order
+//!   at the pipeline barrier, so the result — including output order at
+//!   the keyed root — is a function of the morsel size only, never of the
+//!   scheduler's thread count or interleaving.
 
-use svc_storage::{Result, Row, Table};
+use std::sync::Mutex;
+
+use svc_storage::{Result, Row, StorageError, Table};
 
 use crate::aggregate::GroupMap;
 use crate::eval::Bindings;
-use crate::join::{join_rows, join_rows_pk_probe};
-use crate::setops::{difference_rows, intersect_rows, union_rows};
+use crate::join::{join_rows_pk_probe_into, JoinBuild};
+use crate::plan::JoinKind;
+use crate::setops::{difference_rows_into, intersect_rows_into, union_rows_into};
 
+use super::batch;
 use super::compile::{JoinRight, Node};
 use super::pipeline::{feed_borrowed, feed_owned};
+use super::MorselScheduler;
 
 /// A node's output rows for read-only consumers (join build sides, set-op
 /// right inputs): a bare leaf scan lends the bound table's rows directly —
@@ -18,6 +36,15 @@ use super::pipeline::{feed_borrowed, feed_owned};
 enum Batch<'a> {
     Borrowed(&'a [Row]),
     Owned(Vec<Row>),
+}
+
+impl Batch<'_> {
+    /// Return an owned batch's buffer to the thread pool.
+    fn recycle(self) {
+        if let Batch::Owned(rows) = self {
+            batch::recycle(rows);
+        }
+    }
 }
 
 impl std::ops::Deref for Batch<'_> {
@@ -48,9 +75,11 @@ pub(super) fn run_node(node: &Node, b: &Bindings<'_>) -> Result<Vec<Row>> {
             if ops.is_empty() {
                 // Bare scan: every row survives; clone the rows, skip the
                 // per-row op dispatch.
-                t.rows().to_vec()
+                let mut out = batch::take(t.len());
+                out.extend_from_slice(t.rows());
+                out
             } else {
-                let mut out: Vec<Row> = Vec::new();
+                let mut out = batch::take(0);
                 for row in t.rows() {
                     feed_borrowed(row, ops, &mut out);
                 }
@@ -58,33 +87,43 @@ pub(super) fn run_node(node: &Node, b: &Bindings<'_>) -> Result<Vec<Row>> {
             }
         }
         Node::Fused { input, ops } => {
-            let rows = run_node(input, b)?;
-            let mut out: Vec<Row> = Vec::with_capacity(rows.len());
-            for row in rows {
+            let mut rows = run_node(input, b)?;
+            let mut out = batch::take(rows.len());
+            for row in rows.drain(..) {
                 feed_owned(row, ops, &mut out);
             }
+            batch::recycle(rows);
             out
         }
         Node::Join { left, right, kind, on_idx, pad_left, pad_right } => {
-            let lrows = run_node(left, b)?;
+            let mut lrows = run_node(left, b)?;
+            let left_cols: Vec<usize> = on_idx.iter().map(|&(l, _)| l).collect();
+            let mut out = batch::take(lrows.len());
             match right {
                 JoinRight::PkProbeLeaf(leaf) => {
                     let t = leaf.resolve(b)?;
-                    let left_cols: Vec<usize> = on_idx.iter().map(|&(l, _)| l).collect();
-                    join_rows_pk_probe(lrows, t, *kind, &left_cols, *pad_right)
+                    join_rows_pk_probe_into(&mut lrows, t, *kind, &left_cols, *pad_right, &mut out);
                 }
                 JoinRight::Build(rnode) => {
                     let rrows = run_node_ref(rnode, b)?;
-                    join_rows(lrows, &rrows, *kind, on_idx, *pad_left, *pad_right)
+                    let build = JoinBuild::new(&rrows, on_idx);
+                    let mut matched: Vec<u32> = Vec::new();
+                    build.probe(&mut lrows, *kind, &left_cols, *pad_right, &mut out, &mut matched);
+                    if matches!(kind, JoinKind::Right | JoinKind::Full) {
+                        build.emit_unmatched_right(&matched, *pad_left, &mut out);
+                    }
+                    rrows.recycle();
                 }
             }
+            batch::recycle(lrows);
+            out
         }
         Node::Aggregate { input, group_idx, aggs, groups_hint } => {
             let make = |input_len: usize| match groups_hint {
                 Some(h) => GroupMap::with_capacity(group_idx, aggs, *h),
                 None => GroupMap::with_input_len(group_idx, aggs, input_len),
             };
-            match &**input {
+            let gm = match &**input {
                 // γ over a fused scan: stream borrowed rows straight into
                 // the group map — the filtered input batch never exists.
                 Node::FusedScan { leaf, ops } => {
@@ -93,7 +132,7 @@ pub(super) fn run_node(node: &Node, b: &Bindings<'_>) -> Result<Vec<Row>> {
                     for row in t.rows() {
                         feed_borrowed(row, ops, &mut gm);
                     }
-                    gm.finish()
+                    gm
                 }
                 other => {
                     let rows = run_node(other, b)?;
@@ -101,23 +140,335 @@ pub(super) fn run_node(node: &Node, b: &Bindings<'_>) -> Result<Vec<Row>> {
                     for row in &rows {
                         gm.push(row);
                     }
-                    gm.finish()
+                    batch::recycle(rows);
+                    gm
                 }
-            }
+            };
+            let mut out = batch::take(gm.group_count());
+            gm.finish_into(&mut out);
+            out
         }
         Node::SetOp { kind, left, right } => {
-            let lrows = run_node(left, b)?;
+            let mut lrows = run_node(left, b)?;
+            let mut out = batch::take(lrows.len());
             match kind {
-                crate::derive::SetOpKind::Union => union_rows(lrows, run_node(right, b)?),
+                crate::derive::SetOpKind::Union => {
+                    let mut rrows = run_node(right, b)?;
+                    union_rows_into(&mut lrows, &mut rrows, &mut out);
+                    batch::recycle(rrows);
+                }
                 crate::derive::SetOpKind::Intersect => {
-                    intersect_rows(lrows, &run_node_ref(right, b)?)
+                    let rrows = run_node_ref(right, b)?;
+                    intersect_rows_into(&mut lrows, &rrows, &mut out);
+                    rrows.recycle();
                 }
                 crate::derive::SetOpKind::Difference => {
-                    difference_rows(lrows, &run_node_ref(right, b)?)
+                    let rrows = run_node_ref(right, b)?;
+                    difference_rows_into(&mut lrows, &rrows, &mut out);
+                    rrows.recycle();
+                }
+            }
+            batch::recycle(lrows);
+            out
+        }
+    })
+}
+
+/// Morsel-parallel execution context: the scheduler the morsel tasks run
+/// on and the rows-per-morsel split size.
+pub(super) struct Par<'e> {
+    pub sched: &'e dyn MorselScheduler,
+    pub morsel: usize,
+}
+
+/// Split `len` rows into morsel-sized `(lo, hi)` index ranges.
+fn ranges(len: usize, morsel: usize) -> Vec<(usize, usize)> {
+    let mut out = Vec::with_capacity(len.div_ceil(morsel));
+    let mut lo = 0;
+    while lo < len {
+        let hi = (lo + morsel).min(len);
+        out.push((lo, hi));
+        lo = hi;
+    }
+    out
+}
+
+/// Fan a morsel closure out over `n` tasks on the scheduler and collect the
+/// per-morsel results in morsel order. A scheduler failure (a panicked
+/// morsel) surfaces as the scheduler's error; individual morsel errors come
+/// back in index order.
+fn fan_out<T: Send>(
+    par: &Par<'_>,
+    n: usize,
+    f: &(dyn Fn(usize) -> Result<T> + Sync),
+) -> Result<Vec<T>> {
+    let slots: Vec<Mutex<Option<Result<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    par.sched.run_tasks(n, &|i| {
+        *slots[i].lock().expect("morsel slot poisoned") = Some(f(i));
+    })?;
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner().expect("morsel slot poisoned").unwrap_or_else(|| {
+                Err(StorageError::Invalid("morsel task was not executed".into()))
+            })
+        })
+        .collect()
+}
+
+/// Move a batch into morsel-sized owned chunks — rows are moved, never
+/// cloned — each behind a `Mutex` so exactly one morsel task takes it.
+fn owned_chunks(rows: Vec<Row>, morsel: usize) -> Vec<Mutex<Option<Vec<Row>>>> {
+    let mut chunks = Vec::with_capacity(rows.len().div_ceil(morsel));
+    let mut it = rows.into_iter();
+    loop {
+        let chunk: Vec<Row> = it.by_ref().take(morsel).collect();
+        if chunk.is_empty() {
+            break;
+        }
+        chunks.push(Mutex::new(Some(chunk)));
+    }
+    chunks
+}
+
+/// Take the chunk a morsel task owns.
+fn take_chunk(chunks: &[Mutex<Option<Vec<Row>>>], i: usize) -> Vec<Row> {
+    chunks[i].lock().expect("chunk poisoned").take().expect("chunk taken once")
+}
+
+/// Concatenate per-morsel batches in morsel order, recycling the drained
+/// buffers.
+fn concat(outs: Vec<Vec<Row>>) -> Vec<Row> {
+    let mut it = outs.into_iter();
+    let Some(mut all) = it.next() else {
+        return batch::take(0);
+    };
+    for mut v in it {
+        all.append(&mut v);
+        batch::recycle(v);
+    }
+    all
+}
+
+/// Run a node for a read-only consumer, children morsel-parallel.
+fn run_node_ref_par<'a>(node: &Node, b: &Bindings<'a>, par: &Par<'_>) -> Result<Batch<'a>> {
+    match node {
+        Node::FusedScan { leaf, ops } if ops.is_empty() => {
+            Ok(Batch::Borrowed(leaf.resolve(b)?.rows()))
+        }
+        other => Ok(Batch::Owned(run_node_par(other, b, par)?)),
+    }
+}
+
+/// Run a node morsel-parallel to a materialized row batch. Inputs at or
+/// below the morsel size fall back to the sequential core inline — the
+/// scheduler is only engaged where a split exists.
+pub(super) fn run_node_par(node: &Node, b: &Bindings<'_>, par: &Par<'_>) -> Result<Vec<Row>> {
+    match node {
+        Node::FusedScan { leaf, ops } => {
+            let t = leaf.resolve(b)?;
+            let rows = t.rows();
+            // A bare scan is a plain copy; splitting it buys nothing.
+            if ops.is_empty() || rows.len() <= par.morsel {
+                return run_node(node, b);
+            }
+            let rs = ranges(rows.len(), par.morsel);
+            let outs = fan_out(par, rs.len(), &|i| {
+                let (lo, hi) = rs[i];
+                let mut out = batch::take(0);
+                for row in &rows[lo..hi] {
+                    feed_borrowed(row, ops, &mut out);
+                }
+                Ok(out)
+            })?;
+            Ok(concat(outs))
+        }
+        Node::Fused { input, ops } => {
+            let mut rows = run_node_par(input, b, par)?;
+            if rows.len() <= par.morsel {
+                let mut out = batch::take(rows.len());
+                for row in rows.drain(..) {
+                    feed_owned(row, ops, &mut out);
+                }
+                batch::recycle(rows);
+                return Ok(out);
+            }
+            let chunks = owned_chunks(rows, par.morsel);
+            let outs = fan_out(par, chunks.len(), &|i| {
+                let mut chunk = take_chunk(&chunks, i);
+                let mut out = batch::take(chunk.len());
+                for row in chunk.drain(..) {
+                    feed_owned(row, ops, &mut out);
+                }
+                batch::recycle(chunk);
+                Ok(out)
+            })?;
+            Ok(concat(outs))
+        }
+        Node::Join { left, right, kind, on_idx, pad_left, pad_right } => {
+            let mut lrows = run_node_par(left, b, par)?;
+            let left_cols: Vec<usize> = on_idx.iter().map(|&(l, _)| l).collect();
+            match right {
+                JoinRight::PkProbeLeaf(leaf) => {
+                    let t = leaf.resolve(b)?;
+                    if lrows.len() <= par.morsel {
+                        let mut out = batch::take(lrows.len());
+                        join_rows_pk_probe_into(
+                            &mut lrows, t, *kind, &left_cols, *pad_right, &mut out,
+                        );
+                        batch::recycle(lrows);
+                        return Ok(out);
+                    }
+                    let chunks = owned_chunks(lrows, par.morsel);
+                    let outs = fan_out(par, chunks.len(), &|i| {
+                        let mut chunk = take_chunk(&chunks, i);
+                        let mut out = batch::take(chunk.len());
+                        join_rows_pk_probe_into(
+                            &mut chunk, t, *kind, &left_cols, *pad_right, &mut out,
+                        );
+                        batch::recycle(chunk);
+                        Ok(out)
+                    })?;
+                    Ok(concat(outs))
+                }
+                JoinRight::Build(rnode) => {
+                    // Build side constructed once; every morsel probes it
+                    // read-only.
+                    let rrows = run_node_ref_par(rnode, b, par)?;
+                    let build = JoinBuild::new(&rrows, on_idx);
+                    let mut out;
+                    let mut matched: Vec<u32> = Vec::new();
+                    if lrows.len() <= par.morsel {
+                        out = batch::take(lrows.len());
+                        build.probe(
+                            &mut lrows,
+                            *kind,
+                            &left_cols,
+                            *pad_right,
+                            &mut out,
+                            &mut matched,
+                        );
+                        batch::recycle(lrows);
+                    } else {
+                        let chunks = owned_chunks(lrows, par.morsel);
+                        let outs = fan_out(par, chunks.len(), &|i| {
+                            let mut chunk = take_chunk(&chunks, i);
+                            let mut rows = batch::take(chunk.len());
+                            let mut hit: Vec<u32> = Vec::new();
+                            build.probe(
+                                &mut chunk, *kind, &left_cols, *pad_right, &mut rows, &mut hit,
+                            );
+                            batch::recycle(chunk);
+                            Ok((rows, hit))
+                        })?;
+                        // Barrier: concatenate probe outputs in morsel
+                        // order and union the matched right indices.
+                        let mut batches = Vec::with_capacity(outs.len());
+                        for (rows, hit) in outs {
+                            batches.push(rows);
+                            matched.extend(hit);
+                        }
+                        out = concat(batches);
+                    }
+                    if matches!(kind, JoinKind::Right | JoinKind::Full) {
+                        build.emit_unmatched_right(&matched, *pad_left, &mut out);
+                    }
+                    drop(build);
+                    rrows.recycle();
+                    Ok(out)
                 }
             }
         }
-    })
+        Node::Aggregate { input, group_idx, aggs, groups_hint } => {
+            // Per-morsel group maps, merged in morsel order at the barrier
+            // (the group-map core accepts borrowed rows, so partial maps
+            // merge without re-hashing values).
+            let make = |len: usize| match groups_hint {
+                Some(h) => GroupMap::with_capacity(group_idx, aggs, (*h).min(len.max(8))),
+                None => GroupMap::with_input_len(group_idx, aggs, len),
+            };
+            let merged = match &**input {
+                Node::FusedScan { leaf, ops } => {
+                    let t = leaf.resolve(b)?;
+                    let rows = t.rows();
+                    if rows.len() <= par.morsel {
+                        return run_node(node, b);
+                    }
+                    let rs = ranges(rows.len(), par.morsel);
+                    let maps = fan_out(par, rs.len(), &|i| {
+                        let (lo, hi) = rs[i];
+                        let mut gm = make(hi - lo);
+                        for row in &rows[lo..hi] {
+                            feed_borrowed(row, ops, &mut gm);
+                        }
+                        Ok(gm)
+                    })?;
+                    merge_maps(maps)
+                }
+                other => {
+                    let rows = run_node_par(other, b, par)?;
+                    let merged = if rows.len() <= par.morsel {
+                        let mut gm = make(rows.len());
+                        for row in &rows {
+                            gm.push(row);
+                        }
+                        gm
+                    } else {
+                        let rs = ranges(rows.len(), par.morsel);
+                        let maps = fan_out(par, rs.len(), &|i| {
+                            let (lo, hi) = rs[i];
+                            let mut gm = make(hi - lo);
+                            for row in &rows[lo..hi] {
+                                gm.push(row);
+                            }
+                            Ok(gm)
+                        })?;
+                        merge_maps(maps)
+                    };
+                    batch::recycle(rows);
+                    merged
+                }
+            };
+            let mut out = batch::take(merged.group_count());
+            merged.finish_into(&mut out);
+            Ok(out)
+        }
+        Node::SetOp { kind, left, right } => {
+            // Children run morsel-parallel; the set operation itself is a
+            // driver-side pass (its global dedup set does not chunk).
+            let mut lrows = run_node_par(left, b, par)?;
+            let mut out = batch::take(lrows.len());
+            match kind {
+                crate::derive::SetOpKind::Union => {
+                    let mut rrows = run_node_par(right, b, par)?;
+                    union_rows_into(&mut lrows, &mut rrows, &mut out);
+                    batch::recycle(rrows);
+                }
+                crate::derive::SetOpKind::Intersect => {
+                    let rrows = run_node_ref_par(right, b, par)?;
+                    intersect_rows_into(&mut lrows, &rrows, &mut out);
+                    rrows.recycle();
+                }
+                crate::derive::SetOpKind::Difference => {
+                    let rrows = run_node_ref_par(right, b, par)?;
+                    difference_rows_into(&mut lrows, &rrows, &mut out);
+                    rrows.recycle();
+                }
+            }
+            batch::recycle(lrows);
+            Ok(out)
+        }
+    }
+}
+
+/// Merge per-morsel group maps in morsel order.
+fn merge_maps(maps: Vec<GroupMap<'_>>) -> GroupMap<'_> {
+    let mut it = maps.into_iter();
+    let mut base = it.next().expect("at least one morsel map");
+    for m in it {
+        base.merge(m);
+    }
+    base
 }
 
 /// Wrap the root batch into the output [`Table`], building the key index

@@ -30,12 +30,132 @@ pub fn pk_probe_applies(kind: JoinKind, right_cols: &[usize], right_key: &[usize
         && matches!(kind, JoinKind::Inner | JoinKind::Left | JoinKind::Semi | JoinKind::Anti)
 }
 
+/// The build side of a generic hash equi-join: constructed exactly once
+/// over the right input, then probed by any number of left-row chunks —
+/// sequentially by [`join_rows`], or concurrently by the morsel-parallel
+/// executor (probing is read-only, so `&JoinBuild` is shared across
+/// worker threads).
+pub struct JoinBuild<'r> {
+    right: &'r [Row],
+    right_cols: Vec<usize>,
+    /// Right row indices chained under the in-place key hash.
+    map: HashMap<u64, Vec<u32>>,
+}
+
+impl<'r> JoinBuild<'r> {
+    /// Hash-build over the right join columns — in place, no per-row
+    /// `KeyTuple`. Rows with NULL join keys never enter the map (SQL
+    /// semantics: they match nothing).
+    pub fn new(right: &'r [Row], on_idx: &[(usize, usize)]) -> JoinBuild<'r> {
+        let right_cols: Vec<usize> = on_idx.iter().map(|&(_, r)| r).collect();
+        let mut map: HashMap<u64, Vec<u32>> = HashMap::with_capacity(right.len());
+        for (i, row) in right.iter().enumerate() {
+            if !key_has_null(row, &right_cols) {
+                map.entry(KeyTuple::hash_of(row, &right_cols)).or_default().push(i as u32);
+            }
+        }
+        JoinBuild { right, right_cols, map }
+    }
+
+    /// Probe one chunk of left rows, draining them out of `left` (the
+    /// caller can recycle the emptied buffer) and appending joined rows to
+    /// `out` in left-row order. For `Right`/`Full` joins the matched right
+    /// row indices are appended to `matched` (duplicates allowed); the
+    /// caller merges the chunks' lists and emits the unmatched right rows
+    /// at the barrier via [`JoinBuild::emit_unmatched_right`].
+    pub fn probe(
+        &self,
+        left: &mut Vec<Row>,
+        kind: JoinKind,
+        left_cols: &[usize],
+        pad_right: usize,
+        out: &mut Vec<Row>,
+        matched: &mut Vec<u32>,
+    ) {
+        // Reused per probe: indices of right rows whose key columns
+        // actually equal the probe key (hash candidates minus collisions).
+        let mut matches: Vec<u32> = Vec::new();
+        for lrow in left.drain(..) {
+            matches.clear();
+            if !key_has_null(&lrow, left_cols) {
+                if let Some(chain) = self.map.get(&KeyTuple::hash_of(&lrow, left_cols)) {
+                    matches.extend(chain.iter().copied().filter(|&ri| {
+                        KeyTuple::cols_eq(
+                            &lrow,
+                            left_cols,
+                            &self.right[ri as usize],
+                            &self.right_cols,
+                        )
+                    }));
+                }
+            }
+            match kind {
+                JoinKind::Semi => {
+                    if !matches.is_empty() {
+                        out.push(lrow);
+                    }
+                }
+                JoinKind::Anti => {
+                    if matches.is_empty() {
+                        out.push(lrow);
+                    }
+                }
+                _ => match matches.split_last() {
+                    Some((last, rest)) => {
+                        // Clone the left row for all matches but the last,
+                        // which takes ownership.
+                        for &ri in rest {
+                            if matches!(kind, JoinKind::Full | JoinKind::Right) {
+                                matched.push(ri);
+                            }
+                            let mut row = lrow.clone();
+                            row.extend_from_slice(&self.right[ri as usize]);
+                            out.push(row);
+                        }
+                        if matches!(kind, JoinKind::Full | JoinKind::Right) {
+                            matched.push(*last);
+                        }
+                        let mut row = lrow;
+                        row.extend_from_slice(&self.right[*last as usize]);
+                        out.push(row);
+                    }
+                    None => {
+                        if matches!(kind, JoinKind::Left | JoinKind::Full) {
+                            let mut row = lrow;
+                            row.extend(std::iter::repeat_n(Value::Null, pad_right));
+                            out.push(row);
+                        }
+                    }
+                },
+            }
+        }
+    }
+
+    /// Emit the NULL-padded right rows no probe matched — the post-probe
+    /// barrier of `Right`/`Full` joins. `matched` is the union of the
+    /// per-chunk match lists from [`JoinBuild::probe`].
+    pub fn emit_unmatched_right(&self, matched: &[u32], pad_left: usize, out: &mut Vec<Row>) {
+        let mut right_matched = vec![false; self.right.len()];
+        for &ri in matched {
+            right_matched[ri as usize] = true;
+        }
+        for (ri, rrow) in self.right.iter().enumerate() {
+            // Rows with NULL join keys never entered the build map; they
+            // are unmatched by construction.
+            if !right_matched[ri] || key_has_null(rrow, &self.right_cols) {
+                let mut row: Row = std::iter::repeat_n(Value::Null, pad_left).collect();
+                row.extend_from_slice(rrow);
+                out.push(row);
+            }
+        }
+    }
+}
+
 /// Execute an equi-join over row batches. `left` is consumed so its rows
 /// move into the output; `right` is borrowed (its rows are cloned only into
 /// actual matches). `pad_left`/`pad_right` are the input arities, used to
-/// NULL-pad outer-join rows. The build side hashes the right join columns
-/// in place — no per-row `KeyTuple` — and probe candidates are verified by
-/// column equality.
+/// NULL-pad outer-join rows. One [`JoinBuild`] pass over the right side,
+/// one probe pass over the left.
 pub fn join_rows(
     left: Vec<Row>,
     right: &[Row],
@@ -45,84 +165,14 @@ pub fn join_rows(
     pad_right: usize,
 ) -> Vec<Row> {
     let left_cols: Vec<usize> = on_idx.iter().map(|&(l, _)| l).collect();
-    let right_cols: Vec<usize> = on_idx.iter().map(|&(_, r)| r).collect();
-
-    // Build side: right row indices chained under the in-place key hash.
-    let mut build: HashMap<u64, Vec<u32>> = HashMap::with_capacity(right.len());
-    for (i, row) in right.iter().enumerate() {
-        if !key_has_null(row, &right_cols) {
-            build.entry(KeyTuple::hash_of(row, &right_cols)).or_default().push(i as u32);
-        }
-    }
-
+    let build = JoinBuild::new(right, on_idx);
+    let mut left = left;
     let mut rows: Vec<Row> = Vec::new();
-    let mut right_matched = vec![false; right.len()];
-    // Reused per probe: indices of right rows whose key columns actually
-    // equal the probe key (hash candidates minus collisions).
-    let mut matches: Vec<u32> = Vec::new();
-
-    for lrow in left {
-        matches.clear();
-        if !key_has_null(&lrow, &left_cols) {
-            if let Some(chain) = build.get(&KeyTuple::hash_of(&lrow, &left_cols)) {
-                matches.extend(chain.iter().copied().filter(|&ri| {
-                    KeyTuple::cols_eq(&lrow, &left_cols, &right[ri as usize], &right_cols)
-                }));
-            }
-        }
-        match kind {
-            JoinKind::Semi => {
-                if !matches.is_empty() {
-                    rows.push(lrow);
-                }
-            }
-            JoinKind::Anti => {
-                if matches.is_empty() {
-                    rows.push(lrow);
-                }
-            }
-            _ => match matches.split_last() {
-                Some((last, rest)) => {
-                    // Clone the left row for all matches but the last,
-                    // which takes ownership.
-                    for &ri in rest {
-                        if matches!(kind, JoinKind::Full | JoinKind::Right) {
-                            right_matched[ri as usize] = true;
-                        }
-                        let mut row = lrow.clone();
-                        row.extend_from_slice(&right[ri as usize]);
-                        rows.push(row);
-                    }
-                    if matches!(kind, JoinKind::Full | JoinKind::Right) {
-                        right_matched[*last as usize] = true;
-                    }
-                    let mut row = lrow;
-                    row.extend_from_slice(&right[*last as usize]);
-                    rows.push(row);
-                }
-                None => {
-                    if matches!(kind, JoinKind::Left | JoinKind::Full) {
-                        let mut row = lrow;
-                        row.extend(std::iter::repeat_n(Value::Null, pad_right));
-                        rows.push(row);
-                    }
-                }
-            },
-        }
-    }
-
+    let mut matched: Vec<u32> = Vec::new();
+    build.probe(&mut left, kind, &left_cols, pad_right, &mut rows, &mut matched);
     if matches!(kind, JoinKind::Right | JoinKind::Full) {
-        for (ri, rrow) in right.iter().enumerate() {
-            // Rows with NULL join keys never entered the build map; they
-            // are unmatched by construction.
-            if !right_matched[ri] || key_has_null(rrow, &right_cols) {
-                let mut row: Row = std::iter::repeat_n(Value::Null, pad_left).collect();
-                row.extend_from_slice(rrow);
-                rows.push(row);
-            }
-        }
+        build.emit_unmatched_right(&matched, pad_left, &mut rows);
     }
-
     rows
 }
 
@@ -139,9 +189,27 @@ pub fn join_rows_pk_probe(
     left_cols: &[usize],
     pad_right: usize,
 ) -> Vec<Row> {
+    let mut left = left;
     let mut rows: Vec<Row> = Vec::new();
+    join_rows_pk_probe_into(&mut left, right, kind, left_cols, pad_right, &mut rows);
+    rows
+}
+
+/// [`join_rows_pk_probe`] draining `left` into a caller-provided output
+/// buffer: the per-chunk core shared by the sequential executor (which
+/// recycles the emptied left buffer) and the morsel-parallel executor
+/// (which probes chunks concurrently — each probe only reads the right
+/// table's index).
+pub fn join_rows_pk_probe_into(
+    left: &mut Vec<Row>,
+    right: &Table,
+    kind: JoinKind,
+    left_cols: &[usize],
+    pad_right: usize,
+    rows: &mut Vec<Row>,
+) {
     let mut probe = KeyTuple(Vec::with_capacity(left_cols.len()));
-    for lrow in left {
+    for lrow in left.drain(..) {
         let partner = if key_has_null(&lrow, left_cols) {
             None
         } else {
@@ -178,7 +246,6 @@ pub fn join_rows_pk_probe(
             JoinKind::Right | JoinKind::Full => unreachable!("generic path handles outer joins"),
         }
     }
-    rows
 }
 
 /// Execute an equi-join between materialized tables. The left input is

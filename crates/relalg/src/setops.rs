@@ -16,44 +16,65 @@ use crate::derive::Derived;
 /// Union core: all distinct rows from both inputs, moved into the output;
 /// only the dedup set pays a clone per distinct row.
 pub fn union_rows(left: Vec<Row>, right: Vec<Row>) -> Vec<Row> {
+    let mut left = left;
+    let mut right = right;
+    let mut rows = Vec::with_capacity(left.len() + right.len());
+    union_rows_into(&mut left, &mut right, &mut rows);
+    rows
+}
+
+/// [`union_rows`] draining both inputs into a caller-provided output
+/// buffer, so the streaming executor can recycle all three batch buffers.
+pub fn union_rows_into(left: &mut Vec<Row>, right: &mut Vec<Row>, rows: &mut Vec<Row>) {
     let cap = left.len() + right.len();
     let mut seen: HashSet<Row> = HashSet::with_capacity(cap);
-    let mut rows = Vec::with_capacity(cap);
-    for row in left.into_iter().chain(right) {
+    rows.reserve(cap);
+    for row in left.drain(..).chain(right.drain(..)) {
         if !seen.contains(&row) {
             seen.insert(row.clone());
             rows.push(row);
         }
     }
-    rows
 }
 
 /// Intersection core: distinct left rows present in the right input.
 pub fn intersect_rows(left: Vec<Row>, right: &[Row]) -> Vec<Row> {
+    let mut left = left;
+    let mut rows = Vec::new();
+    intersect_rows_into(&mut left, right, &mut rows);
+    rows
+}
+
+/// [`intersect_rows`] draining `left` into a caller-provided buffer.
+pub fn intersect_rows_into(left: &mut Vec<Row>, right: &[Row], rows: &mut Vec<Row>) {
     let right_set: HashSet<&Row> = right.iter().collect();
     let mut seen: HashSet<Row> = HashSet::new();
-    let mut rows = Vec::new();
-    for row in left {
+    for row in left.drain(..) {
         if right_set.contains(&row) && !seen.contains(&row) {
             seen.insert(row.clone());
             rows.push(row);
         }
     }
-    rows
 }
 
 /// Difference core: distinct left rows not present in the right input.
 pub fn difference_rows(left: Vec<Row>, right: &[Row]) -> Vec<Row> {
+    let mut left = left;
+    let mut rows = Vec::new();
+    difference_rows_into(&mut left, right, &mut rows);
+    rows
+}
+
+/// [`difference_rows`] draining `left` into a caller-provided buffer.
+pub fn difference_rows_into(left: &mut Vec<Row>, right: &[Row], rows: &mut Vec<Row>) {
     let right_set: HashSet<&Row> = right.iter().collect();
     let mut seen: HashSet<Row> = HashSet::new();
-    let mut rows = Vec::new();
-    for row in left {
+    for row in left.drain(..) {
         if !right_set.contains(&row) && !seen.contains(&row) {
             seen.insert(row.clone());
             rows.push(row);
         }
     }
-    rows
 }
 
 /// Union: all distinct rows from both inputs.

@@ -8,6 +8,9 @@
 
 use proptest::prelude::*;
 
+mod generators;
+use generators::{build_db, plan_variant, random_deltas};
+
 use stale_view_cleaning::cluster::minibatch::BatchPipeline;
 use stale_view_cleaning::ivm::view::{maintenance_bindings, MaterializedView};
 use stale_view_cleaning::relalg::aggregate::{AggFunc, AggSpec};
@@ -16,150 +19,7 @@ use stale_view_cleaning::relalg::exec::compile;
 use stale_view_cleaning::relalg::optimizer::optimize;
 use stale_view_cleaning::relalg::plan::{JoinKind, Plan};
 use stale_view_cleaning::relalg::scalar::{col, lit};
-use stale_view_cleaning::storage::{DataType, Database, Deltas, HashSpec, Schema, Table, Value};
-
-fn build_db(n_facts: usize, n_dims: usize, data_seed: u64) -> Database {
-    let mut s = data_seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
-    let mut next = move || {
-        s ^= s << 13;
-        s ^= s >> 7;
-        s ^= s << 17;
-        s
-    };
-    let mut db = Database::new();
-    let mut dim = Table::new(
-        Schema::from_pairs(&[
-            ("dimId", DataType::Int),
-            ("weight", DataType::Float),
-            ("tag", DataType::Int),
-        ])
-        .unwrap(),
-        &["dimId"],
-    )
-    .unwrap();
-    for i in 0..n_dims as i64 {
-        dim.insert(vec![
-            Value::Int(i),
-            Value::Float((next() % 100) as f64 / 100.0),
-            Value::Int((next() % 5) as i64),
-        ])
-        .unwrap();
-    }
-    let mut fact = Table::new(
-        Schema::from_pairs(&[
-            ("factId", DataType::Int),
-            ("dimId", DataType::Int),
-            ("x", DataType::Float),
-            ("y", DataType::Float),
-        ])
-        .unwrap(),
-        &["factId"],
-    )
-    .unwrap();
-    for i in 0..n_facts as i64 {
-        fact.insert(vec![
-            Value::Int(i),
-            Value::Int((next() % n_dims as u64) as i64),
-            Value::Float((next() % 1000) as f64 / 1000.0),
-            Value::Float((next() % 500) as f64 / 100.0),
-        ])
-        .unwrap();
-    }
-    db.create_table("dim", dim);
-    db.create_table("fact", fact);
-    db
-}
-
-/// Plan shapes exercising every operator the executor lowers: fused σ/Π/η
-/// chains, FK joins (PK-probe), non-key joins (hash build), outer joins,
-/// aggregates over fused scans, and set operations.
-fn plan_variant(variant: u8) -> Plan {
-    match variant % 8 {
-        0 => Plan::scan("fact")
-            .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")])
-            .select(col("x").gt(lit(0.3)).and(col("weight").lt(lit(0.8)))),
-        1 => Plan::scan("fact")
-            .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")])
-            .aggregate(
-                &["dimId"],
-                vec![AggSpec::count_all("n"), AggSpec::new("sx", AggFunc::Sum, col("x"))],
-            )
-            .select(col("n").gt(lit(1i64)).and(col("dimId").lt(lit(10i64)))),
-        2 => Plan::scan("fact")
-            .project(vec![
-                ("factId", col("factId")),
-                ("dimId", col("dimId")),
-                ("x2", col("x").mul(lit(2.0))),
-            ])
-            .select(col("x2").gt(lit(0.5))),
-        3 => Plan::scan("fact")
-            .select(col("x").lt(lit(0.7)))
-            .union(Plan::scan("fact").select(col("x").ge(lit(0.4))))
-            .select(col("dimId").lt(lit(6i64))),
-        4 => Plan::scan("fact")
-            .join(Plan::scan("dim"), JoinKind::Left, &[("dimId", "dimId")])
-            .select(col("y").gt(lit(1.0)).and(col("weight").gt(lit(0.1)))),
-        5 => Plan::scan("fact")
-            .select(col("dimId").lt(lit(8i64)))
-            .difference(Plan::scan("fact").select(col("x").gt(lit(0.8))))
-            .select(col("y").lt(lit(4.0))),
-        6 => Plan::scan("fact")
-            .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")])
-            .aggregate(&["dimId", "tag"], vec![AggSpec::new("sy", AggFunc::Sum, col("y"))])
-            .project(vec![("dimId", col("dimId")), ("tag", col("tag")), ("sy", col("sy"))]),
-        _ => Plan::scan("fact")
-            .join(Plan::scan("dim"), JoinKind::Full, &[("dimId", "dimId")])
-            .select(col("x").gt(lit(0.2)).or(col("weight").gt(lit(0.5)))),
-    }
-}
-
-fn random_deltas(db: &Database, ops: &[(u8, u64)]) -> Deltas {
-    let mut deltas = Deltas::new();
-    let n_facts = db.table("fact").unwrap().len() as i64;
-    let n_dims = db.table("dim").unwrap().len() as i64;
-    let mut next_fact = 1_000_000i64;
-    for &(op, r) in ops {
-        match op % 3 {
-            0 => {
-                deltas
-                    .insert(
-                        db,
-                        "fact",
-                        vec![
-                            Value::Int(next_fact),
-                            Value::Int((r % n_dims as u64) as i64),
-                            Value::Float((r % 100) as f64 / 100.0),
-                            Value::Float((r % 77) as f64 / 10.0),
-                        ],
-                    )
-                    .unwrap();
-                next_fact += 1;
-            }
-            1 => {
-                let id = (r % n_facts as u64) as i64;
-                let _ = deltas.delete(
-                    db,
-                    "fact",
-                    &vec![Value::Int(id), Value::Null, Value::Null, Value::Null],
-                );
-            }
-            _ => {
-                let id = (r % n_facts as u64) as i64;
-                let _ = deltas.update(
-                    db,
-                    "fact",
-                    vec![
-                        Value::Int(id),
-                        Value::Int(((r / 7) % n_dims as u64) as i64),
-                        Value::Float((r % 91) as f64 / 91.0),
-                        Value::Float((r % 13) as f64),
-                    ],
-                );
-            }
-        }
-    }
-    deltas
-}
+use stale_view_cleaning::storage::{DataType, Database, HashSpec, Schema, Table, Value};
 
 /// Regression: `BatchPipeline` compiles each per-partition plan set at
 /// most once per partitioning epoch, recompiles after a repartition, and
@@ -206,6 +66,81 @@ fn batch_pipeline_cache_survives_repartitions_exactly() {
         "repartition must invalidate the compiled-plan cache"
     );
     assert!(v3.table().approx_same_contents(&expected, 1e-9), "post-repartition diverged");
+}
+
+/// Regression (ROADMAP item): a base-schema change between maintenance
+/// calls must *invalidate* the compiled-plan cache — recompiling against
+/// the new shapes — instead of the cached plans failing leaf validation
+/// forever. Combined with a repartition to cover the interacting epochs.
+#[test]
+fn batch_pipeline_recompiles_on_base_schema_change() {
+    let db = build_db(300, 10, 5);
+    let view_def = Plan::scan("fact")
+        .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")])
+        .aggregate(
+            &["dimId"],
+            vec![AggSpec::count_all("n"), AggSpec::new("sx", AggFunc::Sum, col("x"))],
+        );
+    let view = MaterializedView::create("v", view_def, &db).unwrap();
+    let ops: Vec<(u8, u64)> = (0..120u64).map(|i| (0u8, i * 37 + 5)).collect();
+    let deltas = random_deltas(&db, &ops);
+
+    let mut pipeline = BatchPipeline::new(2);
+    let mut v = view.clone();
+    pipeline.maintain(&db, &mut v, &deltas, 40).unwrap();
+    let warm_compiles = pipeline.plan_compiles();
+    assert!(warm_compiles >= 1);
+    assert!(v.table().approx_same_contents(&view.recompute_fresh(&db, &deltas).unwrap(), 1e-9));
+
+    // The `dim` base table gains a trailing column: same name, new schema.
+    // The view definition still derives (columns are resolved by name), but
+    // every cached compiled plan's `dim` leaf is now shape-invalid.
+    let mut db2 = Database::new();
+    db2.create_table("fact", db.table("fact").unwrap().clone());
+    let old_dim = db.table("dim").unwrap();
+    let mut dim2 = Table::new(
+        Schema::from_pairs(&[
+            ("dimId", DataType::Int),
+            ("weight", DataType::Float),
+            ("tag", DataType::Int),
+            ("extra", DataType::Int),
+        ])
+        .unwrap(),
+        &["dimId"],
+    )
+    .unwrap();
+    for row in old_dim.rows() {
+        let mut r = row.clone();
+        r.push(Value::Int(7));
+        dim2.insert(r).unwrap();
+    }
+    db2.create_table("dim", dim2);
+
+    let deltas2 = random_deltas(&db2, &ops);
+    let expected2 = view.recompute_fresh(&db2, &deltas2).unwrap();
+    let mut v2 = view.clone();
+    pipeline
+        .maintain(&db2, &mut v2, &deltas2, 40)
+        .expect("schema change must recompile, not fail leaf validation");
+    assert!(
+        pipeline.plan_compiles() > warm_compiles,
+        "the schema change must key to a fresh compiled-plan entry"
+    );
+    assert!(v2.table().approx_same_contents(&expected2, 1e-9), "post-schema-change diverged");
+
+    // Repartition on top of the schema change: a second new epoch, still
+    // exact, still served by exactly one more compile per signature.
+    pipeline.partitions = 5;
+    let mut v3 = view.clone();
+    pipeline.maintain(&db2, &mut v3, &deltas2, 40).unwrap();
+    assert!(v3.table().approx_same_contents(&expected2, 1e-9), "post-repartition diverged");
+
+    // And flipping back to the original database keys back to (cached or
+    // fresh) plans for the old shapes — no cross-contamination.
+    pipeline.partitions = 4;
+    let mut v4 = view.clone();
+    pipeline.maintain(&db, &mut v4, &deltas, 40).unwrap();
+    assert!(v4.table().approx_same_contents(&view.recompute_fresh(&db, &deltas).unwrap(), 1e-9));
 }
 
 proptest! {

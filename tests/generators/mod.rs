@@ -1,0 +1,153 @@
+//! Shared randomized-workload generators for the executor equivalence
+//! harnesses (`tests/exec_prop.rs`, `tests/morsel_prop.rs`): a snowflake
+//! fact/dim database, plan shapes covering every operator the executor
+//! lowers, and signed delta streams. One copy, so both harnesses always
+//! test the same plan space.
+
+use stale_view_cleaning::relalg::aggregate::{AggFunc, AggSpec};
+use stale_view_cleaning::relalg::plan::{JoinKind, Plan};
+use stale_view_cleaning::relalg::scalar::{col, lit};
+use stale_view_cleaning::storage::{DataType, Database, Deltas, Schema, Table, Value};
+
+pub fn build_db(n_facts: usize, n_dims: usize, data_seed: u64) -> Database {
+    let mut s = data_seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut db = Database::new();
+    let mut dim = Table::new(
+        Schema::from_pairs(&[
+            ("dimId", DataType::Int),
+            ("weight", DataType::Float),
+            ("tag", DataType::Int),
+        ])
+        .unwrap(),
+        &["dimId"],
+    )
+    .unwrap();
+    for i in 0..n_dims as i64 {
+        dim.insert(vec![
+            Value::Int(i),
+            Value::Float((next() % 100) as f64 / 100.0),
+            Value::Int((next() % 5) as i64),
+        ])
+        .unwrap();
+    }
+    let mut fact = Table::new(
+        Schema::from_pairs(&[
+            ("factId", DataType::Int),
+            ("dimId", DataType::Int),
+            ("x", DataType::Float),
+            ("y", DataType::Float),
+        ])
+        .unwrap(),
+        &["factId"],
+    )
+    .unwrap();
+    for i in 0..n_facts as i64 {
+        fact.insert(vec![
+            Value::Int(i),
+            Value::Int((next() % n_dims as u64) as i64),
+            Value::Float((next() % 1000) as f64 / 1000.0),
+            Value::Float((next() % 500) as f64 / 100.0),
+        ])
+        .unwrap();
+    }
+    db.create_table("dim", dim);
+    db.create_table("fact", fact);
+    db
+}
+
+/// Plan shapes exercising every operator the executor lowers: fused σ/Π/η
+/// chains, FK joins (PK-probe), non-key joins (hash build), outer joins,
+/// aggregates over fused scans, and set operations.
+pub fn plan_variant(variant: u8) -> Plan {
+    match variant % 8 {
+        0 => Plan::scan("fact")
+            .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")])
+            .select(col("x").gt(lit(0.3)).and(col("weight").lt(lit(0.8)))),
+        1 => Plan::scan("fact")
+            .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")])
+            .aggregate(
+                &["dimId"],
+                vec![AggSpec::count_all("n"), AggSpec::new("sx", AggFunc::Sum, col("x"))],
+            )
+            .select(col("n").gt(lit(1i64)).and(col("dimId").lt(lit(10i64)))),
+        2 => Plan::scan("fact")
+            .project(vec![
+                ("factId", col("factId")),
+                ("dimId", col("dimId")),
+                ("x2", col("x").mul(lit(2.0))),
+            ])
+            .select(col("x2").gt(lit(0.5))),
+        3 => Plan::scan("fact")
+            .select(col("x").lt(lit(0.7)))
+            .union(Plan::scan("fact").select(col("x").ge(lit(0.4))))
+            .select(col("dimId").lt(lit(6i64))),
+        4 => Plan::scan("fact")
+            .join(Plan::scan("dim"), JoinKind::Left, &[("dimId", "dimId")])
+            .select(col("y").gt(lit(1.0)).and(col("weight").gt(lit(0.1)))),
+        5 => Plan::scan("fact")
+            .select(col("dimId").lt(lit(8i64)))
+            .difference(Plan::scan("fact").select(col("x").gt(lit(0.8))))
+            .select(col("y").lt(lit(4.0))),
+        6 => Plan::scan("fact")
+            .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")])
+            .aggregate(&["dimId", "tag"], vec![AggSpec::new("sy", AggFunc::Sum, col("y"))])
+            .project(vec![("dimId", col("dimId")), ("tag", col("tag")), ("sy", col("sy"))]),
+        _ => Plan::scan("fact")
+            .join(Plan::scan("dim"), JoinKind::Full, &[("dimId", "dimId")])
+            .select(col("x").gt(lit(0.2)).or(col("weight").gt(lit(0.5)))),
+    }
+}
+
+pub fn random_deltas(db: &Database, ops: &[(u8, u64)]) -> Deltas {
+    let mut deltas = Deltas::new();
+    let n_facts = db.table("fact").unwrap().len() as i64;
+    let n_dims = db.table("dim").unwrap().len() as i64;
+    let mut next_fact = 1_000_000i64;
+    for &(op, r) in ops {
+        match op % 3 {
+            0 => {
+                deltas
+                    .insert(
+                        db,
+                        "fact",
+                        vec![
+                            Value::Int(next_fact),
+                            Value::Int((r % n_dims as u64) as i64),
+                            Value::Float((r % 100) as f64 / 100.0),
+                            Value::Float((r % 77) as f64 / 10.0),
+                        ],
+                    )
+                    .unwrap();
+                next_fact += 1;
+            }
+            1 => {
+                let id = (r % n_facts as u64) as i64;
+                let _ = deltas.delete(
+                    db,
+                    "fact",
+                    &vec![Value::Int(id), Value::Null, Value::Null, Value::Null],
+                );
+            }
+            _ => {
+                let id = (r % n_facts as u64) as i64;
+                let _ = deltas.update(
+                    db,
+                    "fact",
+                    vec![
+                        Value::Int(id),
+                        Value::Int(((r / 7) % n_dims as u64) as i64),
+                        Value::Float((r % 91) as f64 / 91.0),
+                        Value::Float((r % 13) as f64),
+                    ],
+                );
+            }
+        }
+    }
+    deltas
+}

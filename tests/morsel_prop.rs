@@ -1,0 +1,233 @@
+//! The parallel-vs-sequential equivalence harness for morsel-parallel
+//! execution: for randomized databases, plan shapes (reusing the
+//! `exec_prop.rs` generators), and signed maintenance workloads,
+//! `PhysicalPlan::run_parallel` across a matrix of worker counts {1, 2, 4}
+//! and morsel sizes {1, 7, 64, whole-table} must agree with the sequential
+//! `run()` **row for row and in output order** — exactly on every
+//! non-float column, and up to float-sum rounding on aggregate columns
+//! (per-morsel partial sums combine at the γ barrier). Independent of the
+//! rounding caveat, the parallel result must be *bit-identical across
+//! worker counts* for a fixed morsel size: the morsel decomposition and
+//! the barrier merge order are functions of the morsel size only, never of
+//! scheduler interleaving.
+
+use proptest::prelude::*;
+
+mod generators;
+use generators::{build_db, plan_variant, random_deltas};
+
+use stale_view_cleaning::cluster::executor::WorkerPool;
+use stale_view_cleaning::ivm::view::{maintenance_bindings, MaterializedView};
+use stale_view_cleaning::relalg::aggregate::{AggFunc, AggSpec};
+use stale_view_cleaning::relalg::eval::Bindings;
+use stale_view_cleaning::relalg::exec::{compile, MorselScheduler, SequentialScheduler};
+use stale_view_cleaning::relalg::optimizer::optimize;
+use stale_view_cleaning::relalg::plan::{JoinKind, Plan};
+use stale_view_cleaning::relalg::scalar::{col, lit};
+use stale_view_cleaning::storage::{HashSpec, Table, Value};
+
+/// The morsel-size axis of the matrix (whole-table = one morsel covers any
+/// input, so every node takes its sequential inline path).
+const MORSELS: [usize; 4] = [1, 7, 64, usize::MAX];
+
+/// Row-for-row, in-order comparison with float tolerance on the values —
+/// the "row-set identical including deterministic output ordering at the
+/// keyed root" check. `Table::same_contents` is order-insensitive; this is
+/// deliberately stricter.
+fn approx_same_rows_in_order(a: &Table, b: &Table, eps: f64) -> bool {
+    fn value_close(x: &Value, y: &Value, eps: f64) -> bool {
+        match (x.as_f64(), y.as_f64()) {
+            (Some(p), Some(q)) => {
+                let scale = p.abs().max(q.abs()).max(1.0);
+                (p - q).abs() <= eps * scale
+            }
+            _ => x == y,
+        }
+    }
+    a.schema() == b.schema()
+        && a.key() == b.key()
+        && a.len() == b.len()
+        && a.rows()
+            .iter()
+            .zip(b.rows())
+            .all(|(ra, rb)| ra.iter().zip(rb).all(|(x, y)| value_close(x, y, eps)))
+}
+
+/// Assert the full matrix for one compiled plan under one binding set:
+/// sequential `run()` as the oracle, `run_parallel` across schedulers ×
+/// morsel sizes, bit-identical across schedulers for a fixed morsel size.
+fn assert_matrix(
+    compiled: &stale_view_cleaning::relalg::exec::PhysicalPlan,
+    bindings: &Bindings<'_>,
+    pools: &[WorkerPool],
+    label: &str,
+) {
+    let sequential = compiled.run(bindings).unwrap();
+    for &morsel in &MORSELS {
+        // The inline scheduler anchors the morsel decomposition; pools of
+        // every worker count must reproduce it bit for bit.
+        let anchor = compiled.run_parallel(bindings, &SequentialScheduler, morsel).unwrap();
+        assert!(
+            approx_same_rows_in_order(&anchor, &sequential, 1e-9),
+            "{label}: morsel {morsel} diverged from sequential in rows or order \
+             ({} vs {} rows)",
+            anchor.len(),
+            sequential.len()
+        );
+        if morsel == usize::MAX {
+            // One morsel covers everything: the result must be *exactly*
+            // the sequential one, float bits included.
+            assert!(
+                anchor.rows() == sequential.rows(),
+                "{label}: whole-table morsel must be bitwise sequential"
+            );
+        }
+        for pool in pools {
+            let par = compiled.run_parallel(bindings, pool, morsel).unwrap();
+            assert!(
+                par.rows() == anchor.rows() && par.schema() == anchor.schema(),
+                "{label}: morsel {morsel} on {} workers differs from the inline \
+                 decomposition — thread count leaked into the result",
+                pool.workers()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Query-shaped plans (optionally η-wrapped, optionally optimized):
+    /// the full worker-count × morsel-size matrix against sequential run().
+    #[test]
+    fn morsel_execution_matches_sequential_on_query_plans(
+        n_facts in 30usize..150,
+        n_dims in 4usize..16,
+        variant in 0u8..8,
+        hashed in 0u8..2,
+        optimized in 0u8..2,
+        ratio in 0.1f64..0.9,
+        seed in 0u64..500,
+        data_seed in 0u64..200,
+    ) {
+        let db = build_db(n_facts, n_dims, data_seed);
+        let mut plan = plan_variant(variant);
+        if hashed == 1 {
+            let derived = stale_view_cleaning::relalg::derive::derive(&plan, &db).unwrap();
+            let key: Vec<String> =
+                derived.key_names().iter().map(|s| s.to_string()).collect();
+            if !key.is_empty() {
+                let key_refs: Vec<&str> = key.iter().map(|s| s.as_str()).collect();
+                plan = plan.hash(&key_refs, ratio, HashSpec::with_seed(seed));
+            }
+        }
+        if optimized == 1 {
+            plan = optimize(&plan, &db).unwrap().0;
+        }
+        let b = Bindings::from_database(&db);
+        let compiled = compile(&plan, &b).unwrap();
+        let pools = [WorkerPool::new(1), WorkerPool::new(2), WorkerPool::new(4)];
+        assert_matrix(&compiled, &b, &pools, &format!("variant {variant}"));
+    }
+
+    /// Maintenance-strategy plans from svc-ivm (signed change tables,
+    /// delta-apply, recompute), evaluated under maintenance bindings: the
+    /// path `BatchPipeline` and `MaterializedView::maintain` run through.
+    #[test]
+    fn morsel_execution_matches_sequential_on_maintenance_plans(
+        n_facts in 40usize..120,
+        n_dims in 4usize..12,
+        view_kind in 0u8..3,
+        ops in proptest::collection::vec((0u8..3, 0u64..1_000_000), 1..50),
+        data_seed in 0u64..200,
+    ) {
+        let db = build_db(n_facts, n_dims, data_seed);
+        let view_def = match view_kind % 3 {
+            // Change-table strategy (additive aggregate).
+            0 => Plan::scan("fact")
+                .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")])
+                .aggregate(
+                    &["dimId"],
+                    vec![
+                        AggSpec::count_all("n"),
+                        AggSpec::new("avgx", AggFunc::Avg, col("x")),
+                    ],
+                ),
+            // Delta-apply strategy (SPJ view).
+            1 => Plan::scan("fact")
+                .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")])
+                .select(col("weight").gt(lit(0.2))),
+            // Recompute strategy (nested aggregate).
+            _ => Plan::scan("fact")
+                .aggregate(&["dimId"], vec![AggSpec::count_all("c")])
+                .aggregate(&["c"], vec![AggSpec::count_all("n")]),
+        };
+        let view = MaterializedView::create("v", view_def, &db).unwrap();
+        let deltas = random_deltas(&db, &ops);
+        let (plan, _kind) = view.build_maintenance_plan(&db, &deltas).unwrap();
+        let (plan, _) =
+            optimize(&plan, &maintenance_bindings(&db, &deltas, view.table())).unwrap();
+
+        let bindings = maintenance_bindings(&db, &deltas, view.table());
+        let compiled = compile(&plan, &bindings).unwrap();
+        let pools = [WorkerPool::new(1), WorkerPool::new(2), WorkerPool::new(4)];
+        assert_matrix(&compiled, &bindings, &pools, &format!("view kind {view_kind}"));
+    }
+}
+
+/// Fixed-input determinism: re-running the same parallel configuration is
+/// reproducible, and interleaving two concurrent parallel runs on one pool
+/// does not change either result.
+#[test]
+fn parallel_execution_is_reproducible_and_interleaving_safe() {
+    let db = build_db(600, 12, 7);
+    let plan = Plan::scan("fact")
+        .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")])
+        .aggregate(
+            &["tag"],
+            vec![AggSpec::new("sx", AggFunc::Sum, col("x")), AggSpec::count_all("n")],
+        );
+    let b = Bindings::from_database(&db);
+    let compiled = compile(&plan, &b).unwrap();
+    let pool = WorkerPool::new(4);
+
+    let once = compiled.run_parallel(&b, &pool, 37).unwrap();
+    let again = compiled.run_parallel(&b, &pool, 37).unwrap();
+    assert!(once.rows() == again.rows(), "same morsel size must be bit-for-bit reproducible");
+
+    // Two threads hammer the same pool with the same plan: the shared
+    // queue interleaves their morsels, results stay bit-identical.
+    std::thread::scope(|s| {
+        let handles: Vec<_> =
+            (0..2).map(|_| s.spawn(|| compiled.run_parallel(&b, &pool, 37).unwrap())).collect();
+        for h in handles {
+            let out = h.join().unwrap();
+            assert!(out.rows() == once.rows(), "interleaved run diverged");
+        }
+    });
+}
+
+/// Zero morsel size is rejected, not looped on.
+#[test]
+fn zero_morsel_size_is_rejected() {
+    let db = build_db(50, 5, 1);
+    let b = Bindings::from_database(&db);
+    let compiled = compile(&Plan::scan("fact"), &b).unwrap();
+    assert!(compiled.run_parallel(&b, &SequentialScheduler, 0).is_err());
+}
+
+/// The scheduler trait object is what `ExecMode` carries; make sure the
+/// mode dispatches to the parallel path end to end.
+#[test]
+fn exec_mode_dispatches_to_parallel() {
+    use stale_view_cleaning::relalg::exec::ExecMode;
+    let db = build_db(200, 8, 3);
+    let b = Bindings::from_database(&db);
+    let plan = Plan::scan("fact").select(col("x").gt(lit(0.5)));
+    let compiled = compile(&plan, &b).unwrap();
+    let pool = WorkerPool::new(2);
+    let seq = compiled.run_with(&b, ExecMode::sequential()).unwrap();
+    let sched: &dyn MorselScheduler = &pool;
+    let par = compiled.run_with(&b, ExecMode::morsel(sched, 16)).unwrap();
+    assert!(par.rows() == seq.rows());
+}
