@@ -102,13 +102,17 @@ pub struct BatchPipeline {
     /// merge plan — execute morsel-parallel on the shared pool
     /// (`PhysicalPlan::run_parallel`), their scans split into row ranges
     /// that interleave with other sessions' tasks on the shared queue.
+    /// `Some(0)` means "morsel-parallel, size auto-tuned": the size is
+    /// derived per plan from the attached catalog's row counts (or the
+    /// live tables when no catalog is attached), targeting ~64k values
+    /// per column chunk ([`svc_relalg::exec::auto_morsel_size`]).
     /// Per-partition change plans keep their inter-plan fan-out (many
     /// small plans already saturate the pool).
     pub morsel_size: Option<usize>,
     /// Compiled per-partition change plans, cached across batches and
     /// `maintain` calls. Shared by clones (same pipeline, same cache);
-    /// entries are keyed by the partitioning-epoch knobs and dropped when
-    /// the attached catalog changes — see [`CompileCache`].
+    /// entries are keyed by the partitioning-epoch knobs and the attached
+    /// catalog's identity — see [`CompileCache`].
     cache: Arc<Mutex<CompileCache>>,
 }
 
@@ -118,20 +122,24 @@ pub struct BatchPipeline {
 /// partition count and optimizer toggle (the *partitioning epoch* knobs —
 /// a repartition therefore never sees stale plans, it simply keys to a
 /// fresh entry and recompiles exactly once), the canonical view plan and
-/// stale type, and the batch's chunk signature (chunk count and, per
-/// chunk, which tables have pending insertions/deletions). Keying rather
-/// than clearing also lets two live pipeline clones with different knobs
-/// share the cache without thrashing each other.
-///
-/// The statistics catalog is the one input handled by identity instead:
-/// the cache *holds* the `Arc<Catalog>` its entries were optimized under
-/// (holding it keeps the allocation alive, so `Arc::ptr_eq` cannot be
-/// fooled by address reuse) and drops every entry when a different catalog
-/// is attached — cached join orders may reflect the old statistics.
+/// stale type, the batch's chunk signature (chunk count and, per chunk,
+/// which tables have pending insertions/deletions), and the statistics
+/// catalog the entry was optimized under — by *identity*, since cached
+/// join orders reflect that catalog's statistics. Keying rather than
+/// clearing lets two live pipeline clones with different knobs — or
+/// different catalogs — share the cache without thrashing each other. (An
+/// earlier revision held a single catalog and flushed every entry when a
+/// different one showed up; two clones attached to different catalogs
+/// then wiped each other's entries on every lookup and recompiled every
+/// batch forever.)
 #[derive(Debug, Default)]
 struct CompileCache {
-    catalog: Option<Arc<Catalog>>,
-    entries: HashMap<String, Arc<Vec<PhysicalPlan>>>,
+    /// Catalogs with live entries, retained so the address component of
+    /// entry keys stays unambiguous: a dropped catalog's allocation can
+    /// never be recycled into a new catalog that false-hits old entries.
+    catalogs: Vec<Arc<Catalog>>,
+    /// Compiled plan sets, keyed by catalog identity then plan-set key.
+    entries: HashMap<usize, HashMap<String, Arc<Vec<PhysicalPlan>>>>,
     /// Total plan-set compilations performed (test/diagnostics hook).
     compiles: usize,
 }
@@ -141,30 +149,20 @@ struct CompileCache {
 /// the cap is crude but safe — everything recompiles at most once after.
 const COMPILE_CACHE_CAP: usize = 64;
 
-impl CompileCache {
-    /// Drop every entry if `catalog` is not the one the cache was filled
-    /// under. Called under the lock by both lookup and store: the lock is
-    /// released during compilation, so the store must re-validate.
-    fn sync_catalog(&mut self, catalog: &Option<Arc<Catalog>>) {
-        let same = match (&self.catalog, catalog) {
-            (None, None) => true,
-            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
-            _ => false,
-        };
-        if !same {
-            self.entries.clear();
-            self.catalog = catalog.clone();
-        }
-    }
+/// The identity token of a catalog binding: the `Arc` allocation address,
+/// or 0 for "no catalog" (never a valid allocation address).
+fn catalog_token(catalog: &Option<Arc<Catalog>>) -> usize {
+    catalog.as_ref().map_or(0, |c| Arc::as_ptr(c) as usize)
+}
 
+impl CompileCache {
     /// The entry for `key` under the caller's catalog.
     fn lookup(
         &mut self,
         catalog: &Option<Arc<Catalog>>,
         key: &str,
     ) -> Option<Arc<Vec<PhysicalPlan>>> {
-        self.sync_catalog(catalog);
-        self.entries.get(key).cloned()
+        self.entries.get(&catalog_token(catalog))?.get(key).cloned()
     }
 
     /// Insert a freshly compiled plan set.
@@ -174,11 +172,16 @@ impl CompileCache {
         key: String,
         plans: Arc<Vec<PhysicalPlan>>,
     ) {
-        self.sync_catalog(catalog);
-        if self.entries.len() >= COMPILE_CACHE_CAP {
+        if self.entries.values().map(HashMap::len).sum::<usize>() >= COMPILE_CACHE_CAP {
             self.entries.clear();
+            self.catalogs.clear();
         }
-        self.entries.insert(key, plans);
+        if let Some(c) = catalog {
+            if !self.catalogs.iter().any(|held| Arc::ptr_eq(held, c)) {
+                self.catalogs.push(c.clone());
+            }
+        }
+        self.entries.entry(catalog_token(catalog)).or_default().insert(key, plans);
         self.compiles += 1;
     }
 }
@@ -213,6 +216,44 @@ impl BatchPipeline {
     pub fn with_catalog(mut self, catalog: Arc<Catalog>) -> BatchPipeline {
         self.catalog = Some(catalog);
         self
+    }
+
+    /// Resolve the configured [`BatchPipeline::morsel_size`] for one plan
+    /// run over `leaves` (plus, optionally, the stale view the plan also
+    /// scans): `None` stays sequential, an explicit size passes through,
+    /// and `Some(0)` derives a size from the catalog's row counts —
+    /// falling back to the live tables when no catalog is attached — via
+    /// [`svc_relalg::exec::auto_morsel_size`] on the largest input.
+    fn resolved_morsel(
+        &self,
+        db: &Database,
+        leaves: &[&str],
+        stale: Option<&svc_storage::Table>,
+    ) -> Option<usize> {
+        let morsel = self.morsel_size?;
+        if morsel != 0 {
+            return Some(morsel);
+        }
+        let mut best = (0usize, 1usize);
+        let mut note = |rows: usize, width: usize| {
+            if rows > best.0 {
+                best = (rows, width);
+            }
+        };
+        for leaf in leaves {
+            match self.catalog.as_deref().and_then(|c| c.stats(leaf)) {
+                Some(s) => note(s.rows as usize, s.schema.len()),
+                None => {
+                    if let Ok(t) = db.table(leaf) {
+                        note(t.len(), t.schema().len());
+                    }
+                }
+            }
+        }
+        if let Some(t) = stale {
+            note(t.len(), t.schema().len());
+        }
+        Some(svc_relalg::exec::auto_morsel_size(best.0, best.1))
     }
 
     /// How many batch-plan sets this pipeline has compiled so far — the
@@ -292,7 +333,9 @@ impl BatchPipeline {
             let est = scoped.as_ref().map(|s| s.estimator());
             let est: Option<&dyn svc_relalg::optimizer::CardEstimator> =
                 est.as_ref().map(|e| e as &dyn svc_relalg::optimizer::CardEstimator);
-            let result = if let Some(morsel) = self.morsel_size {
+            let result = if let Some(morsel) =
+                self.resolved_morsel(db, &canonical.plan.leaf_tables(), Some(view.table()))
+            {
                 let optimized = if self.optimize_plans {
                     match est {
                         Some(e) => optimize_with(&plan, &cat, e)?.0,
@@ -401,7 +444,9 @@ impl BatchPipeline {
                 let mut mb = Bindings::new();
                 mb.bind(STALE_LEAF, &current);
                 mb.bind(CHANGE_LEAF, change);
-                match self.morsel_size {
+                // The merge plan's inputs are the stale view and one change
+                // table; the view dominates, so it sizes the morsels.
+                match self.resolved_morsel(db, &[], Some(&current)) {
                     Some(morsel) => merge.run_parallel(&mb, self.pool.as_ref(), morsel)?,
                     None => merge.run(&mb)?,
                 }
@@ -1000,15 +1045,21 @@ mod tests {
     }
 
     /// `morsel_size` changes scheduling only, never results: fallback and
-    /// merge plans produce the same tables with and without it.
+    /// merge plans produce the same tables with and without it — including
+    /// `Some(0)`, the catalog-derived auto-tuned size.
     #[test]
     fn morsel_size_is_result_invariant() {
         let db = db();
         let deltas = log_stream(&db, 400);
         let view = MaterializedView::create("v", visit_view(), &db).unwrap();
         let expected = view.recompute_fresh(&db, &deltas).unwrap();
-        for morsel in [Some(1), Some(33), Some(usize::MAX), None] {
+        for morsel in [Some(0), Some(1), Some(33), Some(usize::MAX), None] {
             let mut pipeline = BatchPipeline::new(2);
+            if morsel == Some(0) {
+                // Auto-tuning should read row counts off the catalog when
+                // one is attached (and off the live tables otherwise).
+                pipeline = pipeline.with_catalog(Arc::new(Catalog::build(&db)));
+            }
             pipeline.morsel_size = morsel;
             let mut v = view.clone();
             pipeline.maintain(&db, &mut v, &deltas, 80).unwrap();

@@ -1,0 +1,781 @@
+//! Vectorized operator kernels over column slices.
+//!
+//! Each fused-pipeline operator has a columnar counterpart ([`VecOp`]):
+//! filters compile to [`ColPred`] kernels that refine a [`SelVec`] with
+//! typed constant-vs-column and column-vs-column loops, projections become
+//! per-output-column loops ([`MapPlan`]), and η hashes key columns through
+//! [`svc_storage::HashState`] straight from typed storage. Expression
+//! shapes with no fast path keep exact row semantics via a scratch-row
+//! fallback to [`BoundExpr`] evaluation.
+//!
+//! **Equivalence is the contract.** Every kernel reproduces the row-at-a-
+//! time semantics bit for bit: comparisons coerce numerics through `f64`
+//! `total_cmp` exactly like `eval_cmp` (cross-type pairs order by type
+//! rank), arithmetic replicates `eval_arith` including the
+//! compute-in-`f64`-then-narrow integer path, NULL propagates identically,
+//! and the η byte stream matches [`Value::canonical_bytes`]. The property
+//! harnesses (`tests/exec_prop.rs`) hold the two executors to row-for-row
+//! equality.
+//!
+//! Numeric columns additionally carry zone maps (`total_cmp` min/max —
+//! the same typed bounds the statistics catalog tracks), letting a
+//! constant-vs-column kernel skip scanning a slice that can never, or must
+//! always, satisfy its comparison.
+
+use std::cmp::Ordering;
+
+use svc_storage::{
+    normalize01, Column, ColumnData, ColumnSet, DataType, HashSpec, HashState, Row, Value,
+};
+
+use crate::scalar::{BinOp, BoundExpr};
+
+use super::selection::SelVec;
+
+/// One vectorized operator; mirrors `FusedOp` position by position.
+#[derive(Debug, Clone)]
+pub enum VecOp {
+    /// σ: refine the selection vector.
+    Filter(ColPred),
+    /// Π: rebuild the chunk's columns from output expressions.
+    Map(MapPlan),
+    /// η: keep rows whose key columns hash under the ratio.
+    Hash {
+        /// Key column positions in the incoming chunk shape.
+        key_idx: Vec<usize>,
+        /// Sampling ratio `m`.
+        ratio: f64,
+        /// Seeded hash function.
+        spec: HashSpec,
+    },
+}
+
+/// A compiled columnar predicate.
+#[derive(Debug, Clone)]
+pub enum ColPred {
+    /// `col <op> literal` (or the flipped literal-vs-column form).
+    CmpColLit {
+        /// Column position.
+        col: usize,
+        /// Comparison operator (literal on the right).
+        op: BinOp,
+        /// The literal.
+        lit: Value,
+    },
+    /// `col <op> col`.
+    CmpColCol {
+        /// Left column position.
+        left: usize,
+        /// Comparison operator.
+        op: BinOp,
+        /// Right column position.
+        right: usize,
+    },
+    /// `col IS NULL` / `NOT (col IS NULL)`.
+    IsNull {
+        /// Column position.
+        col: usize,
+        /// True for the `NOT` form (keep non-null rows).
+        negated: bool,
+    },
+    /// Conjunction: children refine the selection in sequence.
+    And(Vec<ColPred>),
+    /// Disjunction: evaluated per row (a row survives if either side
+    /// matches — equivalent to Kleene OR under `matches` semantics).
+    Or(Box<ColPred>, Box<ColPred>),
+    /// No fast path: gather the row and run the bound expression.
+    Row(BoundExpr),
+}
+
+/// True for the six comparison operators.
+fn is_cmp(op: BinOp) -> bool {
+    matches!(op, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
+}
+
+/// Mirror a comparison across its operands (`lit < col` ⇔ `col > lit`).
+fn flip(op: BinOp) -> BinOp {
+    match op {
+        BinOp::Lt => BinOp::Gt,
+        BinOp::Le => BinOp::Ge,
+        BinOp::Gt => BinOp::Lt,
+        BinOp::Ge => BinOp::Le,
+        other => other,
+    }
+}
+
+/// Does `op` hold for an ordering?
+#[inline]
+fn cmp_keeps(op: BinOp, ord: Ordering) -> bool {
+    match op {
+        BinOp::Eq => ord.is_eq(),
+        BinOp::Ne => ord.is_ne(),
+        BinOp::Lt => ord.is_lt(),
+        BinOp::Le => ord.is_le(),
+        BinOp::Gt => ord.is_gt(),
+        BinOp::Ge => ord.is_ge(),
+        _ => unreachable!("cmp_keeps on non-comparison operator"),
+    }
+}
+
+/// `eval_cmp` on two non-scratch values, as a predicate: false on NULL,
+/// `f64` `total_cmp` for numeric pairs, type-rank total order otherwise.
+#[inline]
+fn value_cmp_matches(op: BinOp, l: &Value, r: &Value) -> bool {
+    if l.is_null() || r.is_null() {
+        return false;
+    }
+    let ord = match (l.as_f64(), r.as_f64()) {
+        (Some(a), Some(b)) => a.total_cmp(&b),
+        _ => l.cmp(r),
+    };
+    cmp_keeps(op, ord)
+}
+
+/// Compile a bound predicate into a columnar kernel. Always succeeds:
+/// shapes with no fast path become [`ColPred::Row`], which keeps exact
+/// row semantics through scratch-row evaluation.
+pub fn compile_pred(e: &BoundExpr) -> ColPred {
+    match e {
+        BoundExpr::Binary { op, left, right } if is_cmp(*op) => match (&**left, &**right) {
+            (BoundExpr::Col(c), BoundExpr::Lit(v)) => {
+                ColPred::CmpColLit { col: *c, op: *op, lit: v.clone() }
+            }
+            (BoundExpr::Lit(v), BoundExpr::Col(c)) => {
+                ColPred::CmpColLit { col: *c, op: flip(*op), lit: v.clone() }
+            }
+            (BoundExpr::Col(a), BoundExpr::Col(b)) => {
+                ColPred::CmpColCol { left: *a, op: *op, right: *b }
+            }
+            _ => ColPred::Row(e.clone()),
+        },
+        // `matches(AND)` ⇔ both children match and `matches(OR)` ⇔ either
+        // child matches, even under Kleene three-valued evaluation — NULL
+        // and non-boolean results never satisfy `matches` on either side.
+        BoundExpr::Binary { op: BinOp::And, left, right } => {
+            let mut ps = Vec::new();
+            flatten_and(left, &mut ps);
+            flatten_and(right, &mut ps);
+            // Conjunct refinement is set intersection — the surviving
+            // selection is order-free — so typed kernels run first: any
+            // row-fallback conjunct then gathers only the rows the
+            // kernels already kept.
+            let (mut kernels, fallbacks): (Vec<_>, Vec<_>) =
+                ps.into_iter().partition(ColPred::has_kernel);
+            kernels.extend(fallbacks);
+            ColPred::And(kernels)
+        }
+        BoundExpr::Binary { op: BinOp::Or, left, right } => {
+            ColPred::Or(Box::new(compile_pred(left)), Box::new(compile_pred(right)))
+        }
+        BoundExpr::IsNull(inner) => match &**inner {
+            BoundExpr::Col(c) => ColPred::IsNull { col: *c, negated: false },
+            _ => ColPred::Row(e.clone()),
+        },
+        // General NOT needs three-valued logic (NOT NULL = NULL) → row
+        // fallback; NOT(col IS NULL) is two-valued and keeps a kernel.
+        BoundExpr::Not(inner) => match &**inner {
+            BoundExpr::IsNull(nested) => match &**nested {
+                BoundExpr::Col(c) => ColPred::IsNull { col: *c, negated: true },
+                _ => ColPred::Row(e.clone()),
+            },
+            _ => ColPred::Row(e.clone()),
+        },
+        _ => ColPred::Row(e.clone()),
+    }
+}
+
+impl ColPred {
+    /// True when applying this predicate reads column slices directly;
+    /// false when it must gather every candidate row into the scratch
+    /// buffer for interpreted evaluation ([`ColPred::Row`], or an `Or`
+    /// with a row-fallback arm).
+    pub fn has_kernel(&self) -> bool {
+        match self {
+            ColPred::CmpColLit { .. } | ColPred::CmpColCol { .. } | ColPred::IsNull { .. } => true,
+            // Conjuncts are ordered kernels-first at compile time, so the
+            // chain has a kernel iff its first conjunct does.
+            ColPred::And(ps) => ps.first().is_some_and(ColPred::has_kernel),
+            ColPred::Or(a, b) => a.has_kernel() && b.has_kernel(),
+            ColPred::Row(_) => false,
+        }
+    }
+}
+
+impl VecOp {
+    /// True when this op, as the *leading* op of a fused chain, makes the
+    /// columnar drive worthwhile — it must touch column slices while the
+    /// selection is still dense. A leading row-fallback filter gathers
+    /// every input row the row path already has, and a leading map
+    /// re-materializes every column before anything filters; both lose to
+    /// the row path, so chains they lead stay row-based.
+    pub fn profitable(&self) -> bool {
+        match self {
+            VecOp::Filter(p) => p.has_kernel(),
+            VecOp::Map(_) => false,
+            VecOp::Hash { .. } => true,
+        }
+    }
+}
+
+fn flatten_and(e: &BoundExpr, out: &mut Vec<ColPred>) {
+    match e {
+        BoundExpr::Binary { op: BinOp::And, left, right } => {
+            flatten_and(left, out);
+            flatten_and(right, out);
+        }
+        other => out.push(compile_pred(other)),
+    }
+}
+
+/// Zone-map verdict for a constant-vs-column comparison.
+enum ZoneHit {
+    /// No non-null row can match: clear the selection without scanning.
+    NoneMatch,
+    /// Every non-null row matches: skip the scan if the column has no
+    /// NULLs.
+    AllMatch,
+    /// The bounds straddle the literal; scan normally.
+    Scan,
+}
+
+/// Decide a comparison against a numeric column purely from its zone map
+/// (`total_cmp` min/max of the non-null values widened to `f64`).
+fn zone_check(op: BinOp, lo: f64, hi: f64, lit: f64) -> ZoneHit {
+    let lo_l = lo.total_cmp(&lit);
+    let hi_l = hi.total_cmp(&lit);
+    let (all, none) = match op {
+        BinOp::Lt => (hi_l.is_lt(), lo_l.is_ge()),
+        BinOp::Le => (hi_l.is_le(), lo_l.is_gt()),
+        BinOp::Gt => (lo_l.is_gt(), hi_l.is_le()),
+        BinOp::Ge => (lo_l.is_ge(), hi_l.is_lt()),
+        BinOp::Eq => (lo_l.is_eq() && hi_l.is_eq(), lo_l.is_gt() || hi_l.is_lt()),
+        BinOp::Ne => (lo_l.is_gt() || hi_l.is_lt(), lo_l.is_eq() && hi_l.is_eq()),
+        _ => (false, false),
+    };
+    if none {
+        ZoneHit::NoneMatch
+    } else if all {
+        ZoneHit::AllMatch
+    } else {
+        ZoneHit::Scan
+    }
+}
+
+/// NULL test against a column's validity mask, inlined for the hot loops.
+#[inline]
+fn live(valid: Option<&[bool]>, i: usize) -> bool {
+    valid.is_none_or(|m| m[i])
+}
+
+impl ColPred {
+    /// Refine `sel` to the rows matching this predicate.
+    pub fn apply(&self, cols: &ColumnSet, sel: &mut SelVec, scratch: &mut Row) {
+        match self {
+            ColPred::CmpColLit { col, op, lit } => {
+                let c = &cols.cols[*col];
+                if lit.is_null() {
+                    // eval_cmp(_, NULL) is NULL for every row: nothing
+                    // matches.
+                    sel.clear();
+                    return;
+                }
+                // Zone-map short-circuit: decide the whole slice from the
+                // column's min/max when the bounds are conclusive.
+                if let (Some((lo, hi)), Some(lv)) = (c.zone, lit.as_f64()) {
+                    match zone_check(*op, lo, hi, lv) {
+                        ZoneHit::NoneMatch => {
+                            sel.clear();
+                            return;
+                        }
+                        ZoneHit::AllMatch if !c.has_nulls() => return,
+                        _ => {}
+                    }
+                }
+                let valid = c.valid.as_deref();
+                match (&c.data, lit.as_f64()) {
+                    (ColumnData::Int(xs), Some(lv)) => {
+                        sel.retain(|i| {
+                            live(valid, i) && cmp_keeps(*op, (xs[i] as f64).total_cmp(&lv))
+                        });
+                    }
+                    (ColumnData::Float(xs), Some(lv)) => {
+                        sel.retain(|i| live(valid, i) && cmp_keeps(*op, xs[i].total_cmp(&lv)));
+                    }
+                    (ColumnData::Str(xs), _) if matches!(lit, Value::Str(_)) => {
+                        let s = lit.as_str().expect("checked Str");
+                        sel.retain(|i| live(valid, i) && cmp_keeps(*op, xs[i].as_ref().cmp(s)));
+                    }
+                    (ColumnData::Bool(xs), _) if matches!(lit, Value::Bool(_)) => {
+                        let bv = matches!(lit, Value::Bool(true));
+                        sel.retain(|i| live(valid, i) && cmp_keeps(*op, xs[i].cmp(&bv)));
+                    }
+                    (ColumnData::Mixed(vs), _) => {
+                        sel.retain(|i| value_cmp_matches(*op, &vs[i], lit));
+                    }
+                    (data, _) => {
+                        // Typed column vs a literal of a different,
+                        // non-coercible type: every non-null cell compares
+                        // by type rank, so the verdict is constant.
+                        let repr = match data {
+                            ColumnData::Int(_) => Value::Int(0),
+                            ColumnData::Float(_) => Value::Float(0.0),
+                            ColumnData::Bool(_) => Value::Bool(false),
+                            ColumnData::Str(_) => Value::str(""),
+                            ColumnData::Mixed(_) => unreachable!("mixed handled above"),
+                        };
+                        if value_cmp_matches(*op, &repr, lit) {
+                            if c.has_nulls() {
+                                sel.retain(|i| live(valid, i));
+                            }
+                        } else {
+                            sel.clear();
+                        }
+                    }
+                }
+            }
+            ColPred::CmpColCol { left, op, right } => {
+                let (lc, rc) = (&cols.cols[*left], &cols.cols[*right]);
+                let (lv, rv) = (lc.valid.as_deref(), rc.valid.as_deref());
+                match (&lc.data, &rc.data) {
+                    (ColumnData::Int(a), ColumnData::Int(b)) => sel.retain(|i| {
+                        live(lv, i)
+                            && live(rv, i)
+                            && cmp_keeps(*op, (a[i] as f64).total_cmp(&(b[i] as f64)))
+                    }),
+                    (ColumnData::Int(a), ColumnData::Float(b)) => sel.retain(|i| {
+                        live(lv, i) && live(rv, i) && cmp_keeps(*op, (a[i] as f64).total_cmp(&b[i]))
+                    }),
+                    (ColumnData::Float(a), ColumnData::Int(b)) => sel.retain(|i| {
+                        live(lv, i) && live(rv, i) && cmp_keeps(*op, a[i].total_cmp(&(b[i] as f64)))
+                    }),
+                    (ColumnData::Float(a), ColumnData::Float(b)) => sel.retain(|i| {
+                        live(lv, i) && live(rv, i) && cmp_keeps(*op, a[i].total_cmp(&b[i]))
+                    }),
+                    (ColumnData::Str(a), ColumnData::Str(b)) => sel
+                        .retain(|i| live(lv, i) && live(rv, i) && cmp_keeps(*op, a[i].cmp(&b[i]))),
+                    (ColumnData::Bool(a), ColumnData::Bool(b)) => sel
+                        .retain(|i| live(lv, i) && live(rv, i) && cmp_keeps(*op, a[i].cmp(&b[i]))),
+                    _ => sel.retain(|i| value_cmp_matches(*op, &lc.value(i), &rc.value(i))),
+                }
+            }
+            ColPred::IsNull { col, negated } => {
+                let c = &cols.cols[*col];
+                if !c.has_nulls() {
+                    if !*negated {
+                        sel.clear();
+                    }
+                    return;
+                }
+                let negated = *negated;
+                sel.retain(|i| c.is_null(i) != negated);
+            }
+            ColPred::And(ps) => {
+                for p in ps {
+                    if sel.is_empty() {
+                        return;
+                    }
+                    p.apply(cols, sel, scratch);
+                }
+            }
+            ColPred::Or(p, q) => {
+                sel.retain(|i| p.matches_at(cols, i, scratch) || q.matches_at(cols, i, scratch));
+            }
+            ColPred::Row(e) => {
+                sel.retain(|i| {
+                    cols.gather_row(i, scratch);
+                    e.matches(scratch)
+                });
+            }
+        }
+    }
+
+    /// Per-row evaluation, used inside `Or` where children cannot refine
+    /// the selection independently.
+    fn matches_at(&self, cols: &ColumnSet, i: usize, scratch: &mut Row) -> bool {
+        match self {
+            ColPred::CmpColLit { col, op, lit } => {
+                value_cmp_matches(*op, &cols.cols[*col].value(i), lit)
+            }
+            ColPred::CmpColCol { left, op, right } => {
+                value_cmp_matches(*op, &cols.cols[*left].value(i), &cols.cols[*right].value(i))
+            }
+            ColPred::IsNull { col, negated } => cols.cols[*col].is_null(i) != *negated,
+            ColPred::And(ps) => ps.iter().all(|p| p.matches_at(cols, i, scratch)),
+            ColPred::Or(p, q) => p.matches_at(cols, i, scratch) || q.matches_at(cols, i, scratch),
+            ColPred::Row(e) => {
+                cols.gather_row(i, scratch);
+                e.matches(scratch)
+            }
+        }
+    }
+}
+
+/// A compiled columnar projection: one output column per expression, with
+/// the declared output type (from the plan's derived schema) seeding the
+/// typed builder.
+#[derive(Debug, Clone)]
+pub struct MapPlan {
+    /// `(declared output type, compiled expression)` per output column.
+    pub outs: Vec<(DataType, ColExpr)>,
+}
+
+/// One output column of a projection.
+#[derive(Debug, Clone)]
+pub enum ColExpr {
+    /// Pass an input column through.
+    Take(usize),
+    /// A constant column.
+    Lit(Value),
+    /// Arithmetic over two column/literal operands.
+    Bin {
+        /// Arithmetic operator (`Add`/`Sub`/`Mul`/`Div`/`Mod`).
+        op: BinOp,
+        /// Left operand.
+        left: Arg,
+        /// Right operand.
+        right: Arg,
+    },
+    /// No fast path: gather the row and evaluate the bound expression.
+    Row(BoundExpr),
+}
+
+/// A leaf operand of [`ColExpr::Bin`].
+#[derive(Debug, Clone)]
+pub enum Arg {
+    /// Input column position.
+    Col(usize),
+    /// Constant.
+    Lit(Value),
+}
+
+fn arg_of(e: &BoundExpr) -> Option<Arg> {
+    match e {
+        BoundExpr::Col(i) => Some(Arg::Col(*i)),
+        BoundExpr::Lit(v) => Some(Arg::Lit(v.clone())),
+        _ => None,
+    }
+}
+
+/// Compile projection expressions into a [`MapPlan`] given the declared
+/// output column types.
+pub fn compile_map(exprs: &[BoundExpr], dtypes: &[DataType]) -> MapPlan {
+    let outs = exprs
+        .iter()
+        .zip(dtypes)
+        .map(|(e, &dt)| {
+            let ce = match e {
+                BoundExpr::Col(i) => ColExpr::Take(*i),
+                BoundExpr::Lit(v) => ColExpr::Lit(v.clone()),
+                BoundExpr::Binary { op, left, right }
+                    if matches!(
+                        op,
+                        BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod
+                    ) =>
+                {
+                    match (arg_of(left), arg_of(right)) {
+                        (Some(l), Some(r)) => ColExpr::Bin { op: *op, left: l, right: r },
+                        _ => ColExpr::Row(e.clone()),
+                    }
+                }
+                other => ColExpr::Row(other.clone()),
+            };
+            (dt, ce)
+        })
+        .collect();
+    MapPlan { outs }
+}
+
+/// A numeric view of one cell for the arithmetic kernel.
+#[derive(Clone, Copy)]
+enum Cell {
+    Null,
+    I(i64),
+    F(f64),
+    /// Non-null, non-numeric (arithmetic yields NULL, same as `eval_arith`
+    /// failing its coercions).
+    Other,
+}
+
+#[inline]
+fn cell_of_value(v: &Value) -> Cell {
+    match v {
+        Value::Null => Cell::Null,
+        Value::Int(i) => Cell::I(*i),
+        Value::Float(x) => Cell::F(*x),
+        _ => Cell::Other,
+    }
+}
+
+#[inline]
+fn load(arg: &Arg, cols: &ColumnSet, i: usize) -> Cell {
+    match arg {
+        Arg::Lit(v) => cell_of_value(v),
+        Arg::Col(c) => {
+            let col = &cols.cols[*c];
+            if col.is_null(i) {
+                return Cell::Null;
+            }
+            match &col.data {
+                ColumnData::Int(xs) => Cell::I(xs[i]),
+                ColumnData::Float(xs) => Cell::F(xs[i]),
+                ColumnData::Mixed(vs) => cell_of_value(&vs[i]),
+                _ => Cell::Other,
+            }
+        }
+    }
+}
+
+/// `eval_arith` over numeric cell views: NULL propagates; `Div` is always
+/// float with `/0 → NULL`; `Mod` is integer-only with `%0 → NULL`;
+/// `Add`/`Sub`/`Mul` compute in `f64` and narrow back to `Int` only when
+/// *both* operands were integers — the exact row-path semantics, including
+/// the precision loss of the `f64` round trip on huge integers.
+fn arith(op: BinOp, l: Cell, r: Cell) -> Value {
+    if matches!(l, Cell::Null) || matches!(r, Cell::Null) {
+        return Value::Null;
+    }
+    let as_f = |c: Cell| match c {
+        Cell::I(i) => Some(i as f64),
+        Cell::F(x) => Some(x),
+        _ => None,
+    };
+    match op {
+        BinOp::Div => match (as_f(l), as_f(r)) {
+            (Some(a), Some(b)) if b != 0.0 => Value::Float(a / b),
+            _ => Value::Null,
+        },
+        BinOp::Mod => match (l, r) {
+            (Cell::I(a), Cell::I(b)) if b != 0 => Value::Int(a.rem_euclid(b)),
+            _ => Value::Null,
+        },
+        _ => match (as_f(l), as_f(r)) {
+            (Some(a), Some(b)) => {
+                let x = match op {
+                    BinOp::Add => a + b,
+                    BinOp::Sub => a - b,
+                    BinOp::Mul => a * b,
+                    _ => unreachable!("arith on non-arithmetic operator"),
+                };
+                if matches!((l, r), (Cell::I(_), Cell::I(_))) {
+                    Value::Int(x as i64)
+                } else {
+                    Value::Float(x)
+                }
+            }
+            _ => Value::Null,
+        },
+    }
+}
+
+impl MapPlan {
+    /// Build the projected column set over the selected rows.
+    pub fn apply(&self, cols: &ColumnSet, sel: &SelVec, scratch: &mut Row) -> ColumnSet {
+        let n = sel.len();
+        let mut out: Vec<svc_storage::Column> = Vec::with_capacity(self.outs.len());
+        for (dt, ce) in &self.outs {
+            let mut b = svc_storage::ColumnBuilder::new(*dt, n);
+            match ce {
+                ColExpr::Take(c) => {
+                    let src = &cols.cols[*c];
+                    for i in sel.iter() {
+                        b.push(&src.value(i));
+                    }
+                }
+                ColExpr::Lit(v) => {
+                    for _ in 0..n {
+                        b.push(v);
+                    }
+                }
+                ColExpr::Bin { op, left, right } => {
+                    for i in sel.iter() {
+                        b.push(&arith(*op, load(left, cols, i), load(right, cols, i)));
+                    }
+                }
+                ColExpr::Row(e) => {
+                    for i in sel.iter() {
+                        cols.gather_row(i, scratch);
+                        b.push(&e.eval(scratch));
+                    }
+                }
+            }
+            out.push(b.finish());
+        }
+        ColumnSet { cols: out, len: n }
+    }
+}
+
+/// Feed the canonical byte stream of a cell into a hash state — the exact
+/// stream [`Value::canonical_bytes`] produces, without constructing a
+/// `Value`. Type-rank prefixes match `Value::type_rank`
+/// (NULL 0, Bool 1, Int 2, Float 3, Str 4); the η property harness pins
+/// this equality against `HashSpec::selects_row`.
+#[inline]
+fn write_cell(c: &Column, i: usize, st: &mut HashState) {
+    if c.is_null(i) {
+        st.write(&[0]);
+        return;
+    }
+    match &c.data {
+        ColumnData::Int(xs) => {
+            st.write(&[2]);
+            st.write(&xs[i].to_le_bytes());
+        }
+        ColumnData::Float(xs) => {
+            st.write(&[3]);
+            st.write(&Value::canonical_f64_bits(xs[i]).to_le_bytes());
+        }
+        ColumnData::Bool(xs) => {
+            st.write(&[1]);
+            st.write(&[xs[i] as u8]);
+        }
+        ColumnData::Str(xs) => {
+            st.write(&[4]);
+            st.write(xs[i].as_bytes());
+        }
+        ColumnData::Mixed(vs) => vs[i].canonical_bytes(&mut |b| st.write(b)),
+    }
+}
+
+/// The η kernel: refine `sel` to rows whose key columns hash under
+/// `ratio`, reading key bytes straight out of typed storage.
+pub fn apply_hash(
+    cols: &ColumnSet,
+    sel: &mut SelVec,
+    key_idx: &[usize],
+    ratio: f64,
+    spec: HashSpec,
+) {
+    sel.retain(|i| {
+        let mut st = spec.begin();
+        for &k in key_idx {
+            write_cell(&cols.cols[k], i, &mut st);
+        }
+        normalize01(st.finish()) <= ratio
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svc_storage::Schema;
+
+    fn colset(rows: &[Vec<Value>], dts: &[(&str, DataType)]) -> ColumnSet {
+        let schema = Schema::from_pairs(dts).unwrap();
+        let rows: Vec<Row> = rows.to_vec();
+        ColumnSet::from_rows(&schema, &rows)
+    }
+
+    #[test]
+    fn zone_check_is_conclusive_only_when_sound() {
+        // Column values span [3, 9].
+        assert!(matches!(zone_check(BinOp::Lt, 3.0, 9.0, 10.0), ZoneHit::AllMatch));
+        assert!(matches!(zone_check(BinOp::Lt, 3.0, 9.0, 3.0), ZoneHit::NoneMatch));
+        assert!(matches!(zone_check(BinOp::Lt, 3.0, 9.0, 5.0), ZoneHit::Scan));
+        assert!(matches!(zone_check(BinOp::Eq, 3.0, 9.0, 2.0), ZoneHit::NoneMatch));
+        assert!(matches!(zone_check(BinOp::Eq, 4.0, 4.0, 4.0), ZoneHit::AllMatch));
+        assert!(matches!(zone_check(BinOp::Ge, 3.0, 9.0, 3.0), ZoneHit::AllMatch));
+        assert!(matches!(zone_check(BinOp::Ne, 3.0, 9.0, 11.0), ZoneHit::AllMatch));
+    }
+
+    #[test]
+    fn flipped_literal_comparison_matches_row_semantics() {
+        use crate::scalar::{col, lit};
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]).unwrap();
+        let rows: Vec<Row> = (0..10).map(|i| vec![Value::Int(i)]).collect();
+        let cols = ColumnSet::from_rows(&schema, &rows);
+        // 4 < x, compiled through the flip path.
+        let bound = lit(4i64).lt(col("x")).bind(&schema).unwrap();
+        let pred = compile_pred(&bound);
+        assert!(matches!(pred, ColPred::CmpColLit { op: BinOp::Gt, .. }));
+        let mut sel = SelVec::range(0, 10);
+        let mut scratch = Row::new();
+        pred.apply(&cols, &mut sel, &mut scratch);
+        let got: Vec<usize> = sel.iter().collect();
+        let want: Vec<usize> =
+            rows.iter().enumerate().filter(|(_, r)| bound.matches(r)).map(|(i, _)| i).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn cross_type_literal_is_constant_by_rank() {
+        // Int column vs Str literal: Int < Str for every non-null cell.
+        let cols = colset(
+            &[vec![Value::Int(1)], vec![Value::Null], vec![Value::Int(5)]],
+            &[("x", DataType::Int)],
+        );
+        let mut scratch = Row::new();
+        let lt = ColPred::CmpColLit { col: 0, op: BinOp::Lt, lit: Value::str("z") };
+        let mut sel = SelVec::range(0, 3);
+        lt.apply(&cols, &mut sel, &mut scratch);
+        assert_eq!(sel.iter().collect::<Vec<_>>(), vec![0, 2], "NULL never matches");
+        let gt = ColPred::CmpColLit { col: 0, op: BinOp::Gt, lit: Value::str("z") };
+        let mut sel = SelVec::range(0, 3);
+        gt.apply(&cols, &mut sel, &mut scratch);
+        assert!(sel.is_empty());
+    }
+
+    #[test]
+    fn vectorized_hash_equals_selects_row() {
+        let schema = Schema::from_pairs(&[("k", DataType::Int), ("s", DataType::Str)]).unwrap();
+        let rows: Vec<Row> =
+            (0..200).map(|i| vec![Value::Int(i), Value::str(format!("key-{i}"))]).collect();
+        let cols = ColumnSet::from_rows(&schema, &rows);
+        for spec in [
+            HashSpec::with_seed(7),
+            HashSpec { family: svc_storage::HashFamily::Fnv1a, seed: 9 },
+            HashSpec { family: svc_storage::HashFamily::Multiplicative, seed: 3 },
+        ] {
+            let mut sel = SelVec::range(0, rows.len());
+            apply_hash(&cols, &mut sel, &[1, 0], 0.4, spec);
+            let got: Vec<usize> = sel.iter().collect();
+            let want: Vec<usize> = rows
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| spec.selects_row(r, &[1, 0], 0.4))
+                .map(|(i, _)| i)
+                .collect();
+            assert_eq!(got, want, "η kernel diverged for {spec:?}");
+        }
+    }
+
+    #[test]
+    fn arith_kernel_replicates_eval_arith() {
+        use crate::scalar::{col, lit};
+        let schema = Schema::from_pairs(&[("a", DataType::Int), ("b", DataType::Float)]).unwrap();
+        let rows: Vec<Row> = vec![
+            vec![Value::Int(7), Value::Float(2.5)],
+            vec![Value::Int(-3), Value::Float(0.0)],
+            vec![Value::Null, Value::Float(1.0)],
+            vec![Value::Int(i64::MAX), Value::Float(f64::NAN)],
+        ];
+        let cols = ColumnSet::from_rows(&schema, &rows);
+        let sel = SelVec::range(0, rows.len());
+        let mut scratch = Row::new();
+        for e in [
+            col("a").add(lit(1i64)),
+            col("a").mul(col("b")),
+            col("a").div(col("b")),
+            col("a").rem(lit(4i64)),
+            col("b").sub(col("a")),
+        ] {
+            let bound = e.bind(&schema).unwrap();
+            let dt = e.infer_type(&schema).unwrap();
+            let plan = compile_map(std::slice::from_ref(&bound), &[dt]);
+            assert!(
+                matches!(plan.outs[0].1, ColExpr::Bin { .. }),
+                "expected arithmetic kernel for {e}"
+            );
+            let out = plan.apply(&cols, &sel, &mut scratch);
+            for (i, row) in rows.iter().enumerate() {
+                let want = bound.eval(row);
+                let got = out.cols[0].value(i);
+                match (&got, &want) {
+                    (Value::Float(a), Value::Float(b)) => {
+                        assert_eq!(a.to_bits(), b.to_bits(), "{e} row {i}")
+                    }
+                    _ => assert_eq!(got, want, "{e} row {i}"),
+                }
+            }
+        }
+    }
+}

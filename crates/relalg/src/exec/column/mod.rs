@@ -1,0 +1,59 @@
+//! Columnar chunks and vectorized kernels for the streaming executor.
+//!
+//! Conversion happens at exactly two boundaries: a leaf turns the bound
+//! [`svc_storage::Table`] into typed columns once per mutation epoch
+//! (`Table::columns`, shared by every chunk and every morsel), and the
+//! survivors of a fused pipeline are gathered back into rows only where a
+//! pipeline breaker (join, γ, set op, the keyed root) needs them. In
+//! between, operators touch per-column typed slices through a selection
+//! vector — no `Value` boxing, no row allocation for non-survivors.
+
+pub mod chunk;
+pub mod kernels;
+pub mod selection;
+
+pub use chunk::{ChunkCols, ColumnChunk};
+pub use kernels::{apply_hash, compile_map, compile_pred, ColPred, MapPlan, VecOp};
+pub use selection::SelVec;
+
+use svc_storage::Row;
+
+/// True when driving this compiled op chain columnar beats the row path:
+/// the leading op must be vectorizable ([`VecOp::profitable`]). Once a
+/// real kernel has refined the selection, later row-fallback ops gather
+/// survivors only, so only the head of the chain decides.
+pub fn profitable(ops: &[VecOp]) -> bool {
+    ops.first().is_some_and(VecOp::profitable)
+}
+
+/// Run a vectorized operator chain over a chunk, in order. `scratch` is
+/// the shared row buffer for kernels that fall back to row evaluation.
+pub fn run_ops(chunk: &mut ColumnChunk<'_>, ops: &[VecOp], scratch: &mut Row) {
+    for op in ops {
+        if chunk.is_empty() {
+            return;
+        }
+        match op {
+            VecOp::Filter(pred) => {
+                let ColumnChunk { cols, sel } = chunk;
+                let cs = match cols {
+                    ChunkCols::Shared(c) => *c,
+                    ChunkCols::Owned(c) => &*c,
+                };
+                pred.apply(cs, sel, scratch);
+            }
+            VecOp::Map(plan) => {
+                let mapped = plan.apply(chunk.columns(), &chunk.sel, scratch);
+                chunk.replace(mapped);
+            }
+            VecOp::Hash { key_idx, ratio, spec } => {
+                let ColumnChunk { cols, sel } = chunk;
+                let cs = match cols {
+                    ChunkCols::Shared(c) => *c,
+                    ChunkCols::Owned(c) => &*c,
+                };
+                apply_hash(cs, sel, key_idx, *ratio, *spec);
+            }
+        }
+    }
+}

@@ -11,6 +11,7 @@ use crate::optimizer::cost::CardEstimator;
 use crate::plan::{JoinKind, Plan};
 use crate::scalar::BoundExpr;
 
+use super::column::{compile_map, compile_pred, VecOp};
 use super::pipeline::FusedOp;
 
 /// A leaf reference resolved at compile time: the bound table is looked up
@@ -73,12 +74,16 @@ pub enum JoinRight {
 #[derive(Debug, Clone)]
 pub enum Node {
     /// A fused chain rooted at a leaf: rows are borrowed straight from the
-    /// bound table and only survivors are cloned.
+    /// bound table and only survivors are cloned. Carries both the
+    /// row-at-a-time ops (the reference path) and their vectorized
+    /// counterparts, compiled position for position at lowering time.
     FusedScan {
         /// The source relation.
         leaf: LeafRef,
         /// Compiled operator chain (may be empty for a bare scan).
         ops: Vec<FusedOp>,
+        /// Vectorized counterparts of `ops` (always the same length).
+        vops: Vec<VecOp>,
     },
     /// A fused chain over a materialized child batch; rows move through.
     Fused {
@@ -128,11 +133,16 @@ pub enum Node {
 
 impl Node {
     /// Append a fused op, wrapping breakers in a [`Node::Fused`] shell.
-    fn push_op(self, op: FusedOp) -> Node {
+    /// The vectorized counterpart rides along only on [`Node::FusedScan`]
+    /// chains — fused chains over breaker batches stay row-at-a-time
+    /// (their input is already rows; converting it to columns would move
+    /// the leaf conversion boundary into the middle of the plan).
+    fn push_op(self, op: FusedOp, vop: VecOp) -> Node {
         match self {
-            Node::FusedScan { leaf, mut ops } => {
+            Node::FusedScan { leaf, mut ops, mut vops } => {
                 ops.push(op);
-                Node::FusedScan { leaf, ops }
+                vops.push(vop);
+                Node::FusedScan { leaf, ops, vops }
             }
             Node::Fused { input, mut ops } => {
                 ops.push(op);
@@ -153,7 +163,7 @@ impl Node {
             }
         }
         match self {
-            Node::FusedScan { leaf, ops } => format!("fused-scan({}){}", leaf.name, tags(ops)),
+            Node::FusedScan { leaf, ops, .. } => format!("fused-scan({}){}", leaf.name, tags(ops)),
             Node::Fused { input, ops } => format!("fused({}){}", input.describe(), tags(ops)),
             Node::Join { left, right, kind, .. } => {
                 let r = match right {
@@ -192,23 +202,31 @@ impl Lowering<'_> {
                     key: tree.derived.key.clone(),
                 },
                 ops: Vec::new(),
+                vops: Vec::new(),
             },
             Plan::Select { input, predicate } => {
                 let child = self.lower(input, tree.input())?;
                 let pred = predicate.bind(&tree.input().derived.schema)?;
-                child.push_op(FusedOp::Filter(pred))
+                let vop = VecOp::Filter(compile_pred(&pred));
+                child.push_op(FusedOp::Filter(pred), vop)
             }
             Plan::Project { input, columns } => {
                 let child = self.lower(input, tree.input())?;
                 let in_schema = &tree.input().derived.schema;
                 let bound: Vec<BoundExpr> =
                     columns.iter().map(|(_, e)| e.bind(in_schema)).collect::<Result<_>>()?;
-                child.push_op(FusedOp::Map(bound))
+                // Output column types come from the projection's own
+                // derived schema — they seed the typed output builders.
+                let dtypes: Vec<DataType> =
+                    tree.derived.schema.fields().iter().map(|f| f.dtype).collect();
+                let vop = VecOp::Map(compile_map(&bound, &dtypes));
+                child.push_op(FusedOp::Map(bound), vop)
             }
             Plan::Hash { input, key, ratio, spec } => {
                 let child = self.lower(input, tree.input())?;
                 let key_idx = tree.input().derived.schema.resolve_all(key)?;
-                child.push_op(FusedOp::Hash { key_idx, ratio: *ratio, spec: *spec })
+                let vop = VecOp::Hash { key_idx: key_idx.clone(), ratio: *ratio, spec: *spec };
+                child.push_op(FusedOp::Hash { key_idx, ratio: *ratio, spec: *spec }, vop)
             }
             Plan::Join { left, right, kind, on } => {
                 let (lt, rt) = tree.pair();

@@ -30,6 +30,7 @@
 //! reruns them across batches (`svc-cluster`'s `BatchPipeline`).
 
 mod batch;
+pub mod column;
 pub mod compile;
 pub mod pipeline;
 mod run;
@@ -44,6 +45,7 @@ use crate::optimizer::cost::CardEstimator;
 use crate::plan::Plan;
 
 pub use batch::fresh_batch_count;
+pub use column::{ColPred, ColumnChunk, MapPlan, SelVec, VecOp};
 pub use compile::{JoinRight, LeafRef, Node};
 pub use pipeline::{FusedOp, RowSink};
 
@@ -74,26 +76,43 @@ impl MorselScheduler for SequentialScheduler {
 }
 
 /// How a compiled plan executes: sequentially on the calling thread
-/// (default), or morsel-parallel on a scheduler. A copyable knob so the
-/// higher layers (`MaterializedView::maintain_with_mode`,
+/// (default), or morsel-parallel on a scheduler; vectorized fused-scan
+/// kernels (default), or the row-at-a-time reference path. A copyable
+/// knob so the higher layers (`MaterializedView::maintain_with_mode`,
 /// `SvcView::clean_sample_with_mode`, `BatchPipeline`) can thread one
 /// execution policy through their hot paths.
 #[derive(Clone, Copy, Default)]
 pub struct ExecMode<'a> {
     sched: Option<&'a dyn MorselScheduler>,
+    /// Rows per morsel; `0` with a scheduler attached means "derive from
+    /// the bound leaf sizes at run time" ([`auto_morsel_size`]).
     morsel: usize,
+    rowwise: bool,
 }
 
 impl<'a> ExecMode<'a> {
     /// Sequential execution on the calling thread.
     pub fn sequential() -> ExecMode<'static> {
-        ExecMode { sched: None, morsel: 0 }
+        ExecMode { sched: None, morsel: 0, rowwise: false }
     }
 
     /// Morsel-parallel execution on `sched` with `morsel_size` rows per
     /// morsel.
     pub fn morsel(sched: &'a dyn MorselScheduler, morsel_size: usize) -> ExecMode<'a> {
-        ExecMode { sched: Some(sched), morsel: morsel_size }
+        ExecMode { sched: Some(sched), morsel: morsel_size, rowwise: false }
+    }
+
+    /// Morsel-parallel execution with the morsel size derived from the
+    /// largest bound leaf at run time ([`auto_morsel_size`]).
+    pub fn morsel_auto(sched: &'a dyn MorselScheduler) -> ExecMode<'a> {
+        ExecMode { sched: Some(sched), morsel: 0, rowwise: false }
+    }
+
+    /// Switch to the row-at-a-time reference path (the vectorized kernels
+    /// are the default). Used by the equivalence harnesses and benches.
+    pub fn rowwise(mut self) -> ExecMode<'a> {
+        self.rowwise = true;
+        self
     }
 
     /// True when a scheduler is attached.
@@ -104,11 +123,24 @@ impl<'a> ExecMode<'a> {
 
 impl fmt::Debug for ExecMode<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let path = if self.rowwise { "rowwise" } else { "vectorized" };
         match self.sched {
-            Some(_) => write!(f, "ExecMode::Morsel({})", self.morsel),
-            None => write!(f, "ExecMode::Sequential"),
+            Some(_) if self.morsel == 0 => write!(f, "ExecMode::Morsel(auto, {path})"),
+            Some(_) => write!(f, "ExecMode::Morsel({}, {path})", self.morsel),
+            None => write!(f, "ExecMode::Sequential({path})"),
         }
     }
+}
+
+/// Rows per morsel targeting ~64k values per column chunk (`rows ×
+/// width`), while still splitting small inputs at least ~8 ways so a pool
+/// has work to steal; clamped to `[256, 65536]` so degenerate shapes
+/// (thousands of columns, tiny tables) stay sane.
+pub fn auto_morsel_size(rows: usize, width: usize) -> usize {
+    const TARGET_VALUES: usize = 64 * 1024;
+    let by_width = TARGET_VALUES / width.max(1);
+    let by_split = rows.div_ceil(8).max(1);
+    by_width.min(by_split).clamp(256, 65_536)
 }
 
 /// A compiled, reusable physical plan. `Send + Sync`: worker pools share
@@ -123,17 +155,28 @@ impl PhysicalPlan {
     /// Evaluate against concrete bindings, producing the keyed output
     /// table. May be called any number of times, against different
     /// bindings, as long as every leaf keeps the compiled schema.
+    /// Fused-scan segments run on the vectorized column kernels; the
+    /// result is row-for-row identical to [`PhysicalPlan::run_rowwise`].
     pub fn run(&self, bindings: &Bindings<'_>) -> Result<Table> {
-        let rows = run::run_node(&self.root, bindings)?;
+        let rows = run::run_node(&self.root, bindings, true)?;
+        run::finish_root(&self.root, &self.out, rows)
+    }
+
+    /// Evaluate on the row-at-a-time reference path — same semantics, no
+    /// columnar kernels. Kept for the equivalence harnesses
+    /// (`tests/exec_prop.rs`) and the `fig_vector` benchmark baseline.
+    pub fn run_rowwise(&self, bindings: &Bindings<'_>) -> Result<Table> {
+        let rows = run::run_node(&self.root, bindings, false)?;
         run::finish_root(&self.root, &self.out, rows)
     }
 
     /// Evaluate morsel-parallel: base scans split into `morsel_size`-row
-    /// ranges, one fused pass runs per morsel on the scheduler, join
-    /// morsels probe a build side constructed once, and per-morsel γ group
-    /// maps merge at the pipeline barrier. The result — including output
-    /// order at the keyed root — is a function of the morsel size only,
-    /// never of the scheduler's thread count or interleaving; it matches
+    /// chunk ranges over the leaf's shared column set, one vectorized
+    /// pass runs per morsel on the scheduler, join morsels probe a build
+    /// side constructed once, and per-morsel γ group maps merge at the
+    /// pipeline barrier. The result — including output order at the keyed
+    /// root — is a function of the morsel size only, never of the
+    /// scheduler's thread count or interleaving; it matches
     /// [`PhysicalPlan::run`] exactly up to float-sum rounding (partial sums
     /// per morsel combine at the barrier).
     pub fn run_parallel(
@@ -142,19 +185,40 @@ impl PhysicalPlan {
         sched: &dyn MorselScheduler,
         morsel_size: usize,
     ) -> Result<Table> {
+        self.run_parallel_impl(bindings, sched, morsel_size, true)
+    }
+
+    fn run_parallel_impl(
+        &self,
+        bindings: &Bindings<'_>,
+        sched: &dyn MorselScheduler,
+        morsel_size: usize,
+        vec: bool,
+    ) -> Result<Table> {
         if morsel_size == 0 {
             return Err(StorageError::Invalid("morsel_size must be at least 1".into()));
         }
-        let par = run::Par { sched, morsel: morsel_size };
+        let par = run::Par { sched, morsel: morsel_size, vec };
         let rows = run::run_node_par(&self.root, bindings, &par)?;
         run::finish_root(&self.root, &self.out, rows)
     }
 
-    /// Dispatch on an [`ExecMode`]: [`PhysicalPlan::run`] when sequential,
-    /// [`PhysicalPlan::run_parallel`] when a scheduler is attached.
+    /// Dispatch on an [`ExecMode`]: sequential or morsel-parallel,
+    /// vectorized or rowwise. A parallel mode without an explicit morsel
+    /// size ([`ExecMode::morsel_auto`]) derives one from the largest
+    /// bound leaf via [`auto_morsel_size`].
     pub fn run_with(&self, bindings: &Bindings<'_>, mode: ExecMode<'_>) -> Result<Table> {
         match mode.sched {
-            Some(sched) => self.run_parallel(bindings, sched, mode.morsel),
+            Some(sched) => {
+                let morsel = if mode.morsel == 0 {
+                    let (rows, width) = largest_leaf(&self.root, bindings);
+                    auto_morsel_size(rows, width)
+                } else {
+                    mode.morsel
+                };
+                self.run_parallel_impl(bindings, sched, morsel, !mode.rowwise)
+            }
+            None if mode.rowwise => self.run_rowwise(bindings),
             None => self.run(bindings),
         }
     }
@@ -170,6 +234,40 @@ impl PhysicalPlan {
     pub fn describe(&self) -> String {
         self.root.describe()
     }
+}
+
+/// Row count and width of the largest leaf a plan reads under `bindings`
+/// — the input the morsel auto-tuner sizes chunks for. Unresolvable
+/// leaves (caught properly at run time) are skipped.
+fn largest_leaf(node: &Node, b: &Bindings<'_>) -> (usize, usize) {
+    fn note(leaf: &LeafRef, b: &Bindings<'_>, best: &mut (usize, usize)) {
+        if let Ok(t) = leaf.resolve(b) {
+            if t.len() > best.0 {
+                *best = (t.len(), t.schema().len());
+            }
+        }
+    }
+    fn walk(node: &Node, b: &Bindings<'_>, best: &mut (usize, usize)) {
+        match node {
+            Node::FusedScan { leaf, .. } => note(leaf, b, best),
+            Node::Fused { input, .. } => walk(input, b, best),
+            Node::Join { left, right, .. } => {
+                walk(left, b, best);
+                match right {
+                    JoinRight::PkProbeLeaf(leaf) => note(leaf, b, best),
+                    JoinRight::Build(n) => walk(n, b, best),
+                }
+            }
+            Node::Aggregate { input, .. } => walk(input, b, best),
+            Node::SetOp { left, right, .. } => {
+                walk(left, b, best);
+                walk(right, b, best);
+            }
+        }
+    }
+    let mut best = (0, 1);
+    walk(node, b, &mut best);
+    best
 }
 
 /// Compile a plan against a leaf provider (typically the [`Bindings`] or
@@ -406,6 +504,31 @@ mod tests {
                 );
                 assert!(out.same_contents(&first));
             }
+        }
+    }
+
+    /// The morsel auto-tuner targets ~64k values per chunk and stays
+    /// inside its clamps for every degenerate shape.
+    #[test]
+    fn auto_morsel_size_bounds() {
+        const TARGET: usize = 64 * 1024;
+        // Nominal shape: rows × width lands on the value target.
+        assert_eq!(auto_morsel_size(10_000_000, 8), TARGET / 8);
+        // Wide tables shrink the morsel; the floor stops the shrinkage.
+        assert_eq!(auto_morsel_size(10_000_000, 1_000_000), 256);
+        // Narrow tables grow it; the ceiling stops the growth.
+        assert_eq!(auto_morsel_size(100_000_000, 1), 65_536);
+        // Small inputs still split ~8 ways so a pool has work to steal…
+        assert_eq!(auto_morsel_size(8_000, 1), 1_000);
+        // …down to the floor, and zero-row/zero-width inputs stay sane.
+        for (rows, width) in [(0, 0), (0, 5), (1, 0), (17, 3), (1 << 30, 1 << 20)] {
+            let m = auto_morsel_size(rows, width);
+            assert!((256..=65_536).contains(&m), "({rows},{width}) gave {m}");
+        }
+        // Never more than the value target per chunk for real widths.
+        for width in [1, 2, 7, 64, 300] {
+            let m = auto_morsel_size(5_000_000, width);
+            assert!(m * width <= TARGET.max(256 * width), "width {width} gave {m}");
         }
     }
 

@@ -26,6 +26,7 @@ use crate::plan::JoinKind;
 use crate::setops::{difference_rows_into, intersect_rows_into, union_rows_into};
 
 use super::batch;
+use super::column::{run_ops, ColumnChunk};
 use super::compile::{JoinRight, Node};
 use super::pipeline::{feed_borrowed, feed_owned};
 use super::MorselScheduler;
@@ -58,19 +59,37 @@ impl std::ops::Deref for Batch<'_> {
 }
 
 /// Run a node for a consumer that only reads the batch.
-fn run_node_ref<'a>(node: &Node, b: &Bindings<'a>) -> Result<Batch<'a>> {
+fn run_node_ref<'a>(node: &Node, b: &Bindings<'a>, vec: bool) -> Result<Batch<'a>> {
     match node {
-        Node::FusedScan { leaf, ops } if ops.is_empty() => {
+        Node::FusedScan { leaf, ops, .. } if ops.is_empty() => {
             Ok(Batch::Borrowed(leaf.resolve(b)?.rows()))
         }
-        other => Ok(Batch::Owned(run_node(other, b)?)),
+        other => Ok(Batch::Owned(run_node(other, b, vec)?)),
     }
 }
 
-/// Run a node to a materialized row batch.
-pub(super) fn run_node(node: &Node, b: &Bindings<'_>) -> Result<Vec<Row>> {
+/// Run a vectorized fused-scan segment over one chunk range of the shared
+/// column set, gathering the survivors into a fresh row batch.
+fn run_vec_segment(
+    cols: &svc_storage::ColumnSet,
+    vops: &[super::column::VecOp],
+    lo: usize,
+    hi: usize,
+) -> Vec<Row> {
+    let mut chunk = ColumnChunk::over(cols, lo, hi);
+    let mut scratch = Row::new();
+    run_ops(&mut chunk, vops, &mut scratch);
+    let mut out = batch::take(chunk.len());
+    chunk.gather_into(&mut out);
+    out
+}
+
+/// Run a node to a materialized row batch. `vec` selects the vectorized
+/// kernels for fused-scan segments; everything downstream of the
+/// chunk→row boundary is identical either way.
+pub(super) fn run_node(node: &Node, b: &Bindings<'_>, vec: bool) -> Result<Vec<Row>> {
     Ok(match node {
-        Node::FusedScan { leaf, ops } => {
+        Node::FusedScan { leaf, ops, vops } => {
             let t = leaf.resolve(b)?;
             if ops.is_empty() {
                 // Bare scan: every row survives; clone the rows, skip the
@@ -78,6 +97,11 @@ pub(super) fn run_node(node: &Node, b: &Bindings<'_>) -> Result<Vec<Row>> {
                 let mut out = batch::take(t.len());
                 out.extend_from_slice(t.rows());
                 out
+            } else if vec && super::column::profitable(vops) {
+                // Leaf conversion: the bound table's cached columnar
+                // projection (built once per mutation epoch).
+                let cols = t.columns();
+                run_vec_segment(&cols, vops, 0, cols.len)
             } else {
                 let mut out = batch::take(0);
                 for row in t.rows() {
@@ -87,7 +111,7 @@ pub(super) fn run_node(node: &Node, b: &Bindings<'_>) -> Result<Vec<Row>> {
             }
         }
         Node::Fused { input, ops } => {
-            let mut rows = run_node(input, b)?;
+            let mut rows = run_node(input, b, vec)?;
             let mut out = batch::take(rows.len());
             for row in rows.drain(..) {
                 feed_owned(row, ops, &mut out);
@@ -96,7 +120,7 @@ pub(super) fn run_node(node: &Node, b: &Bindings<'_>) -> Result<Vec<Row>> {
             out
         }
         Node::Join { left, right, kind, on_idx, pad_left, pad_right } => {
-            let mut lrows = run_node(left, b)?;
+            let mut lrows = run_node(left, b, vec)?;
             let left_cols: Vec<usize> = on_idx.iter().map(|&(l, _)| l).collect();
             let mut out = batch::take(lrows.len());
             match right {
@@ -105,7 +129,7 @@ pub(super) fn run_node(node: &Node, b: &Bindings<'_>) -> Result<Vec<Row>> {
                     join_rows_pk_probe_into(&mut lrows, t, *kind, &left_cols, *pad_right, &mut out);
                 }
                 JoinRight::Build(rnode) => {
-                    let rrows = run_node_ref(rnode, b)?;
+                    let rrows = run_node_ref(rnode, b, vec)?;
                     let build = JoinBuild::new(&rrows, on_idx);
                     let mut matched: Vec<u32> = Vec::new();
                     build.probe(&mut lrows, *kind, &left_cols, *pad_right, &mut out, &mut matched);
@@ -124,9 +148,28 @@ pub(super) fn run_node(node: &Node, b: &Bindings<'_>) -> Result<Vec<Row>> {
                 None => GroupMap::with_input_len(group_idx, aggs, input_len),
             };
             let gm = match &**input {
-                // γ over a fused scan: stream borrowed rows straight into
-                // the group map — the filtered input batch never exists.
-                Node::FusedScan { leaf, ops } => {
+                // γ over a fused scan: the filtered input batch never
+                // exists. Vectorized, kernels refine the selection first
+                // and only survivors are gathered (into a reused scratch
+                // row) for group accumulation — same order, so the group
+                // map contents are identical to the row path's.
+                Node::FusedScan { leaf, ops, vops }
+                    if vec && !ops.is_empty() && super::column::profitable(vops) =>
+                {
+                    let t = leaf.resolve(b)?;
+                    let cols = t.columns();
+                    let mut chunk = ColumnChunk::over(&cols, 0, cols.len);
+                    let mut scratch = Row::new();
+                    run_ops(&mut chunk, vops, &mut scratch);
+                    let mut gm = make(chunk.len());
+                    let cs = chunk.columns();
+                    for i in chunk.sel.iter() {
+                        cs.gather_row(i, &mut scratch);
+                        gm.push(&scratch);
+                    }
+                    gm
+                }
+                Node::FusedScan { leaf, ops, .. } => {
                     let t = leaf.resolve(b)?;
                     let mut gm = make(t.len());
                     for row in t.rows() {
@@ -135,7 +178,7 @@ pub(super) fn run_node(node: &Node, b: &Bindings<'_>) -> Result<Vec<Row>> {
                     gm
                 }
                 other => {
-                    let rows = run_node(other, b)?;
+                    let rows = run_node(other, b, vec)?;
                     let mut gm = make(rows.len());
                     for row in &rows {
                         gm.push(row);
@@ -149,21 +192,21 @@ pub(super) fn run_node(node: &Node, b: &Bindings<'_>) -> Result<Vec<Row>> {
             out
         }
         Node::SetOp { kind, left, right } => {
-            let mut lrows = run_node(left, b)?;
+            let mut lrows = run_node(left, b, vec)?;
             let mut out = batch::take(lrows.len());
             match kind {
                 crate::derive::SetOpKind::Union => {
-                    let mut rrows = run_node(right, b)?;
+                    let mut rrows = run_node(right, b, vec)?;
                     union_rows_into(&mut lrows, &mut rrows, &mut out);
                     batch::recycle(rrows);
                 }
                 crate::derive::SetOpKind::Intersect => {
-                    let rrows = run_node_ref(right, b)?;
+                    let rrows = run_node_ref(right, b, vec)?;
                     intersect_rows_into(&mut lrows, &rrows, &mut out);
                     rrows.recycle();
                 }
                 crate::derive::SetOpKind::Difference => {
-                    let rrows = run_node_ref(right, b)?;
+                    let rrows = run_node_ref(right, b, vec)?;
                     difference_rows_into(&mut lrows, &rrows, &mut out);
                     rrows.recycle();
                 }
@@ -175,10 +218,12 @@ pub(super) fn run_node(node: &Node, b: &Bindings<'_>) -> Result<Vec<Row>> {
 }
 
 /// Morsel-parallel execution context: the scheduler the morsel tasks run
-/// on and the rows-per-morsel split size.
+/// on, the rows-per-morsel split size, and whether fused-scan segments
+/// run vectorized.
 pub(super) struct Par<'e> {
     pub sched: &'e dyn MorselScheduler,
     pub morsel: usize,
+    pub vec: bool,
 }
 
 /// Split `len` rows into morsel-sized `(lo, hi)` index ranges.
@@ -253,7 +298,7 @@ fn concat(outs: Vec<Vec<Row>>) -> Vec<Row> {
 /// Run a node for a read-only consumer, children morsel-parallel.
 fn run_node_ref_par<'a>(node: &Node, b: &Bindings<'a>, par: &Par<'_>) -> Result<Batch<'a>> {
     match node {
-        Node::FusedScan { leaf, ops } if ops.is_empty() => {
+        Node::FusedScan { leaf, ops, .. } if ops.is_empty() => {
             Ok(Batch::Borrowed(leaf.resolve(b)?.rows()))
         }
         other => Ok(Batch::Owned(run_node_par(other, b, par)?)),
@@ -265,12 +310,23 @@ fn run_node_ref_par<'a>(node: &Node, b: &Bindings<'a>, par: &Par<'_>) -> Result<
 /// scheduler is only engaged where a split exists.
 pub(super) fn run_node_par(node: &Node, b: &Bindings<'_>, par: &Par<'_>) -> Result<Vec<Row>> {
     match node {
-        Node::FusedScan { leaf, ops } => {
+        Node::FusedScan { leaf, ops, vops } => {
             let t = leaf.resolve(b)?;
             let rows = t.rows();
             // A bare scan is a plain copy; splitting it buys nothing.
             if ops.is_empty() || rows.len() <= par.morsel {
-                return run_node(node, b);
+                return run_node(node, b, par.vec);
+            }
+            if par.vec && super::column::profitable(vops) {
+                // Morsels are chunk ranges over the one shared column set:
+                // the leaf conversion happens (at most) once per epoch, not
+                // per morsel.
+                let cols = t.columns();
+                let cols = &*cols;
+                let rs = ranges(cols.len, par.morsel);
+                let outs =
+                    fan_out(par, rs.len(), &|i| Ok(run_vec_segment(cols, vops, rs[i].0, rs[i].1)))?;
+                return Ok(concat(outs));
             }
             let rs = ranges(rows.len(), par.morsel);
             let outs = fan_out(par, rs.len(), &|i| {
@@ -388,22 +444,42 @@ pub(super) fn run_node_par(node: &Node, b: &Bindings<'_>, par: &Par<'_>) -> Resu
                 None => GroupMap::with_input_len(group_idx, aggs, len),
             };
             let merged = match &**input {
-                Node::FusedScan { leaf, ops } => {
+                Node::FusedScan { leaf, ops, vops } => {
                     let t = leaf.resolve(b)?;
                     let rows = t.rows();
                     if rows.len() <= par.morsel {
-                        return run_node(node, b);
+                        return run_node(node, b, par.vec);
                     }
-                    let rs = ranges(rows.len(), par.morsel);
-                    let maps = fan_out(par, rs.len(), &|i| {
-                        let (lo, hi) = rs[i];
-                        let mut gm = make(hi - lo);
-                        for row in &rows[lo..hi] {
-                            feed_borrowed(row, ops, &mut gm);
-                        }
-                        Ok(gm)
-                    })?;
-                    merge_maps(maps)
+                    if par.vec && !ops.is_empty() && super::column::profitable(vops) {
+                        let cols = t.columns();
+                        let cols = &*cols;
+                        let rs = ranges(cols.len, par.morsel);
+                        let maps = fan_out(par, rs.len(), &|i| {
+                            let (lo, hi) = rs[i];
+                            let mut chunk = ColumnChunk::over(cols, lo, hi);
+                            let mut scratch = Row::new();
+                            run_ops(&mut chunk, vops, &mut scratch);
+                            let mut gm = make(chunk.len());
+                            let cs = chunk.columns();
+                            for i in chunk.sel.iter() {
+                                cs.gather_row(i, &mut scratch);
+                                gm.push(&scratch);
+                            }
+                            Ok(gm)
+                        })?;
+                        merge_maps(maps)
+                    } else {
+                        let rs = ranges(rows.len(), par.morsel);
+                        let maps = fan_out(par, rs.len(), &|i| {
+                            let (lo, hi) = rs[i];
+                            let mut gm = make(hi - lo);
+                            for row in &rows[lo..hi] {
+                                feed_borrowed(row, ops, &mut gm);
+                            }
+                            Ok(gm)
+                        })?;
+                        merge_maps(maps)
+                    }
                 }
                 other => {
                     let rows = run_node_par(other, b, par)?;

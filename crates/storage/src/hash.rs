@@ -56,52 +56,75 @@ fn splitmix64(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Incremental accumulation state for one key hash: obtained from
+/// [`HashSpec::begin`], fed canonical value bytes with [`HashState::write`],
+/// finalized with [`HashState::finish`]. [`HashSpec::hash_values`] is
+/// defined in terms of this state, so a caller streaming the same canonical
+/// bytes — e.g. the vectorized η kernel reading typed column slices without
+/// materializing `Value`s — produces *identical* hashes to the row-based
+/// [`HashSpec::hash_row`].
+#[derive(Debug, Clone, Copy)]
+pub struct HashState {
+    family: HashFamily,
+    h: u64,
+}
+
+impl HashState {
+    /// Absorb a byte slice.
+    #[inline]
+    pub fn write(&mut self, bytes: &[u8]) {
+        match self.family {
+            HashFamily::SplitMix | HashFamily::Fnv1a => {
+                for &b in bytes {
+                    self.h = (self.h ^ b as u64).wrapping_mul(FNV_PRIME);
+                }
+            }
+            HashFamily::Multiplicative => {
+                // Deliberately weak: an LCG step per byte, no finalizer.
+                for &b in bytes {
+                    self.h = self.h.wrapping_mul(6364136223846793005).wrapping_add(b as u64 | 1);
+                }
+            }
+        }
+    }
+
+    /// Finalize to the hash value.
+    #[inline]
+    pub fn finish(self) -> u64 {
+        match self.family {
+            HashFamily::SplitMix => splitmix64(self.h),
+            HashFamily::Fnv1a | HashFamily::Multiplicative => self.h,
+        }
+    }
+}
+
 impl HashSpec {
     /// Construct with the default family.
     pub fn with_seed(seed: u64) -> HashSpec {
         HashSpec { family: HashFamily::SplitMix, seed }
     }
 
+    /// Start incremental accumulation (see [`HashState`]).
+    #[inline]
+    pub fn begin(&self) -> HashState {
+        let h = match self.family {
+            HashFamily::SplitMix | HashFamily::Fnv1a => FNV_OFFSET ^ self.seed,
+            HashFamily::Multiplicative => {
+                self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1)
+            }
+        };
+        HashState { family: self.family, h }
+    }
+
     /// Hash a sequence of values to a `u64`. Shared by [`HashSpec::hash_key`]
     /// (contiguous key tuples) and [`HashSpec::hash_row`] (key columns read
     /// in place from a wider row), so both produce identical hashes.
     fn hash_values<'a>(&self, values: impl Iterator<Item = &'a Value>) -> u64 {
-        match self.family {
-            HashFamily::SplitMix => {
-                let mut h = FNV_OFFSET ^ self.seed;
-                for v in values {
-                    v.canonical_bytes(&mut |bytes| {
-                        for &b in bytes {
-                            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
-                        }
-                    });
-                }
-                splitmix64(h)
-            }
-            HashFamily::Fnv1a => {
-                let mut h = FNV_OFFSET ^ self.seed;
-                for v in values {
-                    v.canonical_bytes(&mut |bytes| {
-                        for &b in bytes {
-                            h = (h ^ b as u64).wrapping_mul(FNV_PRIME);
-                        }
-                    });
-                }
-                h
-            }
-            HashFamily::Multiplicative => {
-                // Deliberately weak: an LCG step per byte, no finalizer.
-                let mut h = self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
-                for v in values {
-                    v.canonical_bytes(&mut |bytes| {
-                        for &b in bytes {
-                            h = h.wrapping_mul(6364136223846793005).wrapping_add(b as u64 | 1);
-                        }
-                    });
-                }
-                h
-            }
+        let mut state = self.begin();
+        for v in values {
+            v.canonical_bytes(&mut |bytes| state.write(bytes));
         }
+        state.finish()
     }
 
     /// Hash a key tuple to a `u64`.
@@ -134,11 +157,12 @@ impl HashSpec {
 }
 
 /// Map a raw hash to `[0, 1)` using its top 53 bits. One definition shared
-/// by [`HashSpec::hash01`] and [`HashSpec::selects_row`]: the tuple-based
-/// and in-place sampling predicates must never diverge, or pushed and
-/// unpushed plans would materialize different samples.
+/// by [`HashSpec::hash01`], [`HashSpec::selects_row`], and the vectorized
+/// η kernel: the tuple-based, in-place, and columnar sampling predicates
+/// must never diverge, or pushed and unpushed plans would materialize
+/// different samples.
 #[inline]
-fn normalize01(h: u64) -> f64 {
+pub fn normalize01(h: u64) -> f64 {
     (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
 }
 

@@ -22,6 +22,7 @@
 //! makes a stale sample and its cleaned counterpart *correspond*
 //! (Proposition 2 in the paper).
 
+pub mod columns;
 pub mod database;
 pub mod delta;
 pub mod error;
@@ -30,10 +31,11 @@ pub mod schema;
 pub mod table;
 pub mod value;
 
+pub use columns::{Column, ColumnBuilder, ColumnData, ColumnSet};
 pub use database::{Database, ForeignKey};
 pub use delta::{DeltaSet, Deltas};
 pub use error::{Result, StorageError};
-pub use hash::{HashFamily, HashSpec};
+pub use hash::{normalize01, HashFamily, HashSpec, HashState};
 pub use schema::{Field, Schema};
 pub use table::{KeyTuple, Table};
 pub use value::{DataType, Value};

@@ -10,7 +10,9 @@
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex};
 
+use crate::columns::ColumnSet;
 use crate::error::{Result, StorageError};
 use crate::schema::Schema;
 use crate::value::Value;
@@ -70,6 +72,13 @@ pub struct Table {
     key: Vec<usize>,
     rows: Vec<Row>,
     index: HashMap<KeyTuple, usize>,
+    /// Mutation epoch: bumped by every row-changing method, so the cached
+    /// columnar projection below knows when it is stale.
+    epoch: u64,
+    /// Lazily-built columnar projection of `rows` ([`Table::columns`]),
+    /// tagged with the epoch it was built at. Interior mutability because
+    /// extraction happens on shared read paths (plan execution).
+    colcache: Mutex<Option<(u64, Arc<ColumnSet>)>>,
 }
 
 thread_local! {
@@ -93,6 +102,8 @@ impl Clone for Table {
             key: self.key.clone(),
             rows: self.rows.clone(),
             index: self.index.clone(),
+            epoch: 0,
+            colcache: Mutex::new(None),
         }
     }
 }
@@ -101,7 +112,7 @@ impl Table {
     /// Create an empty table with the given schema and key column names.
     pub fn new(schema: Schema, key_names: &[impl AsRef<str>]) -> Result<Table> {
         let key = schema.resolve_all(key_names)?;
-        Ok(Table { schema, key, rows: Vec::new(), index: HashMap::new() })
+        Table::with_key_indices(schema, key)
     }
 
     /// Create an empty table keyed by column positions.
@@ -113,7 +124,14 @@ impl Table {
                 )));
             }
         }
-        Ok(Table { schema, key, rows: Vec::new(), index: HashMap::new() })
+        Ok(Table {
+            schema,
+            key,
+            rows: Vec::new(),
+            index: HashMap::new(),
+            epoch: 0,
+            colcache: Mutex::new(None),
+        })
     }
 
     /// Bulk-build a table from rows, validating arity and key uniqueness.
@@ -194,6 +212,29 @@ impl Table {
         KeyTuple::of(row, &self.key)
     }
 
+    /// Record a row mutation so the cached columnar projection goes stale.
+    #[inline]
+    fn touch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// The typed columnar projection of this table's rows
+    /// ([`ColumnSet`]), built lazily and cached until the next mutation:
+    /// re-running a compiled vectorized plan against unchanged bindings
+    /// extracts each leaf exactly once per mutation epoch. Cheap to call
+    /// when warm (one lock, one `Arc` clone).
+    pub fn columns(&self) -> Arc<ColumnSet> {
+        let mut guard = self.colcache.lock().expect("column cache poisoned");
+        if let Some((epoch, cols)) = guard.as_ref() {
+            if *epoch == self.epoch {
+                return Arc::clone(cols);
+            }
+        }
+        let cols = Arc::new(ColumnSet::from_rows(&self.schema, &self.rows));
+        *guard = Some((self.epoch, Arc::clone(&cols)));
+        cols
+    }
+
     /// Insert a row; errors on arity mismatch or duplicate key.
     pub fn insert(&mut self, row: Row) -> Result<()> {
         if row.len() != self.schema.len() {
@@ -206,6 +247,7 @@ impl Table {
         if self.index.contains_key(&key) {
             return Err(StorageError::DuplicateKey(key.to_string()));
         }
+        self.touch();
         self.index.insert(key, self.rows.len());
         self.rows.push(row);
         Ok(())
@@ -220,6 +262,7 @@ impl Table {
             });
         }
         let key = self.key_of(&row);
+        self.touch();
         if let Some(&pos) = self.index.get(&key) {
             let old = std::mem::replace(&mut self.rows[pos], row);
             Ok(Some(old))
@@ -244,6 +287,7 @@ impl Table {
     /// stable across deletions.
     pub fn delete(&mut self, key: &KeyTuple) -> Option<Row> {
         let pos = self.index.remove(key)?;
+        self.touch();
         let row = self.rows.swap_remove(pos);
         if pos < self.rows.len() {
             let moved_key = self.key_of(&self.rows[pos]);
@@ -259,6 +303,8 @@ impl Table {
             key: self.key.clone(),
             rows: Vec::new(),
             index: HashMap::new(),
+            epoch: 0,
+            colcache: Mutex::new(None),
         }
     }
 
@@ -270,6 +316,7 @@ impl Table {
     /// Sort rows by primary key (stable, ascending). Useful for deterministic
     /// output and comparisons in tests.
     pub fn sort_by_key(&mut self) {
+        self.touch();
         let key = self.key.clone();
         self.rows.sort_by(|a, b| KeyTuple::of(a, &key).cmp(&KeyTuple::of(b, &key)));
         self.reindex();

@@ -109,7 +109,7 @@ impl Value {
 
     /// Canonical bit pattern for a float: collapses `-0.0` to `0.0` and all
     /// NaNs to one representative, so equal-looking floats hash equally.
-    fn canonical_f64_bits(x: f64) -> u64 {
+    pub fn canonical_f64_bits(x: f64) -> u64 {
         if x.is_nan() {
             f64::NAN.to_bits()
         } else if x == 0.0 {

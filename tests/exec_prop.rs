@@ -9,7 +9,7 @@
 use proptest::prelude::*;
 
 mod generators;
-use generators::{build_db, plan_variant, random_deltas};
+use generators::{build_db, build_db_mixed, mixed_plan_variant, plan_variant, random_deltas};
 
 use stale_view_cleaning::cluster::minibatch::BatchPipeline;
 use stale_view_cleaning::ivm::view::{maintenance_bindings, MaterializedView};
@@ -66,6 +66,59 @@ fn batch_pipeline_cache_survives_repartitions_exactly() {
         "repartition must invalidate the compiled-plan cache"
     );
     assert!(v3.table().approx_same_contents(&expected, 1e-9), "post-repartition diverged");
+}
+
+/// Regression: two live pipeline clones share one compiled-plan cache but
+/// may be attached to *different* statistics catalogs. Entries are keyed
+/// by catalog identity, so alternating maintenance calls replay their own
+/// compiled plans; the pre-fix behavior (one catalog slot, full flush on
+/// mismatch) had the clones wiping each other's entries on every lookup
+/// and recompiling every single pass.
+#[test]
+fn batch_pipeline_cache_is_shared_across_catalogs() {
+    use stale_view_cleaning::catalog::Catalog;
+    use std::sync::Arc;
+
+    let db = build_db(300, 10, 3);
+    let view_def = Plan::scan("fact")
+        .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "dimId")])
+        .aggregate(
+            &["dimId"],
+            vec![AggSpec::count_all("n"), AggSpec::new("avgx", AggFunc::Avg, col("x"))],
+        );
+    let view = MaterializedView::create("v", view_def, &db).unwrap();
+    // Insert-only stream: one chunk signature, so each (catalog, epoch)
+    // pair should compile exactly one plan set, ever.
+    let ops: Vec<(u8, u64)> = (0..90u64).map(|i| (0u8, i * 131 + 7)).collect();
+    let deltas = random_deltas(&db, &ops);
+    let expected = view.recompute_fresh(&db, &deltas).unwrap();
+
+    let p1 = BatchPipeline::new(2).with_catalog(Arc::new(Catalog::build(&db)));
+    let mut p2 = p1.clone();
+    p2.catalog = Some(Arc::new(Catalog::build(&db)));
+
+    // Warm one entry per clone.
+    for p in [&p1, &p2] {
+        let mut v = view.clone();
+        p.maintain(&db, &mut v, &deltas, 30).unwrap();
+        assert!(v.table().approx_same_contents(&expected, 1e-9));
+    }
+    let warm = p1.plan_compiles();
+    assert_eq!(warm, 2, "one compile per catalog identity");
+
+    // Alternating catalogs must replay the cache, not thrash it.
+    for _ in 0..3 {
+        for p in [&p1, &p2] {
+            let mut v = view.clone();
+            p.maintain(&db, &mut v, &deltas, 30).unwrap();
+            assert!(v.table().approx_same_contents(&expected, 1e-9));
+        }
+    }
+    assert_eq!(
+        p1.plan_compiles(),
+        warm,
+        "clones on different catalogs must not wipe each other's cache entries"
+    );
 }
 
 /// Regression (ROADMAP item): a base-schema change between maintenance
@@ -176,11 +229,20 @@ proptest! {
         }
         let b = Bindings::from_database(&db);
         let expected = evaluate_materializing(&plan, &b).unwrap();
-        let got = compile(&plan, &b).unwrap().run(&b).unwrap();
+        let compiled = compile(&plan, &b).unwrap();
+        let got = compiled.run(&b).unwrap();
         prop_assert!(
             got.same_contents(&expected),
             "variant {} (hashed {}, optimized {}): executor diverged, {} vs {} rows",
             variant, hashed, optimized, got.len(), expected.len()
+        );
+        // The vectorized kernels (default) and the row-at-a-time reference
+        // path must agree bit for bit, row for row, in order.
+        let rowwise = compiled.run_rowwise(&b).unwrap();
+        prop_assert!(
+            got.rows() == rowwise.rows(),
+            "variant {} (hashed {}, optimized {}): vectorized and rowwise paths diverged",
+            variant, hashed, optimized
         );
     }
 
@@ -224,11 +286,58 @@ proptest! {
 
         let bindings = maintenance_bindings(&db, &deltas, view.table());
         let expected = evaluate_materializing(&plan, &bindings).unwrap();
-        let got = compile(&plan, &bindings).unwrap().run(&bindings).unwrap();
+        let compiled = compile(&plan, &bindings).unwrap();
+        let got = compiled.run(&bindings).unwrap();
         prop_assert!(
             got.same_contents(&expected),
             "view kind {}: maintenance execution diverged, {} vs {} rows",
             view_kind, got.len(), expected.len()
+        );
+        let rowwise = compiled.run_rowwise(&bindings).unwrap();
+        prop_assert!(
+            got.rows() == rowwise.rows(),
+            "view kind {view_kind}: vectorized and rowwise maintenance paths diverged"
+        );
+    }
+
+    /// Null-heavy, type-mixed tables: typed kernels with validity masks,
+    /// the `Mixed` column fallback, cross-type-rank literals, IsNull
+    /// composition, and η/γ over nullable keys — vectorized execution must
+    /// match the legacy evaluator (as a set) and the rowwise reference
+    /// path bit for bit, row for row, in order.
+    #[test]
+    fn vectorized_matches_rowwise_on_null_heavy_mixed_tables(
+        n_rows in 40usize..300,
+        variant in 0u8..7,
+        hashed in 0u8..2,
+        ratio in 0.1f64..0.9,
+        seed in 0u64..500,
+        data_seed in 0u64..200,
+    ) {
+        let db = build_db_mixed(n_rows, data_seed);
+        let mut plan = mixed_plan_variant(variant);
+        if hashed == 1 {
+            let derived = stale_view_cleaning::relalg::derive::derive(&plan, &db).unwrap();
+            let key: Vec<String> =
+                derived.key_names().iter().map(|s| s.to_string()).collect();
+            if !key.is_empty() {
+                let key_refs: Vec<&str> = key.iter().map(|s| s.as_str()).collect();
+                plan = plan.hash(&key_refs, ratio, HashSpec::with_seed(seed));
+            }
+        }
+        let b = Bindings::from_database(&db);
+        let expected = evaluate_materializing(&plan, &b).unwrap();
+        let compiled = compile(&plan, &b).unwrap();
+        let got = compiled.run(&b).unwrap();
+        prop_assert!(
+            got.same_contents(&expected),
+            "mixed variant {} (hashed {}): executor diverged, {} vs {} rows",
+            variant, hashed, got.len(), expected.len()
+        );
+        let rowwise = compiled.run_rowwise(&b).unwrap();
+        prop_assert!(
+            got.rows() == rowwise.rows(),
+            "mixed variant {variant} (hashed {hashed}): vectorized and rowwise paths diverged"
         );
     }
 }

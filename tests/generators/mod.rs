@@ -104,6 +104,92 @@ pub fn plan_variant(variant: u8) -> Plan {
     }
 }
 
+/// A database whose one table is null-heavy and type-mixed: every column
+/// except the key carries a sizable null fraction (exercising the
+/// columnar validity masks), and `m` mixes Int/Float/Str values in a
+/// single column (demoting its columnar extraction to the `Mixed`
+/// fallback and exercising cross-type-rank comparisons).
+pub fn build_db_mixed(n_rows: usize, data_seed: u64) -> Database {
+    let mut s = data_seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let mut t = Table::new(
+        Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("a", DataType::Int),
+            ("x", DataType::Float),
+            ("m", DataType::Str),
+            ("flag", DataType::Bool),
+        ])
+        .unwrap(),
+        &["id"],
+    )
+    .unwrap();
+    for i in 0..n_rows as i64 {
+        let r = next();
+        let a = match r % 3 {
+            0 => Value::Null,
+            _ => Value::Int((r % 50) as i64),
+        };
+        let x = match (r >> 8) % 4 {
+            0 => Value::Null,
+            _ => Value::Float(((r >> 8) % 1000) as f64 / 100.0),
+        };
+        let m = match (r >> 16) % 5 {
+            0 => Value::Null,
+            1 => Value::Int(((r >> 16) % 20) as i64),
+            2 => Value::Float(((r >> 16) % 30) as f64 / 3.0),
+            _ => Value::str(format!("s{}", (r >> 16) % 8)),
+        };
+        let flag = match (r >> 24) % 3 {
+            0 => Value::Null,
+            1 => Value::Bool(false),
+            _ => Value::Bool(true),
+        };
+        t.insert(vec![Value::Int(i), a, x, m, flag]).unwrap();
+    }
+    let mut db = Database::new();
+    db.create_table("mixed", t);
+    db
+}
+
+/// Plan shapes over the [`build_db_mixed`] table, aimed at the vectorized
+/// kernels' null and Mixed paths: typed column-vs-literal comparisons
+/// under validity masks, IsNull (plain and negated), And/Or composition,
+/// column-vs-column with nulls on both sides, cross-type-rank literals,
+/// arithmetic projections over nullable inputs, γ with null group keys,
+/// and η over a nullable key.
+pub fn mixed_plan_variant(variant: u8) -> Plan {
+    match variant % 7 {
+        // Int column vs Int literal: nulls must never match.
+        0 => Plan::scan("mixed").select(col("a").gt(lit(10i64))),
+        // Float vs literal AND a negated IsNull (the Not(IsNull) kernel).
+        1 => Plan::scan("mixed").select(col("x").le(lit(5.0)).and(col("a").is_null().not())),
+        // Str literal over the type-mixed column (Mixed fallback).
+        2 => Plan::scan("mixed").select(col("m").eq(lit("s3"))),
+        // Bool kernel, then an arithmetic projection over nullable Int.
+        3 => Plan::scan("mixed")
+            .select(col("flag").eq(lit(true)))
+            .project(vec![("id", col("id")), ("a2", col("a").mul(lit(2i64)))]),
+        // Column-vs-column with nulls on both sides, cross-type Int/Float.
+        4 => Plan::scan("mixed")
+            .select(col("a").lt(col("x")))
+            .project(vec![("id", col("id")), ("ax", col("a").add(col("x")))]),
+        // Or composition with IsNull; γ grouping on a nullable key.
+        5 => Plan::scan("mixed").select(col("m").is_null().or(col("a").gt(lit(25i64)))).aggregate(
+            &["a"],
+            vec![AggSpec::count_all("n"), AggSpec::new("sx", AggFunc::Sum, col("x"))],
+        ),
+        // Cross-type-rank literal over Mixed (Int literal vs Str values),
+        // then η over the (non-null) primary key.
+        _ => Plan::scan("mixed").select(col("m").gt(lit(5i64))),
+    }
+}
+
 pub fn random_deltas(db: &Database, ops: &[(u8, u64)]) -> Deltas {
     let mut deltas = Deltas::new();
     let n_facts = db.table("fact").unwrap().len() as i64;

@@ -14,7 +14,7 @@
 use proptest::prelude::*;
 
 mod generators;
-use generators::{build_db, plan_variant, random_deltas};
+use generators::{build_db, build_db_mixed, mixed_plan_variant, plan_variant, random_deltas};
 
 use stale_view_cleaning::cluster::executor::WorkerPool;
 use stale_view_cleaning::ivm::view::{maintenance_bindings, MaterializedView};
@@ -56,17 +56,33 @@ fn approx_same_rows_in_order(a: &Table, b: &Table, eps: f64) -> bool {
 /// Assert the full matrix for one compiled plan under one binding set:
 /// sequential `run()` as the oracle, `run_parallel` across schedulers ×
 /// morsel sizes, bit-identical across schedulers for a fixed morsel size.
+/// The row-at-a-time reference path rides along on both axes: sequential
+/// `run_rowwise` must be bit-identical to `run`, and the parallel rowwise
+/// mode bit-identical to the parallel vectorized anchor per morsel size.
 fn assert_matrix(
     compiled: &stale_view_cleaning::relalg::exec::PhysicalPlan,
     bindings: &Bindings<'_>,
     pools: &[WorkerPool],
     label: &str,
 ) {
+    use stale_view_cleaning::relalg::exec::ExecMode;
     let sequential = compiled.run(bindings).unwrap();
+    let rowwise = compiled.run_rowwise(bindings).unwrap();
+    assert!(
+        rowwise.rows() == sequential.rows() && rowwise.schema() == sequential.schema(),
+        "{label}: sequential vectorized and rowwise paths diverged"
+    );
     for &morsel in &MORSELS {
         // The inline scheduler anchors the morsel decomposition; pools of
         // every worker count must reproduce it bit for bit.
         let anchor = compiled.run_parallel(bindings, &SequentialScheduler, morsel).unwrap();
+        let anchor_rw = compiled
+            .run_with(bindings, ExecMode::morsel(&SequentialScheduler, morsel).rowwise())
+            .unwrap();
+        assert!(
+            anchor_rw.rows() == anchor.rows(),
+            "{label}: morsel {morsel} parallel rowwise diverged from parallel vectorized"
+        );
         assert!(
             approx_same_rows_in_order(&anchor, &sequential, 1e-9),
             "{label}: morsel {morsel} diverged from sequential in rows or order \
@@ -172,6 +188,36 @@ proptest! {
         let compiled = compile(&plan, &bindings).unwrap();
         let pools = [WorkerPool::new(1), WorkerPool::new(2), WorkerPool::new(4)];
         assert_matrix(&compiled, &bindings, &pools, &format!("view kind {view_kind}"));
+    }
+
+    /// Null-heavy, type-mixed tables through the same matrix: the typed
+    /// kernels' validity masks and the `Mixed` column fallback must
+    /// survive morsel decomposition — chunk-range boundaries cut through
+    /// null runs and type changes without changing a single row.
+    #[test]
+    fn morsel_execution_matches_sequential_on_mixed_tables(
+        n_rows in 40usize..250,
+        variant in 0u8..7,
+        hashed in 0u8..2,
+        ratio in 0.1f64..0.9,
+        seed in 0u64..500,
+        data_seed in 0u64..200,
+    ) {
+        let db = build_db_mixed(n_rows, data_seed);
+        let mut plan = mixed_plan_variant(variant);
+        if hashed == 1 {
+            let derived = stale_view_cleaning::relalg::derive::derive(&plan, &db).unwrap();
+            let key: Vec<String> =
+                derived.key_names().iter().map(|s| s.to_string()).collect();
+            if !key.is_empty() {
+                let key_refs: Vec<&str> = key.iter().map(|s| s.as_str()).collect();
+                plan = plan.hash(&key_refs, ratio, HashSpec::with_seed(seed));
+            }
+        }
+        let b = Bindings::from_database(&db);
+        let compiled = compile(&plan, &b).unwrap();
+        let pools = [WorkerPool::new(2)];
+        assert_matrix(&compiled, &b, &pools, &format!("mixed variant {variant}"));
     }
 }
 
