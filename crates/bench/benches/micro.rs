@@ -29,7 +29,7 @@ fn bench_hash(c: &mut Criterion) {
                 acc += spec.hash01(black_box(k));
             }
             black_box(acc)
-        })
+        });
     });
 }
 
@@ -38,7 +38,7 @@ fn bench_eval_join_view(c: &mut Criterion) {
     c.bench_function("materialize_join_view", |b| {
         b.iter(|| {
             black_box(svc_bench::materialize(&join_view(), &data.db));
-        })
+        });
     });
 }
 
@@ -49,13 +49,13 @@ fn bench_ivm_vs_clean(c: &mut Criterion) {
         b.iter(|| {
             let mut svc = svc_bench::join_view_svc(&data, 1.0);
             svc.view.maintain(&data.db, black_box(&deltas)).unwrap();
-        })
+        });
     });
     c.bench_function("svc_clean_sample_10pct", |b| {
         let svc = svc_bench::join_view_svc(&data, 0.1);
         b.iter(|| {
             black_box(svc.clean_sample(&data.db, black_box(&deltas)).unwrap());
-        })
+        });
     });
 }
 
@@ -63,7 +63,7 @@ fn bench_sampling(c: &mut Criterion) {
     let data = data();
     let view = svc_bench::materialize(&join_view(), &data.db);
     c.bench_function("sample_by_key_10pct", |b| {
-        b.iter(|| black_box(sample_by_key(&view, 0.1, HashSpec::default())))
+        b.iter(|| black_box(sample_by_key(&view, 0.1, HashSpec::default())));
     });
 }
 
@@ -81,10 +81,10 @@ fn bench_optimizer(c: &mut Criterion) {
     let bindings = maintenance_bindings(&data.db, &deltas, svc.view.table());
 
     c.bench_function("optimize_cleaning_plan", |b| {
-        b.iter(|| black_box(optimize(black_box(&hashed), &bindings).unwrap()))
+        b.iter(|| black_box(optimize(black_box(&hashed), &bindings).unwrap()));
     });
     c.bench_function("clean_sample_unoptimized_eval", |b| {
-        b.iter(|| black_box(svc_relalg::eval::evaluate(black_box(&hashed), &bindings).unwrap()))
+        b.iter(|| black_box(svc_relalg::eval::evaluate(black_box(&hashed), &bindings).unwrap()));
     });
 }
 
@@ -95,10 +95,10 @@ fn bench_estimators(c: &mut Criterion) {
     let cleaned = svc.clean_sample(&data.db, &deltas).unwrap();
     let q = AggQuery::sum(revenue_expr()).filter(col("o_orderdate").lt(lit(1500i64)));
     c.bench_function("estimate_aqp_sum", |b| {
-        b.iter(|| black_box(svc.estimate_aqp(&cleaned, &q).unwrap()))
+        b.iter(|| black_box(svc.estimate_aqp(&cleaned, &q).unwrap()));
     });
     c.bench_function("estimate_corr_sum", |b| {
-        b.iter(|| black_box(svc.estimate_corr(&cleaned, &q).unwrap()))
+        b.iter(|| black_box(svc.estimate_corr(&cleaned, &q).unwrap()));
     });
 }
 

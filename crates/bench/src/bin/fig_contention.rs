@@ -143,7 +143,7 @@ fn main() {
     // ── contention: two pipelines, one shared pool (Figure 14b) ──────────
     let shared = Arc::new(WorkerPool::new(4));
     let mut pa = BatchPipeline::on_pool(shared.clone());
-    let mut pb = BatchPipeline::on_pool(shared.clone());
+    let mut pb = BatchPipeline::on_pool(shared);
     pb.morsel_size = Some((lineitem_rows / 32).max(256));
     pa.partitions = 8;
 

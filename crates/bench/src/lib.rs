@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Shared harness for the figure-regeneration binaries.
 //!
 //! Every binary `figXX` prints the same series the corresponding figure of

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # svc-catalog
 //!
 //! Table statistics and cardinality estimation for the Stale View Cleaning

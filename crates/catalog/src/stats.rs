@@ -246,7 +246,7 @@ mod tests {
     fn incremental_inserts_match_rebuild_exactly() {
         let t = table(500);
         let mut s = TableStats::build(&t, &StatsConfig::default());
-        let mut t2 = t.clone();
+        let mut t2 = t;
         let mut added = Vec::new();
         for i in 500..700i64 {
             let row = vec![Value::Int(i), Value::Float((i % 90) as f64), Value::str("new")];
@@ -270,7 +270,7 @@ mod tests {
         let t = table(400);
         let mut s = TableStats::build(&t, &StatsConfig::default());
         let deleted: Vec<_> = t.rows().iter().take(120).cloned().collect();
-        let mut t2 = t.clone();
+        let mut t2 = t;
         for row in &deleted {
             t2.delete(&t2.key_of(row));
         }

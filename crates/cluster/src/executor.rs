@@ -105,8 +105,13 @@ struct RawTask(*const (dyn Fn(usize, usize) + Sync));
 
 // SAFETY: the pointee is `Sync` (shared calls from any thread are fine) and
 // the pointer is only dereferenced while the submitting thread is parked in
-// `submit`, keeping the closure alive.
+// `submit`, keeping the closure alive. These impls, together with the
+// erasing transmute in `submit` and the dereference in `worker_loop`, form
+// the one audited unsafe block of the workspace (crate root carries
+// `deny(unsafe_code)`; every other crate is `forbid(unsafe_code)`).
+#[allow(unsafe_code)]
 unsafe impl Send for RawTask {}
+#[allow(unsafe_code)]
 unsafe impl Sync for RawTask {}
 
 impl std::fmt::Debug for RawTask {
@@ -231,6 +236,7 @@ impl WorkerPool {
     /// task is caught on its worker (the worker survives, other sessions
     /// are unaffected) and reported here as an error once the session
     /// drains.
+    #[allow(unsafe_code)] // audited RawTask lifetime erasure, see SAFETY below
     pub fn submit(&self, n: usize, run: &(dyn Fn(usize, usize) + Sync)) -> Result<()> {
         if n == 0 {
             return Ok(());
@@ -422,6 +428,7 @@ fn session_outcome(panicked: bool) -> Result<()> {
 
 /// The persistent worker body: pull one task at a time off the shared
 /// queue, run it under `catch_unwind`, report completion to its session.
+#[allow(unsafe_code)] // audited RawTask dereference, see SAFETY below
 fn worker_loop(shared: &PoolShared, pool_id: usize, w: usize) {
     CURRENT_WORKER.with(|c| c.set(Some((pool_id, w))));
     loop {

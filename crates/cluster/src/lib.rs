@@ -1,3 +1,13 @@
+// The one crate in the workspace allowed to contain `unsafe`: the
+// work-stealing executor's type-erased `RawTask` needs it. `deny` (not
+// `forbid`) so the audited block in `executor.rs` can opt back in with an
+// item-level `#[allow(unsafe_code)]`; every unsafe operation there must sit
+// inside an explicit `unsafe {}` with a SAFETY comment
+// (`unsafe_op_in_unsafe_fn`). `scripts/unsafe_audit.sh` enforces that no
+// other module grows an `unsafe` token.
+#![deny(unsafe_code)]
+#![deny(unsafe_op_in_unsafe_fn)]
+
 //! # svc-cluster
 //!
 //! The distributed-execution substrate for the paper's Spark experiments

@@ -792,7 +792,7 @@ mod tests {
         let expected = view.recompute_fresh(&db, &deltas).unwrap();
 
         let pipeline = BatchPipeline::new(2).with_catalog(Arc::new(Catalog::build(&db)));
-        let mut v = view.clone();
+        let mut v = view;
         let run = pipeline.maintain(&db, &mut v, &deltas, 120).unwrap();
         assert!(
             v.table().approx_same_contents(&expected, 1e-9),
@@ -811,7 +811,7 @@ mod tests {
             md.insert(&db, "video", vec![Value::Int(vid), Value::Float(1.5)]).unwrap();
         }
         let expected = mview.recompute_fresh(&db, &md).unwrap();
-        let mut mv = mview.clone();
+        let mut mv = mview;
         let run = pipeline.maintain(&db, &mut mv, &md, 10).unwrap();
         assert!(mv.table().approx_same_contents(&expected, 1e-9));
         assert_eq!(run.fallback_batches, run.batches);
@@ -826,7 +826,7 @@ mod tests {
 
         let mut pipeline = BatchPipeline::new(2);
         pipeline.optimize_plans = false;
-        let mut v = view.clone();
+        let mut v = view;
         pipeline.maintain(&db, &mut v, &deltas, 100).unwrap();
         assert!(v.table().approx_same_contents(&expected, 1e-9));
     }
@@ -847,7 +847,7 @@ mod tests {
         let expected = view.recompute_fresh(&db, &deltas).unwrap();
 
         let pipeline = BatchPipeline::new(2);
-        let mut v = view.clone();
+        let mut v = view;
         let run = pipeline.maintain(&db, &mut v, &deltas, 10).unwrap();
         assert!(v.table().approx_same_contents(&expected, 1e-9));
         assert_eq!(run.fallback_batches, run.batches);
@@ -870,7 +870,7 @@ mod tests {
         let expected = view.recompute_fresh(&db, &deltas).unwrap();
 
         let pipeline = BatchPipeline::new(2);
-        let mut v = view.clone();
+        let mut v = view;
         let run = pipeline.maintain(&db, &mut v, &deltas, 1_000).unwrap();
         assert!(v.table().approx_same_contents(&expected, 1e-9));
         assert_eq!(run.plans_evaluated, run.batches, "one chunk per batch");
@@ -900,7 +900,7 @@ mod tests {
         let expected = view.recompute_fresh(&db, &deltas).unwrap();
 
         let pipeline = BatchPipeline::new(3);
-        let mut v = view.clone();
+        let mut v = view;
         let run = pipeline.maintain(&db, &mut v, &deltas, 10).unwrap();
         assert!(v.table().approx_same_contents(&expected, 1e-9));
         let relevant = deltas.restricted_to(&["log", "video"]).len();
@@ -958,7 +958,7 @@ mod tests {
         let db = db();
         let pool = Arc::new(WorkerPool::new(2));
         let p1 = BatchPipeline::on_pool(pool.clone());
-        let mut p2 = BatchPipeline::on_pool(pool.clone());
+        let mut p2 = BatchPipeline::on_pool(pool);
         // The second pipeline opts into morsel parallelism, so whole-plan
         // tasks and morsel tasks interleave on the same queue.
         p2.morsel_size = Some(64);
@@ -1039,7 +1039,7 @@ mod tests {
             );
         });
         // The pool survives both failures for the next maintenance round.
-        let mut v = view.clone();
+        let mut v = view;
         healthy.maintain(&db, &mut v, &deltas, 60).unwrap();
         assert!(v.table().approx_same_contents(&expected, 1e-9));
     }

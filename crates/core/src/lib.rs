@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # svc-core — Stale View Cleaning
 //!
 //! The primary contribution of *"Stale View Cleaning: Getting Fresh Answers

@@ -78,7 +78,7 @@ impl OutlierIndex {
         let threshold = match spec.policy {
             ThresholdPolicy::Above(t) => t,
             ThresholdPolicy::TopK => {
-                let mut v = values.clone();
+                let mut v = values;
                 v.sort_by(f64::total_cmp);
                 if v.len() > spec.capacity {
                     v[v.len() - spec.capacity]

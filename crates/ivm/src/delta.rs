@@ -178,8 +178,8 @@ pub fn derive_delta(plan: &Plan, info: &DeltaInfo, cat: &impl LeafProvider) -> R
                 None => None,
             };
             // Deletions: ∇L ⋈ R  ∪  (L − ∇L) ⋈ ∇R
-            let del_a = dl.del.clone().map(|dl_| join(dl_, (**right).clone()));
-            let del_b = dr.del.clone().map(|dr_| join(l_minus.clone(), dr_));
+            let del_a = dl.del.map(|dl_| join(dl_, (**right).clone()));
+            let del_b = dr.del.map(|dr_| join(l_minus.clone(), dr_));
 
             DeltaPlan { ins: union_opt(ins_a, ins_b), del: union_opt(del_a, del_b) }
         }
@@ -289,6 +289,8 @@ mod tests {
         evaluate(plan, &b).unwrap()
     }
 
+    // By-value keeps the inline plan-building call sites clean.
+    #[allow(clippy::needless_pass_by_value)]
     fn check_new_state_matches_recompute(view: Plan) {
         let db = db();
         let deltas = make_deltas(&db);
@@ -297,8 +299,8 @@ mod tests {
         let incremental = eval_with_deltas(&ns, &db, &deltas);
 
         // Ground truth: apply deltas then evaluate the definition.
-        let mut db2 = db.clone();
-        let mut d2 = deltas.clone();
+        let mut db2 = db;
+        let mut d2 = deltas;
         d2.apply_to(&mut db2).unwrap();
         let b2 = Bindings::from_database(&db2);
         let expected = evaluate(&view, &b2).unwrap();

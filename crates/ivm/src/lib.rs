@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # svc-ivm
 //!
 //! Incremental view maintenance (IVM) for the Stale View Cleaning

@@ -482,7 +482,7 @@ mod tests {
         t.insert(vec![Value::Int(1), Value::Float(1.0)]).unwrap();
         db.create_table("log", t);
         let stale = db.leaf("log").unwrap();
-        let cat = MaintCatalog { db: &db, stale: stale.clone() };
+        let cat = MaintCatalog { db: &db, stale };
 
         // Plain, partitioned, and special leaves all resolve.
         for name in ["log", "__ins.log", "__del.log", "__ins.log@0", "__del.log@17"] {

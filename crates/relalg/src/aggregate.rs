@@ -414,19 +414,19 @@ mod tests {
         t
     }
 
-    fn run(specs: Vec<AggSpec>) -> Table {
+    fn run(specs: &[AggSpec]) -> Table {
         let t = input();
         let input_d = Derived { schema: t.schema().clone(), key: t.key().to_vec() };
         let group = vec!["g".to_string()];
-        let out = derive_aggregate(&input_d, &group, &specs).unwrap();
+        let out = derive_aggregate(&input_d, &group, specs).unwrap();
         let group_idx = t.schema().resolve_all(&group).unwrap();
-        let aggs = bind_aggs(&specs, t.schema()).unwrap();
+        let aggs = bind_aggs(specs, t.schema()).unwrap();
         run_aggregate(&t, &group_idx, &aggs, &out, None).unwrap()
     }
 
     #[test]
     fn count_sum_avg() {
-        let out = run(vec![
+        let out = run(&[
             AggSpec::count_all("n"),
             AggSpec::new("total", AggFunc::Sum, col("x")),
             AggSpec::new("mean", AggFunc::Avg, col("x")),
@@ -440,7 +440,7 @@ mod tests {
 
     #[test]
     fn min_max_median() {
-        let out = run(vec![
+        let out = run(&[
             AggSpec::new("lo", AggFunc::Min, col("x")),
             AggSpec::new("hi", AggFunc::Max, col("x")),
             AggSpec::new("med", AggFunc::Median, col("x")),

@@ -771,7 +771,7 @@ mod tests {
                 let got = out.cols[0].value(i);
                 match (&got, &want) {
                     (Value::Float(a), Value::Float(b)) => {
-                        assert_eq!(a.to_bits(), b.to_bits(), "{e} row {i}")
+                        assert_eq!(a.to_bits(), b.to_bits(), "{e} row {i}");
                     }
                     _ => assert_eq!(got, want, "{e} row {i}"),
                 }

@@ -28,7 +28,12 @@ pub fn profitable(ops: &[VecOp]) -> bool {
 
 /// Run a vectorized operator chain over a chunk, in order. `scratch` is
 /// the shared row buffer for kernels that fall back to row evaluation.
+/// Under the `verify` feature, the chunk's integrity (column lengths,
+/// validity masks, selection-vector ordering — see
+/// [`crate::verify::columnar`]) is checked on entry and after every
+/// kernel; the hooks compile to nothing otherwise.
 pub fn run_ops(chunk: &mut ColumnChunk<'_>, ops: &[VecOp], scratch: &mut Row) {
+    crate::verify::columnar::debug_check_chunk(chunk);
     for op in ops {
         if chunk.is_empty() {
             return;
@@ -55,5 +60,6 @@ pub fn run_ops(chunk: &mut ColumnChunk<'_>, ops: &[VecOp], scratch: &mut Row) {
                 apply_hash(cs, sel, key_idx, *ratio, *spec);
             }
         }
+        crate::verify::columnar::debug_check_chunk(chunk);
     }
 }

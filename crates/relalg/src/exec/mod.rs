@@ -228,6 +228,15 @@ impl PhysicalPlan {
         &self.out
     }
 
+    /// Run the physical verifier over this compiled plan: bound indices in
+    /// range, FusedOp/VecOp twins agreeing, every breaker producing its
+    /// declared arity, and the root matching the declared output type. See
+    /// [`crate::verify::physical`]. [`compile_with`] calls this on every
+    /// compile when the `verify` feature is on.
+    pub fn verify(&self) -> Result<()> {
+        crate::verify::physical::verify_physical(&self.root, &self.out)
+    }
+
     /// Compact structural description, e.g.
     /// `γ(fused-scan(lineitem)[σσ])` — used by tests asserting fusion
     /// boundaries and by debugging.
@@ -287,7 +296,10 @@ pub fn compile_with(
 ) -> Result<PhysicalPlan> {
     let leaves: &dyn LeafProvider = &leaves;
     let (root, out) = compile::lower_plan(plan, leaves, est)?;
-    Ok(PhysicalPlan { root, out })
+    let plan = PhysicalPlan { root, out };
+    #[cfg(feature = "verify")]
+    plan.verify()?;
+    Ok(plan)
 }
 
 #[cfg(test)]

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # svc-relalg
 //!
 //! Relational algebra for the Stale View Cleaning reproduction: the view
@@ -40,6 +42,7 @@ pub mod optimizer;
 pub mod plan;
 pub mod scalar;
 pub mod setops;
+pub mod verify;
 
 pub use aggregate::{AggFunc, AggSpec};
 pub use derive::{derive, Derived, LeafProvider};

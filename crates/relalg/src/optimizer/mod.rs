@@ -74,12 +74,27 @@ pub struct Optimizer<'e> {
     /// Safety cap on rule sweeps; the standard rule set reaches its fixed
     /// point in two or three.
     pub max_passes: usize,
+    /// Run the rewrite-boundary verifier
+    /// ([`crate::verify::logical::verify_rewrite`]) around every rule
+    /// application: the input plan must verify, and after each rule that
+    /// reports a change the plan must still verify with an unchanged output
+    /// schema (and key, for key-preserving rules). Defaults to the `verify`
+    /// cargo feature; [`Optimizer::with_verification`] overrides per
+    /// instance, which is how witness tests arm it in any build.
+    pub verify_rewrites: bool,
 }
 
 impl<'e> Optimizer<'e> {
     /// Engine with an explicit rule list.
     pub fn with_rules(rules: Vec<Box<dyn Rule + 'e>>) -> Optimizer<'e> {
-        Optimizer { rules, max_passes: 8 }
+        Optimizer { rules, max_passes: 8, verify_rewrites: crate::verify::ENABLED }
+    }
+
+    /// Explicitly arm or disarm rewrite verification for this engine,
+    /// overriding the `verify` feature default.
+    pub fn with_verification(mut self, on: bool) -> Optimizer<'e> {
+        self.verify_rewrites = on;
+        self
     }
 
     /// The standard rule set: constant folding, predicate pushdown,
@@ -112,17 +127,41 @@ impl<'e> Optimizer<'e> {
         Optimizer::with_rules(vec![Box::new(EtaPushdown)])
     }
 
-    /// Rewrite `plan` to a fixed point of the rule set.
+    /// Rewrite `plan` to a fixed point of the rule set. With
+    /// [`Optimizer::verify_rewrites`] on, the input plan is verified once
+    /// up front and re-verified at every rewrite boundary — a rule that
+    /// breaks well-formedness or changes the output schema fails here,
+    /// blamed by name, instead of surfacing as a wrong answer downstream.
     pub fn run(&self, plan: &Plan, leaves: &impl LeafProvider) -> Result<(Plan, OptimizeReport)> {
         let leaves: &dyn LeafProvider = leaves;
         let mut plan = plan.clone();
         let mut report = OptimizeReport::default();
+        let mut current = if self.verify_rewrites {
+            Some(crate::verify::logical::verify_plan(&plan, &leaves).map_err(|e| {
+                svc_storage::StorageError::Invalid(format!(
+                    "rewrite verifier: input plan is ill-formed before any rule ran: {e}"
+                ))
+            })?)
+        } else {
+            None
+        };
         for _ in 0..self.max_passes {
             report.passes += 1;
             let mut changed = false;
             for rule in &self.rules {
                 let (next, rule_changed) = rule.apply(plan, leaves, &mut report)?;
                 plan = next;
+                if rule_changed {
+                    if let Some(cur) = &mut current {
+                        *cur = crate::verify::logical::verify_rewrite(
+                            rule.name(),
+                            cur,
+                            &plan,
+                            &leaves,
+                            rule.preserves_key(),
+                        )?;
+                    }
+                }
                 changed |= rule_changed;
             }
             if !changed {
@@ -205,11 +244,11 @@ mod tests {
         db
     }
 
-    fn check_equivalent(plan: Plan) -> OptimizeReport {
+    fn check_equivalent(plan: &Plan) -> OptimizeReport {
         let db = db();
         let b = Bindings::from_database(&db);
-        let expected = evaluate(&plan, &b).unwrap();
-        let (optimized, report) = optimize(&plan, &db).unwrap();
+        let expected = evaluate(plan, &b).unwrap();
+        let (optimized, report) = optimize(plan, &db).unwrap();
         let got = evaluate(&optimized, &b).unwrap();
         assert!(
             got.same_contents(&expected),
@@ -233,7 +272,7 @@ mod tests {
             )
             .select(col("n").gt(lit(5i64)))
             .select(col("dimId").lt(lit(30i64)));
-        let report = check_equivalent(plan);
+        let report = check_equivalent(&plan);
         assert!(report.passes <= 4, "expected a quick fixed point, took {}", report.passes);
         assert!(report.predicates_pushed > 0);
     }
@@ -245,9 +284,9 @@ mod tests {
             .aggregate(&["dimId"], vec![AggSpec::count_all("n")])
             .select(col("dimId").ge(lit(4i64)))
             .hash(&["dimId"], 0.4, HashSpec::with_seed(3));
-        let report = check_equivalent(plan);
+        let report = check_equivalent(&plan);
         assert!(report.eta.fully_pushed(), "blockers: {:?}", report.eta.blockers);
-        let mut leaves = report.eta.sampled_leaves.clone();
+        let mut leaves = report.eta.sampled_leaves;
         leaves.sort();
         assert_eq!(leaves, vec!["dim", "fact"]);
     }
@@ -260,7 +299,7 @@ mod tests {
             .select(col("x").gt(lit(1.0)))
             .hash(&["factId"], 0.5, HashSpec::with_seed(1))
             .hash(&["factId"], 0.7, HashSpec::with_seed(2));
-        let report = check_equivalent(plan);
+        let report = check_equivalent(&plan);
         assert!(
             report.passes <= 3,
             "stacked η should reach a fixed point, took {} passes",
@@ -338,7 +377,7 @@ mod tests {
                 &["dimId"],
                 vec![AggSpec::new("sx", crate::aggregate::AggFunc::Sum, col("x"))],
             );
-        let report = check_equivalent(plan);
+        let report = check_equivalent(&plan);
         assert!(report.projections_pruned > 0, "report: {report:?}");
     }
 }

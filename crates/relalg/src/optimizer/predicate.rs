@@ -233,13 +233,13 @@ fn push(plan: Plan, dt: &DerivedTree, mut preds: Vec<Expr>, moved: &mut usize) -
             Ok(wrap(Plan::Join { left: Box::new(l), right: Box::new(r), kind, on }, above))
         }
         Plan::Union { left, right } => {
-            push_setop(*left, *right, dt, SetOpKind::Union, preds, moved)
+            push_setop(*left, *right, dt, SetOpKind::Union, &preds, moved)
         }
         Plan::Intersect { left, right } => {
-            push_setop(*left, *right, dt, SetOpKind::Intersect, preds, moved)
+            push_setop(*left, *right, dt, SetOpKind::Intersect, &preds, moved)
         }
         Plan::Difference { left, right } => {
-            push_setop(*left, *right, dt, SetOpKind::Difference, preds, moved)
+            push_setop(*left, *right, dt, SetOpKind::Difference, &preds, moved)
         }
     }
 }
@@ -253,7 +253,7 @@ fn push_setop(
     right: Plan,
     dt: &DerivedTree,
     op: SetOpKind,
-    preds: Vec<Expr>,
+    preds: &[Expr],
     moved: &mut usize,
 ) -> Result<Plan> {
     let (l_t, r_t) = dt.pair();
@@ -266,7 +266,7 @@ fn push_setop(
     let r_schema = &r_t.derived.schema;
     let mut l_preds = Vec::with_capacity(preds.len());
     let mut r_preds = Vec::with_capacity(preds.len());
-    for p in &preds {
+    for p in preds {
         l_preds.push(rename_cols(p, &|n| Ok(l_schema.field(l_schema.resolve(n)?).name.clone()))?);
         r_preds.push(rename_cols(p, &|n| Ok(r_schema.field(l_schema.resolve(n)?).name.clone()))?);
     }

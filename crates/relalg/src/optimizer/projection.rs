@@ -281,13 +281,13 @@ fn prune_node(
             Ok((Plan::Join { left: Box::new(l), right: Box::new(r), kind, on }, out))
         }
         Plan::Union { left, right } => {
-            prune_setop(*left, *right, dt, SetOpKind::Union, required, pruned)
+            prune_setop(*left, *right, dt, SetOpKind::Union, required.as_ref(), pruned)
         }
         Plan::Intersect { left, right } => {
-            prune_setop(*left, *right, dt, SetOpKind::Intersect, required, pruned)
+            prune_setop(*left, *right, dt, SetOpKind::Intersect, required.as_ref(), pruned)
         }
         Plan::Difference { left, right } => {
-            prune_setop(*left, *right, dt, SetOpKind::Difference, required, pruned)
+            prune_setop(*left, *right, dt, SetOpKind::Difference, required.as_ref(), pruned)
         }
     }
 }
@@ -299,12 +299,12 @@ fn prune_setop(
     right: Plan,
     dt: &DerivedTree,
     shape: SetOpKind,
-    required: Option<BTreeSet<String>>,
+    required: Option<&BTreeSet<String>>,
     pruned: &mut usize,
 ) -> Result<(Plan, Derived)> {
     let (l_t, r_t) = dt.pair();
     let (l_d, r_d) = (&l_t.derived, &r_t.derived);
-    let keep_pos: BTreeSet<usize> = match &required {
+    let keep_pos: BTreeSet<usize> = match required {
         None => (0..l_d.schema.len()).collect(),
         Some(r) => {
             let mut pos: BTreeSet<usize> = BTreeSet::new();

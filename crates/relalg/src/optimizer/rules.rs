@@ -26,6 +26,18 @@ pub trait Rule {
         leaves: &dyn LeafProvider,
         report: &mut OptimizeReport,
     ) -> Result<(Plan, bool)>;
+
+    /// Whether a sound application must leave the Definition 2 primary-key
+    /// *claim* untouched. The rewrite-boundary verifier
+    /// ([`crate::verify::logical::verify_rewrite`]) enforces output-schema
+    /// preservation for every rule, and key preservation only for rules
+    /// that answer true here. [`JoinReorder`] answers false: FK key
+    /// reduction depends on join association order, so reassociating a
+    /// join region can honestly re-derive a different — equally valid —
+    /// unique key over the same output schema.
+    fn preserves_key(&self) -> bool {
+        true
+    }
 }
 
 /// Predicate pushdown (see [`crate::optimizer::predicate`]).
@@ -113,6 +125,12 @@ impl Rule for JoinReorder<'_> {
         let out = crate::optimizer::joinorder::reorder(plan, leaves, self.est, &mut reordered)?;
         report.joins_reordered += reordered;
         Ok((out, reordered > 0))
+    }
+
+    fn preserves_key(&self) -> bool {
+        // Reassociation legitimately changes which side FK key reduction
+        // fires on; the re-derived key is a different valid unique key.
+        false
     }
 }
 

@@ -460,6 +460,8 @@ mod tests {
             .unwrap()
     }
 
+    // By-value keeps ~30 call sites free of `&`; nothing is reused after.
+    #[allow(clippy::needless_pass_by_value)]
     fn eval(e: Expr, row: Row) -> Value {
         e.bind(&schema()).unwrap().eval(&row)
     }

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # svc-sampling
 //!
 //! The sampling machinery of Section 4 of the paper:

@@ -128,7 +128,7 @@ mod tests {
         let db = video_db();
         let report = assert_theorem1(visit_view(), &["videoId"], &db);
         assert!(report.fully_pushed(), "blockers: {:?}", report.blockers);
-        let mut sampled = report.sampled_leaves.clone();
+        let mut sampled = report.sampled_leaves;
         sampled.sort();
         assert_eq!(sampled, vec!["log", "video"]);
     }

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Offline shim for the subset of the `criterion` API used by
 //! `crates/bench/benches/micro.rs`: [`Criterion::bench_function`], the
 //! builder knobs, and the [`criterion_group!`] / [`criterion_main!`]
@@ -153,7 +155,7 @@ mod tests {
         quick().bench_function("noop", |b| {
             b.iter(|| {
                 ran += 1;
-            })
+            });
         });
         assert!(ran > 0);
     }

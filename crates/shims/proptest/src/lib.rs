@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Offline shim for the subset of the `proptest` API used by this
 //! workspace: the [`proptest!`] macro with `#![proptest_config(..)]`,
 //! range and tuple strategies, `proptest::collection::vec`, and

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! Offline shim for the subset of the `rand` 0.9 API used by this
 //! workspace: [`rngs::StdRng`], [`SeedableRng::seed_from_u64`],
 //! [`Rng::random`] and [`Rng::random_range`].

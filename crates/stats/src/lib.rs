@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # svc-stats
 //!
 //! The estimation-theory toolbox of Section 5 and Appendix 12.1 of the

@@ -20,6 +20,7 @@
 
 use std::sync::Arc;
 
+use crate::error::{Result, StorageError};
 use crate::schema::Schema;
 use crate::value::{DataType, Value};
 use crate::Row;
@@ -105,6 +106,67 @@ impl Column {
             ColumnData::Str(v) => Value::Str(v[i].clone()),
             ColumnData::Mixed(v) => v[i].clone(),
         }
+    }
+
+    /// Cheap structural integrity check for one column (always compiled;
+    /// the `verify` feature decides whether the hot-path hooks call it):
+    ///
+    /// * the typed vector holds exactly `expect_len` cells;
+    /// * a validity mask, if present, has the same length — and is absent
+    ///   for [`ColumnData::Mixed`], whose NULLs are inline;
+    /// * a zone map only annotates numeric storage.
+    ///
+    /// O(1): data-dependent zone soundness is [`Column::check`]'s job.
+    pub fn check_shape(&self, expect_len: usize) -> Result<()> {
+        let fail = |msg: String| Err(StorageError::Invalid(format!("column integrity: {msg}")));
+        if self.len() != expect_len {
+            return fail(format!("length {} != column-set length {expect_len}", self.len()));
+        }
+        match (&self.data, &self.valid) {
+            (ColumnData::Mixed(_), Some(_)) => {
+                return fail("mixed column carries a validity mask (NULLs must be inline)".into())
+            }
+            (_, Some(mask)) if mask.len() != expect_len => {
+                return fail(format!(
+                    "validity mask length {} != column length {expect_len}",
+                    mask.len()
+                ))
+            }
+            _ => {}
+        }
+        if self.zone.is_some() && !matches!(self.data, ColumnData::Int(_) | ColumnData::Float(_)) {
+            return fail("zone map on non-numeric storage".into());
+        }
+        Ok(())
+    }
+
+    /// Full integrity check: [`Column::check_shape`] plus the O(rows)
+    /// data-dependent invariant that the zone map's min/max actually bound
+    /// every non-null value under `total_cmp`.
+    pub fn check(&self, expect_len: usize) -> Result<()> {
+        self.check_shape(expect_len)?;
+        let fail = |msg: String| Err(StorageError::Invalid(format!("column integrity: {msg}")));
+        if let Some((lo, hi)) = self.zone {
+            let values: Box<dyn Iterator<Item = f64>> = match &self.data {
+                ColumnData::Int(xs) => Box::new(
+                    xs.iter()
+                        .enumerate()
+                        .filter_map(|(i, &x)| (!masked(&self.valid, i)).then_some(x as f64)),
+                ),
+                ColumnData::Float(xs) => Box::new(
+                    xs.iter()
+                        .enumerate()
+                        .filter_map(|(i, &x)| (!masked(&self.valid, i)).then_some(x)),
+                ),
+                _ => return fail("zone map on non-numeric storage".into()),
+            };
+            for x in values {
+                if x.total_cmp(&lo).is_lt() || x.total_cmp(&hi).is_gt() {
+                    return fail(format!("zone map [{lo}, {hi}] does not bound value {x}"));
+                }
+            }
+        }
+        Ok(())
     }
 }
 
@@ -259,6 +321,38 @@ impl ColumnSet {
         }
     }
 
+    /// Cheap structural integrity check: every column passes
+    /// [`Column::check_shape`] against the set's declared row count. This
+    /// is what the per-chunk executor hooks use — O(columns), no data scan.
+    pub fn check_shape(&self) -> Result<()> {
+        for (i, c) in self.cols.iter().enumerate() {
+            c.check_shape(self.len)
+                .map_err(|e| StorageError::Invalid(format!("column {i}: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Full integrity check: every column passes [`Column::check`],
+    /// including the O(rows) zone-map soundness scan. Run once per
+    /// extraction (`Table::columns`) rather than per chunk.
+    pub fn check(&self) -> Result<()> {
+        for (i, c) in self.cols.iter().enumerate() {
+            c.check(self.len).map_err(|e| StorageError::Invalid(format!("column {i}: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Hot-path hook: panics on a corrupt set when the `verify` feature is
+    /// on, compiles to nothing otherwise (the `debug_assert` idiom, but
+    /// keyed to `verify` so release + verify still checks).
+    #[inline]
+    pub fn debug_check(&self) {
+        #[cfg(feature = "verify")]
+        if let Err(e) = self.check() {
+            panic!("{e}");
+        }
+    }
+
     /// Reconstruct row `i` into `out` (cleared first). Exact inverse of
     /// [`ColumnSet::from_rows`] for that row.
     pub fn gather_row(&self, i: usize, out: &mut Row) {
@@ -302,7 +396,7 @@ mod tests {
                     // Bit-exact floats, stricter than Value::eq's canonical
                     // comparison.
                     (Value::Float(a), Value::Float(b)) => {
-                        assert_eq!(a.to_bits(), b.to_bits(), "float bits must round-trip")
+                        assert_eq!(a.to_bits(), b.to_bits(), "float bits must round-trip");
                     }
                     _ => assert_eq!(got, want),
                 }

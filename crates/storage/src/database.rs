@@ -79,7 +79,7 @@ impl Database {
         let from = self.table(&fk.from_table)?;
         from.schema().resolve_all(&fk.from_cols)?;
         let to = self.table(&fk.to_table)?;
-        let to_idx = to.schema().resolve_all(&fk.to_cols)?;
+        let mut referenced = to.schema().resolve_all(&fk.to_cols)?;
         if fk.from_cols.len() != fk.to_cols.len() {
             return Err(StorageError::Invalid(format!(
                 "foreign key column count mismatch: {:?} vs {:?}",
@@ -87,7 +87,6 @@ impl Database {
             )));
         }
         let mut pk: Vec<usize> = to.key().to_vec();
-        let mut referenced = to_idx.clone();
         pk.sort_unstable();
         referenced.sort_unstable();
         if pk != referenced {

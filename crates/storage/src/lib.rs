@@ -22,6 +22,8 @@
 //! makes a stale sample and its cleaned counterpart *correspond*
 //! (Proposition 2 in the paper).
 
+#![forbid(unsafe_code)]
+
 pub mod columns;
 pub mod database;
 pub mod delta;

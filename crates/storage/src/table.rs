@@ -227,10 +227,24 @@ impl Table {
         let mut guard = self.colcache.lock().expect("column cache poisoned");
         if let Some((epoch, cols)) = guard.as_ref() {
             if *epoch == self.epoch {
+                // With the verifier on, prove the epoch cache is honest: a
+                // cache hit whose row count disagrees with the table means
+                // some mutator forgot to bump the epoch.
+                #[cfg(feature = "verify")]
+                assert_eq!(
+                    cols.len,
+                    self.rows.len(),
+                    "columnar cache hit at epoch {epoch} holds {} rows but the table has {} — \
+                     a mutator skipped Table::touch",
+                    cols.len,
+                    self.rows.len()
+                );
                 return Arc::clone(cols);
             }
         }
         let cols = Arc::new(ColumnSet::from_rows(&self.schema, &self.rows));
+        #[cfg(feature = "verify")]
+        cols.check().expect("freshly extracted ColumnSet failed integrity check");
         *guard = Some((self.epoch, Arc::clone(&cols)));
         cols
     }

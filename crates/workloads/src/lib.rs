@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # svc-workloads
 //!
 //! Data and query generators reproducing the paper's evaluation workloads

@@ -393,7 +393,7 @@ mod tests {
         assert!(deltas.get("orders").unwrap().deletions.is_empty());
 
         // Applying the deltas must succeed (keys are consistent).
-        let mut db2 = data.db.clone();
+        let mut db2 = data.db;
         deltas.clone().apply_to(&mut db2).unwrap();
     }
 }

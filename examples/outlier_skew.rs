@@ -18,7 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let deltas = data.updates(0.10, 5)?;
 
     let v3 = complex_views().into_iter().find(|v| v.id == "V3").unwrap();
-    let svc = SvcView::create("V3", v3.plan.clone(), &data.db, SvcConfig::with_ratio(0.1))?;
+    let svc = SvcView::create("V3", v3.plan, &data.db, SvcConfig::with_ratio(0.1))?;
 
     // Index the 100 most extreme lineitem prices (top-k policy, Section 6.1).
     let idx = OutlierIndex::build(

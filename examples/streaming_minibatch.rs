@@ -44,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // every other chunk and answers queries with corrections.
     let with_svc = timeline_max_error(
         &db,
-        v2.plan.clone(),
+        v2.plan,
         &mut make_chunk,
         &queries,
         &TimelineConfig {

@@ -1,0 +1,35 @@
+#!/usr/bin/env sh
+# Unsafe-code audit gate.
+#
+# The workspace policy (see ARCHITECTURE.md, "Verification") is that every
+# crate carries `#![forbid(unsafe_code)]` except `svc-cluster`, whose
+# work-stealing executor needs one audited lifetime-erasure block for the
+# type-erased `RawTask`. That crate is `#![deny(unsafe_code)]` +
+# `#![deny(unsafe_op_in_unsafe_fn)]`, with item-level `#[allow(unsafe_code)]`
+# and SAFETY comments confined to `crates/cluster/src/executor.rs`.
+#
+# This script fails if the token `unsafe` appears in any Rust source outside
+# that one audited module. The compiler enforces the lint attributes; this
+# gate enforces that nobody quietly moves or widens the allowance.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+ALLOWED="crates/cluster/src/executor.rs"
+
+# Strip line comments first so prose *about* unsafe doesn't trip the gate;
+# `unsafe_code`/`unsafe_op_in_unsafe_fn` lint names don't match `-w unsafe`.
+hits=$(grep -rn --include='*.rs' -w 'unsafe' crates/ src/ tests/ 2>/dev/null |
+    grep -v "^$ALLOWED:" |
+    awk -F: '{ line = ""; for (i = 3; i <= NF; i++) line = line (i > 3 ? ":" : "") $i;
+               sub(/\/\/.*/, "", line);
+               if (line ~ /(^|[^A-Za-z0-9_])unsafe([^A-Za-z0-9_]|$)/) print }' || true)
+
+if [ -n "$hits" ]; then
+    echo "unsafe audit FAILED: 'unsafe' found outside $ALLOWED:" >&2
+    echo "$hits" >&2
+    exit 1
+fi
+
+count=$(grep -cw 'unsafe' "$ALLOWED" || true)
+echo "unsafe audit OK: all unsafe code confined to $ALLOWED ($count occurrences)"

@@ -1,3 +1,5 @@
+#![forbid(unsafe_code)]
+
 //! # stale-view-cleaning
 //!
 //! Umbrella crate re-exporting the full Stale View Cleaning (SVC) stack.

@@ -59,7 +59,7 @@ fn batch_pipeline_cache_survives_repartitions_exactly() {
 
     // Repartition: new epoch, plans recompile, results stay exact.
     pipeline.partitions = 5;
-    let mut v3 = view.clone();
+    let mut v3 = view;
     pipeline.maintain(&db, &mut v3, &deltas, 30).unwrap();
     assert!(
         pipeline.plan_compiles() > first_epoch_compiles,
