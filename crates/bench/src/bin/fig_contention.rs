@@ -21,27 +21,21 @@
 //! at 4 workers. Single-core machines run correctness-only (morsel
 //! execution cannot beat sequential without parallel hardware).
 
-use std::fs;
 use std::sync::Arc;
 
-use svc_bench::{bench_scale, experiments_dir, median_of, time, tpcd, Report};
+use svc_bench::{bench_median_ms, bench_scale, operator_metrics_json, tpcd, write_json, Report};
 use svc_cluster::executor::WorkerPool;
 use svc_cluster::minibatch::BatchPipeline;
 use svc_ivm::view::{maintenance_bindings, MaterializedView};
 use svc_relalg::aggregate::{AggFunc, AggSpec};
 use svc_relalg::eval::Bindings;
-use svc_relalg::exec::{compile, PhysicalPlan};
+use svc_relalg::exec::{compile, ExecMode, PhysicalPlan};
 use svc_relalg::optimizer::optimize;
 use svc_storage::Table;
 use svc_workloads::tpcd_views::{join_view, revenue_expr};
 
-fn bench_ms(reps: usize, mut f: impl FnMut()) -> f64 {
-    let mut samples = Vec::with_capacity(reps);
-    for _ in 0..reps {
-        let (_, t) = time(&mut f);
-        samples.push(t);
-    }
-    median_of(&samples) * 1e3
+fn bench_ms(reps: usize, f: impl FnMut()) -> f64 {
+    bench_median_ms(reps, 1, f)
 }
 
 /// Row-for-row order-sensitive comparison with float tolerance — morsel
@@ -62,6 +56,7 @@ struct MorselRow {
     rows_out: usize,
     t_seq_ms: f64,
     t_par_ms: f64,
+    operators: String,
 }
 
 fn measure_morsel(
@@ -96,6 +91,11 @@ fn measure_morsel(
             rows_out: par_out.len(),
             t_seq_ms: t_seq,
             t_par_ms: t_par,
+            operators: operator_metrics_json(
+                compiled,
+                bindings,
+                ExecMode::morsel(pool.as_ref(), morsel),
+            ),
         });
     }
 }
@@ -143,7 +143,7 @@ fn main() {
     // ── contention: two pipelines, one shared pool (Figure 14b) ──────────
     let shared = Arc::new(WorkerPool::new(4));
     let mut pa = BatchPipeline::on_pool(shared.clone());
-    let mut pb = BatchPipeline::on_pool(shared);
+    let mut pb = BatchPipeline::on_pool(shared.clone());
     pb.morsel_size = Some((lineitem_rows / 32).max(256));
     pa.partitions = 8;
 
@@ -217,8 +217,8 @@ fn main() {
         ]);
         json_rows.push(format!(
             "{{\"scenario\":\"morsel\",\"plan\":\"{}\",\"workers\":{},\"rows\":{},\
-             \"t_seq_ms\":{},\"t_par_ms\":{},\"speedup\":{speedup}}}",
-            r.plan, r.workers, r.rows_out, r.t_seq_ms, r.t_par_ms
+             \"t_seq_ms\":{},\"t_par_ms\":{},\"speedup\":{speedup},\"operators\":{}}}",
+            r.plan, r.workers, r.rows_out, r.t_seq_ms, r.t_par_ms, r.operators
         ));
     }
     for (plan, solo, contended) in [("rev_cust", solo_a, cont_a), ("med_cust", solo_b, cont_b)] {
@@ -242,19 +242,23 @@ fn main() {
          (solo/contended records-per-s)",
     );
 
+    // The shared pool's lifetime counters after both solo and contended
+    // phases: how many plan/morsel tasks the two pipelines actually pushed
+    // through it, and how busy its workers were.
+    let pm = shared.metrics();
     let json = format!(
         "{{\"bench\":\"fig_contention\",\"workload\":\"tpcd\",\"scale\":{},\
-         \"lineitem_rows\":{lineitem_rows},\"hardware_threads\":{cores},\"rows\":[{}]}}\n",
+         \"lineitem_rows\":{lineitem_rows},\"hardware_threads\":{cores},\
+         \"pool\":{{\"sessions\":{},\"tasks\":{},\"panics\":{},\"busy_ns\":{}}},\
+         \"rows\":[{}]}}\n",
         bench_scale(),
+        pm.sessions,
+        pm.tasks,
+        pm.panics,
+        pm.total_busy_ns(),
         json_rows.join(",")
     );
-    let dir = experiments_dir();
-    let _ = fs::create_dir_all(&dir);
-    let path = dir.join("fig_contention.json");
-    match fs::write(&path, &json) {
-        Ok(()) => println!("[written {}]", path.display()),
-        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
-    }
+    write_json("fig_contention", &json);
 
     assert!(solo_a > 0.0 && solo_b > 0.0 && cont_a > 0.0 && cont_b > 0.0);
     // CI smoke guard: when the hardware actually carries the 4-worker pool

@@ -23,33 +23,19 @@
 //! guard against executor regressions), and at full scale the selective
 //! point must show ≥2× end-to-end.
 
-use std::fs;
-
-use svc_bench::{bench_scale, experiments_dir, median_of, time, tpcd, Report};
+use svc_bench::{
+    bench_median_ms as bench_ms, bench_min_ms, bench_scale, operator_metrics_json, tpcd,
+    write_json, Report,
+};
 use svc_ivm::view::{maintenance_bindings, MaterializedView};
 use svc_relalg::aggregate::{AggFunc, AggSpec};
 use svc_relalg::eval::{evaluate_materializing, Bindings};
-use svc_relalg::exec::compile;
+use svc_relalg::exec::{compile, ExecMode};
 use svc_relalg::optimizer::optimize;
 use svc_relalg::plan::Plan;
 use svc_relalg::scalar::{col, lit};
 use svc_storage::HashSpec;
 use svc_workloads::tpcd_views::{join_view, revenue_expr};
-
-/// Median-of-reps timing of `f`, with enough inner iterations that one
-/// measurement is comfortably above timer resolution at smoke scales.
-fn bench_ms(reps: usize, iters: usize, mut f: impl FnMut()) -> f64 {
-    let mut samples = Vec::with_capacity(reps);
-    for _ in 0..reps {
-        let (_, t) = time(|| {
-            for _ in 0..iters {
-                f();
-            }
-        });
-        samples.push(t / iters as f64);
-    }
-    median_of(&samples) * 1e3
-}
 
 struct Row {
     scenario: &'static str,
@@ -58,6 +44,7 @@ struct Row {
     t_legacy_ms: f64,
     t_stream_ms: f64,
     t_rerun_ms: f64,
+    operators: String,
 }
 
 fn main() {
@@ -103,6 +90,7 @@ fn main() {
             t_legacy_ms: t_legacy,
             t_stream_ms: t_stream,
             t_rerun_ms: t_rerun,
+            operators: operator_metrics_json(&compiled, &bindings, ExecMode::sequential()),
         });
     }
 
@@ -131,6 +119,7 @@ fn main() {
             t_legacy_ms: t_legacy,
             t_stream_ms: t_stream,
             t_rerun_ms: t_rerun,
+            operators: operator_metrics_json(&compiled, &bindings, ExecMode::sequential()),
         });
     }
 
@@ -165,6 +154,7 @@ fn main() {
             t_legacy_ms: t_legacy,
             t_stream_ms: t_stream,
             t_rerun_ms: t_rerun,
+            operators: operator_metrics_json(&compiled, &mb, ExecMode::sequential()),
         });
     }
 
@@ -201,8 +191,38 @@ fn main() {
             t_legacy_ms: t_legacy,
             t_stream_ms: t_stream,
             t_rerun_ms: t_rerun,
+            operators: operator_metrics_json(&compiled, &mb, ExecMode::sequential()),
         });
     }
+
+    // ── telemetry overhead guard ─────────────────────────────────────────
+    // Rerunning a compiled plan with a metrics sink installed must stay
+    // within a small factor of the uninstrumented rerun: the executor only
+    // adds one timestamp pair plus one atomic fold per node (or per morsel),
+    // never per row. Min-of-reps keeps shared-runner noise out of the
+    // ratio; the margin is generous because at smoke scales the absolute
+    // runtimes sit near timer resolution.
+    let overhead_factor = {
+        let plan = Plan::scan("lineitem").select(col("l_orderkey").lt(lit(threshold(0.05))));
+        let compiled = compile(&plan, &bindings).expect("compile");
+        let sink = compiled.metrics_sink();
+        let t_plain = bench_min_ms(7, iters, || {
+            std::hint::black_box(compiled.run(&bindings).expect("plain"));
+        });
+        let t_metered = bench_min_ms(7, iters, || {
+            std::hint::black_box(
+                compiled
+                    .run_with_metrics(&bindings, ExecMode::sequential(), &sink)
+                    .expect("metered"),
+            );
+        });
+        t_metered / t_plain.max(1e-9)
+    };
+    println!("telemetry overhead: instrumented/uninstrumented = {overhead_factor:.3}x");
+    assert!(
+        overhead_factor <= 1.5,
+        "instrumented rerun must stay within 1.5x of uninstrumented, got {overhead_factor:.3}x"
+    );
 
     let mut report = Report::new(
         "fig_exec",
@@ -223,8 +243,14 @@ fn main() {
         ]);
         json_rows.push(format!(
             "{{\"scenario\":\"{}\",\"param\":\"{}\",\"rows\":{},\"t_legacy_ms\":{},\
-             \"t_stream_ms\":{},\"t_rerun_ms\":{},\"speedup\":{speedup}}}",
-            r.scenario, r.param, r.rows_out, r.t_legacy_ms, r.t_stream_ms, r.t_rerun_ms
+             \"t_stream_ms\":{},\"t_rerun_ms\":{},\"speedup\":{speedup},\"operators\":{}}}",
+            r.scenario,
+            r.param,
+            r.rows_out,
+            r.t_legacy_ms,
+            r.t_stream_ms,
+            r.t_rerun_ms,
+            r.operators
         ));
         // CI smoke guard: the streaming executor must never lose to the
         // legacy evaluator on the fused-scan scenarios, at any scale. The
@@ -241,18 +267,12 @@ fn main() {
 
     let json = format!(
         "{{\"bench\":\"fig_exec\",\"workload\":\"tpcd\",\"scale\":{},\"lineitem_rows\":{},\
-         \"rows\":[{}]}}\n",
+         \"telemetry_overhead\":{overhead_factor},\"rows\":[{}]}}\n",
         bench_scale(),
         lineitem.len(),
         json_rows.join(",")
     );
-    let dir = experiments_dir();
-    let _ = fs::create_dir_all(&dir);
-    let path = dir.join("fig_exec.json");
-    match fs::write(&path, &json) {
-        Ok(()) => println!("[written {}]", path.display()),
-        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
-    }
+    write_json("fig_exec", &json);
 
     assert!(regressions.is_empty(), "streaming executor regressions: {regressions:?}");
     if bench_scale() >= 1.0 {

@@ -17,9 +17,9 @@
 //! `experiments/fig_minibatch.json` (both sections, for the BENCH
 //! trajectory).
 
-use std::fs;
+use std::sync::Arc;
 
-use svc_bench::{bench_scale, experiments_dir, median_of, time, Report};
+use svc_bench::{bench_scale, median_of, time, write_json, Report};
 use svc_cluster::BatchPipeline;
 use svc_ivm::MaterializedView;
 use svc_relalg::aggregate::{AggFunc, AggSpec};
@@ -28,6 +28,7 @@ use svc_relalg::optimizer::optimize;
 use svc_relalg::plan::{JoinKind, Plan};
 use svc_relalg::scalar::{col, lit};
 use svc_storage::{DataType, Database, Deltas, Schema, Table, Value};
+use svc_telemetry::TraceRecorder;
 
 fn build_db(base_events: usize) -> Database {
     let mut db = Database::new();
@@ -178,6 +179,41 @@ fn main() {
     }
     report.finish("mini-batch maintenance throughput on real plans (visit view, log stream)");
 
+    // ── traced run: chrome://tracing artifact + pipeline counters ────────
+    // One more maintenance pass at a mid batch size with a span recorder
+    // attached: every maintain/batch/fold/compile span lands in the ring
+    // buffer and exports as `fig_minibatch_trace.json` (load it in
+    // chrome://tracing or Perfetto). The pipeline's own counters cross-check
+    // the run shape: one compile (cache shared within the run), one fold
+    // per batch.
+    {
+        let tracer = Arc::new(TraceRecorder::new(4096));
+        let mut traced = BatchPipeline::new(workers);
+        traced.tracer = Some(tracer.clone());
+        let b = (stream_len / 8).max(1);
+        let mut v = view;
+        let run = traced.maintain(&db, &mut v, &deltas, b).expect("traced maintain");
+        assert!(
+            v.table().approx_same_contents(&expected, 1e-9),
+            "traced pipeline diverged from recompute"
+        );
+        let pm = traced.metrics();
+        println!(
+            "traced run at batch {b}: {} batches, {} folds, {} compiles \
+             ({} cache hits), mean fold {}µs, {} spans recorded",
+            run.batches,
+            pm.folds,
+            pm.compiles,
+            pm.cache_hits,
+            pm.mean_fold_ns() / 1_000,
+            tracer.events().len(),
+        );
+        assert!(pm.folds >= run.batches as u64, "every batch folds at least once");
+        assert_eq!(pm.backlog, 0, "backlog gauge must drain to zero after maintain");
+        assert!(!tracer.events().is_empty(), "traced run recorded no spans");
+        write_json("fig_minibatch_trace", &tracer.chrome_trace_json());
+    }
+
     let smallest = curve.first().expect("points").1;
     let largest = curve.last().expect("points").1;
     println!(
@@ -252,11 +288,5 @@ fn main() {
         json_rows.join(","),
         depth_rows.join(",")
     );
-    let dir = experiments_dir();
-    let _ = fs::create_dir_all(&dir);
-    let path = dir.join("fig_minibatch.json");
-    match fs::write(&path, &json) {
-        Ok(()) => println!("[written {}]", path.display()),
-        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
-    }
+    write_json("fig_minibatch", &json);
 }

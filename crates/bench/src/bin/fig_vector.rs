@@ -25,12 +25,11 @@
 //! never slower on the fused-scan sweep (any scale — the CI smoke guard);
 //! at full scale the selective points (≤10%) must show ≥2×.
 
-use std::fs;
-
-use svc_bench::{bench_scale, experiments_dir, time, tpcd, Report};
+use svc_bench::{bench_min_ms, bench_scale, operator_metrics_json, tpcd, write_json, Report};
 use svc_ivm::view::{maintenance_bindings, MaterializedView};
 use svc_relalg::aggregate::{AggFunc, AggSpec};
 use svc_relalg::eval::Bindings;
+use svc_relalg::exec::ExecMode;
 use svc_relalg::exec::{compile, PhysicalPlan};
 use svc_relalg::optimizer::optimize;
 use svc_relalg::plan::Plan;
@@ -45,6 +44,7 @@ struct Row {
     rows_out: usize,
     t_rowwise_ms: f64,
     t_vector_ms: f64,
+    operators: String,
 }
 
 /// Time both modes of one compiled plan and check the vectorized result is
@@ -72,18 +72,12 @@ fn measure(
     let mut t_rowwise = f64::INFINITY;
     let mut t_vector = f64::INFINITY;
     for _ in 0..reps {
-        let (_, t) = time(|| {
-            for _ in 0..iters {
-                std::hint::black_box(compiled.run_rowwise(bindings).expect("rowwise"));
-            }
-        });
-        t_rowwise = t_rowwise.min(t / iters as f64 * 1e3);
-        let (_, t) = time(|| {
-            for _ in 0..iters {
-                std::hint::black_box(compiled.run(bindings).expect("vectorized"));
-            }
-        });
-        t_vector = t_vector.min(t / iters as f64 * 1e3);
+        t_rowwise = t_rowwise.min(bench_min_ms(1, iters, || {
+            std::hint::black_box(compiled.run_rowwise(bindings).expect("rowwise"));
+        }));
+        t_vector = t_vector.min(bench_min_ms(1, iters, || {
+            std::hint::black_box(compiled.run(bindings).expect("vectorized"));
+        }));
     }
     (vector.len(), t_rowwise, t_vector)
 }
@@ -119,6 +113,7 @@ fn main() {
             rows_out: n,
             t_rowwise_ms: t_rowwise,
             t_vector_ms: t_vector,
+            operators: operator_metrics_json(&compiled, &bindings, ExecMode::sequential()),
         });
     }
 
@@ -138,6 +133,7 @@ fn main() {
             rows_out: n,
             t_rowwise_ms: t_rowwise,
             t_vector_ms: t_vector,
+            operators: operator_metrics_json(&compiled, &bindings, ExecMode::sequential()),
         });
     }
 
@@ -159,6 +155,7 @@ fn main() {
             rows_out: n,
             t_rowwise_ms: t_rowwise,
             t_vector_ms: t_vector,
+            operators: operator_metrics_json(&compiled, &mb, ExecMode::sequential()),
         });
     }
 
@@ -182,6 +179,7 @@ fn main() {
             rows_out: n,
             t_rowwise_ms: t_rowwise,
             t_vector_ms: t_vector,
+            operators: operator_metrics_json(&compiled, &mb, ExecMode::sequential()),
         });
     }
 
@@ -203,8 +201,8 @@ fn main() {
         ]);
         json_rows.push(format!(
             "{{\"scenario\":\"{}\",\"param\":\"{}\",\"rows\":{},\"t_rowwise_ms\":{},\
-             \"t_vector_ms\":{},\"speedup\":{speedup}}}",
-            r.scenario, r.param, r.rows_out, r.t_rowwise_ms, r.t_vector_ms
+             \"t_vector_ms\":{},\"speedup\":{speedup},\"operators\":{}}}",
+            r.scenario, r.param, r.rows_out, r.t_rowwise_ms, r.t_vector_ms, r.operators
         ));
         // CI smoke guard: the vectorized kernels must never lose to the
         // rowwise reference on the fused-scan scenarios, at any scale. The
@@ -225,13 +223,7 @@ fn main() {
         lineitem.len(),
         json_rows.join(",")
     );
-    let dir = experiments_dir();
-    let _ = fs::create_dir_all(&dir);
-    let path = dir.join("fig_vector.json");
-    match fs::write(&path, &json) {
-        Ok(()) => println!("[written {}]", path.display()),
-        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
-    }
+    write_json("fig_vector", &json);
 
     assert!(regressions.is_empty(), "vectorized kernel regressions: {regressions:?}");
     if bench_scale() >= 1.0 {

@@ -19,6 +19,7 @@ use rand::SeedableRng;
 use svc_core::query::{relative_error, AggQuery};
 use svc_core::{Method, SvcConfig, SvcView};
 use svc_relalg::eval::{evaluate, Bindings};
+use svc_relalg::exec::{ExecMode, PhysicalPlan};
 use svc_relalg::plan::Plan;
 use svc_storage::{Database, Deltas, Table};
 use svc_workloads::tpcd::{TpcdConfig, TpcdData};
@@ -28,6 +29,88 @@ pub fn time<T>(f: impl FnOnce() -> T) -> (T, f64) {
     let start = Instant::now();
     let out = f();
     (out, start.elapsed().as_secs_f64())
+}
+
+/// Minimum-of-`reps` timing of `f` in milliseconds, each rep averaging
+/// `iters` inner calls. The minimum is the least load-contaminated sample
+/// on a shared runner — the statistic the "never slower" CI guards use.
+pub fn bench_min_ms(reps: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let (_, t) = time(|| {
+            for _ in 0..iters {
+                f();
+            }
+        });
+        best = best.min(t / iters as f64);
+    }
+    best * 1e3
+}
+
+/// Median-of-`reps` timing of `f` in milliseconds, each rep averaging
+/// `iters` inner calls — robust central tendency for reported columns.
+pub fn bench_median_ms(reps: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let (_, t) = time(|| {
+            for _ in 0..iters {
+                f();
+            }
+        });
+        samples.push(t / iters as f64);
+    }
+    median_of(&samples) * 1e3
+}
+
+/// Write `experiments/{name}.json` (shared path logic + create/log/warn
+/// boilerplate every JSON emitter used to hand-roll).
+pub fn write_json(name: &str, json: &str) {
+    let dir = experiments_dir();
+    let _ = fs::create_dir_all(&dir);
+    let path = dir.join(format!("{name}.json"));
+    match fs::write(&path, json) {
+        Ok(()) => println!("[written {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {}: {e}", path.display()),
+    }
+}
+
+/// Run `compiled` once under `mode` with a metrics sink installed and
+/// render the per-operator execution metrics as a JSON array — the
+/// `"operators":[...]` fragment the fig_* emitters embed per scenario row.
+/// Elements are in pre-order (slot-id) order; zero-valued detail fields
+/// are kept so downstream tooling sees a stable shape.
+pub fn operator_metrics_json(
+    compiled: &PhysicalPlan,
+    bindings: &Bindings<'_>,
+    mode: ExecMode<'_>,
+) -> String {
+    let sink = compiled.metrics_sink();
+    compiled.run_with_metrics(bindings, mode, &sink).expect("metered run");
+    let labels = compiled.node_labels();
+    let ops: Vec<String> = labels
+        .iter()
+        .zip(sink.snapshots())
+        .enumerate()
+        .map(|(id, (label, m))| {
+            format!(
+                "{{\"id\":{id},\"op\":\"{}\",\"rows_in\":{},\"rows_out\":{},\"wall_ns\":{},\
+                 \"morsels\":{},\"vec_chunks\":{},\"row_batches\":{},\"zone_skips\":{},\
+                 \"build_rows\":{},\"probe_rows\":{},\"groups\":{}}}",
+                label.replace('"', "'"),
+                m.rows_in,
+                m.rows_out,
+                m.wall_ns,
+                m.morsels,
+                m.vec_chunks,
+                m.row_batches,
+                m.zone_skips,
+                m.build_rows,
+                m.probe_rows,
+                m.groups
+            )
+        })
+        .collect();
+    format!("[{}]", ops.join(","))
 }
 
 /// Environment-tunable experiment scale (default 1.0 = the scales used in

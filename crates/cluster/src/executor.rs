@@ -27,6 +27,7 @@ use svc_relalg::exec::{compile, MorselScheduler, PhysicalPlan};
 use svc_relalg::optimizer::{optimize, optimize_with, CardEstimator};
 use svc_relalg::plan::Plan;
 use svc_storage::{Result, StorageError, Table};
+use svc_telemetry::{Counter, Gauge};
 
 /// One recorded busy interval of one worker, in seconds since the trace
 /// epoch.
@@ -148,11 +149,52 @@ impl Session {
     }
 }
 
+/// Live subsystem counters of one pool, on the shared telemetry
+/// primitives: updated lock-free by workers and submitters, snapshotted
+/// any time via [`WorkerPool::metrics`].
+#[derive(Debug)]
+struct PoolCounters {
+    /// Tasks currently sitting in the shared queue (enqueued, not yet
+    /// claimed by a worker).
+    queue_depth: Gauge,
+    /// Tasks executed to completion (including inline nested ones).
+    tasks: Counter,
+    /// `submit` sessions opened.
+    sessions: Counter,
+    /// Tasks that panicked (their sessions surfaced an error).
+    panics: Counter,
+    /// Per-worker cumulative busy time, in nanoseconds.
+    busy_ns: Vec<Counter>,
+}
+
+/// A point-in-time snapshot of a pool's subsystem metrics.
+#[derive(Debug, Clone)]
+pub struct PoolMetrics {
+    /// Tasks queued but not yet claimed at snapshot time.
+    pub queue_depth: i64,
+    /// Tasks executed to completion since pool creation.
+    pub tasks: u64,
+    /// `submit` sessions opened since pool creation.
+    pub sessions: u64,
+    /// Panicked tasks since pool creation.
+    pub panics: u64,
+    /// Cumulative busy nanoseconds, per worker.
+    pub busy_ns: Vec<u64>,
+}
+
+impl PoolMetrics {
+    /// Total busy time across all workers, in nanoseconds.
+    pub fn total_busy_ns(&self) -> u64 {
+        self.busy_ns.iter().sum()
+    }
+}
+
 /// State shared between the pool handle and its worker threads.
 #[derive(Debug)]
 struct PoolShared {
     state: Mutex<PoolQueue>,
     work: Condvar,
+    counters: PoolCounters,
 }
 
 #[derive(Debug)]
@@ -214,6 +256,13 @@ impl WorkerPool {
         let shared = Arc::new(PoolShared {
             state: Mutex::new(PoolQueue { queue: VecDeque::new(), shutdown: false }),
             work: Condvar::new(),
+            counters: PoolCounters {
+                queue_depth: Gauge::new(),
+                tasks: Counter::new(),
+                sessions: Counter::new(),
+                panics: Counter::new(),
+                busy_ns: (0..workers).map(|_| Counter::new()).collect(),
+            },
         });
         let handles = (0..workers)
             .map(|w| {
@@ -229,6 +278,21 @@ impl WorkerPool {
         self.workers
     }
 
+    /// Snapshot the pool's subsystem metrics: current queue depth,
+    /// cumulative task/session/panic counts, and per-worker busy time.
+    /// Lock-free reads of the live counters — safe to call from any thread
+    /// at any time, including while sessions are in flight.
+    pub fn metrics(&self) -> PoolMetrics {
+        let c = &self.shared.counters;
+        PoolMetrics {
+            queue_depth: c.queue_depth.get(),
+            tasks: c.tasks.get(),
+            sessions: c.sessions.get(),
+            panics: c.panics.get(),
+            busy_ns: c.busy_ns.iter().map(Counter::get).collect(),
+        }
+    }
+
     /// Run tasks `0..n` on the shared queue and wait for all of them. Each
     /// task receives `(task index, worker index)`. Tasks from concurrent
     /// `submit` calls interleave on the same workers — this is the single
@@ -241,6 +305,7 @@ impl WorkerPool {
         if n == 0 {
             return Ok(());
         }
+        self.shared.counters.sessions.inc();
         // Nested submission from one of this pool's own workers runs
         // inline: parking a worker to wait on tasks that need a worker is
         // a deadlock when the pool is saturated.
@@ -248,7 +313,12 @@ impl WorkerPool {
             if pool == self.id {
                 let mut panicked = false;
                 for i in 0..n {
-                    panicked |= catch_unwind(AssertUnwindSafe(|| run(i, w))).is_err();
+                    let p = catch_unwind(AssertUnwindSafe(|| run(i, w))).is_err();
+                    self.shared.counters.tasks.inc();
+                    if p {
+                        self.shared.counters.panics.inc();
+                    }
+                    panicked |= p;
                 }
                 return session_outcome(panicked);
             }
@@ -269,6 +339,7 @@ impl WorkerPool {
                 st.queue.push_back(QueuedTask { session: session.clone(), index });
             }
         }
+        self.shared.counters.queue_depth.add(n as i64);
         self.shared.work.notify_all();
         let mut p = session.progress.lock().expect("session progress poisoned");
         while p.remaining > 0 {
@@ -444,11 +515,18 @@ fn worker_loop(shared: &PoolShared, pool_id: usize, w: usize) {
                 st = shared.work.wait(st).expect("pool queue poisoned");
             }
         };
+        shared.counters.queue_depth.dec();
         // SAFETY: the submitting thread is parked in `submit` until this
         // session's `remaining` hits zero, which happens only after this
         // call returns — the closure is alive for the whole call.
         let run = unsafe { &*task.session.run.0 };
+        let t0 = Instant::now();
         let panicked = catch_unwind(AssertUnwindSafe(|| run(task.index, w))).is_err();
+        shared.counters.busy_ns[w].add(t0.elapsed().as_nanos() as u64);
+        shared.counters.tasks.inc();
+        if panicked {
+            shared.counters.panics.inc();
+        }
         task.session.complete(panicked);
     }
 }

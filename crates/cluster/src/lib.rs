@@ -38,6 +38,6 @@ pub mod executor;
 pub mod minibatch;
 pub mod timeline;
 
-pub use executor::{ExecutionTrace, WorkerPool};
-pub use minibatch::{BatchPipeline, BatchRun, SpinPipeline, ThroughputPoint};
+pub use executor::{ExecutionTrace, PoolMetrics, WorkerPool};
+pub use minibatch::{BatchPipeline, BatchRun, PipelineMetrics, SpinPipeline, ThroughputPoint};
 pub use timeline::{timeline_max_error, timeline_max_error_on, TimelineConfig, TimelineResult};

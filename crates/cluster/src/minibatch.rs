@@ -42,6 +42,7 @@ use svc_relalg::exec::{compile, PhysicalPlan};
 use svc_relalg::optimizer::{optimize, optimize_with};
 use svc_relalg::plan::Plan;
 use svc_storage::{Database, Deltas, Result, StorageError};
+use svc_telemetry::{Counter, Gauge, TraceRecorder};
 
 use crate::executor::{spin, WorkerPool};
 
@@ -109,11 +110,70 @@ pub struct BatchPipeline {
     /// Per-partition change plans keep their inter-plan fan-out (many
     /// small plans already saturate the pool).
     pub morsel_size: Option<usize>,
+    /// Optional span recorder: when attached, `maintain` records
+    /// batch/fold spans into its ring buffer, exportable as chrome-trace
+    /// JSON ([`TraceRecorder::chrome_trace_json`]). `None` (the default)
+    /// records nothing.
+    pub tracer: Option<Arc<TraceRecorder>>,
     /// Compiled per-partition change plans, cached across batches and
     /// `maintain` calls. Shared by clones (same pipeline, same cache);
     /// entries are keyed by the partitioning-epoch knobs and the attached
     /// catalog's identity — see [`CompileCache`].
     cache: Arc<Mutex<CompileCache>>,
+    /// Live pipeline counters, shared by clones like the cache.
+    counters: Arc<PipelineCounters>,
+}
+
+/// Live subsystem counters of one pipeline (shared across clones).
+#[derive(Debug, Default)]
+struct PipelineCounters {
+    /// Delta records accepted by the current `maintain` call and not yet
+    /// folded into the view (transient; 0 between calls).
+    backlog: Gauge,
+    /// Cumulative wall time of driver-side change-table folds, in ns.
+    fold_ns: Counter,
+    /// Change-table folds performed.
+    folds: Counter,
+    /// Batch plan sets compiled (the `plan_compiles` observable).
+    compiles: Counter,
+    /// Compile-cache hits.
+    cache_hits: Counter,
+    /// Compile-cache misses (each implies one compile).
+    cache_misses: Counter,
+}
+
+/// A point-in-time snapshot of a pipeline's subsystem metrics.
+#[derive(Debug, Clone)]
+pub struct PipelineMetrics {
+    /// Delta records accepted but not yet folded (0 when idle).
+    pub backlog: i64,
+    /// Cumulative driver-side fold wall time, in nanoseconds.
+    pub fold_ns: u64,
+    /// Change-table folds performed.
+    pub folds: u64,
+    /// Batch plan sets compiled.
+    pub compiles: u64,
+    /// Compile-cache hits.
+    pub cache_hits: u64,
+    /// Compile-cache misses.
+    pub cache_misses: u64,
+}
+
+impl PipelineMetrics {
+    /// Mean fold latency in nanoseconds (0 when no fold ran yet).
+    pub fn mean_fold_ns(&self) -> u64 {
+        self.fold_ns.checked_div(self.folds).unwrap_or(0)
+    }
+}
+
+/// Zeroes the backlog gauge when a `maintain` call exits, on every path
+/// (including `?` early returns).
+struct BacklogGuard<'a>(&'a Gauge);
+
+impl Drop for BacklogGuard<'_> {
+    fn drop(&mut self) {
+        self.0.set(0);
+    }
 }
 
 /// The cache of compiled batch plans.
@@ -140,8 +200,6 @@ struct CompileCache {
     catalogs: Vec<Arc<Catalog>>,
     /// Compiled plan sets, keyed by catalog identity then plan-set key.
     entries: HashMap<usize, HashMap<String, Arc<Vec<PhysicalPlan>>>>,
-    /// Total plan-set compilations performed (test/diagnostics hook).
-    compiles: usize,
 }
 
 /// Entry cap: one long-lived pipeline maintaining many views over
@@ -182,7 +240,6 @@ impl CompileCache {
             }
         }
         self.entries.entry(catalog_token(catalog)).or_default().insert(key, plans);
-        self.compiles += 1;
     }
 }
 
@@ -195,7 +252,9 @@ impl BatchPipeline {
             optimize_plans: true,
             catalog: None,
             morsel_size: None,
+            tracer: None,
             cache: Arc::default(),
+            counters: Arc::default(),
         }
     }
 
@@ -208,7 +267,9 @@ impl BatchPipeline {
             optimize_plans: true,
             catalog: None,
             morsel_size: None,
+            tracer: None,
             cache: Arc::default(),
+            counters: Arc::default(),
         }
     }
 
@@ -259,9 +320,26 @@ impl BatchPipeline {
     /// How many batch-plan sets this pipeline has compiled so far — the
     /// observable behind the "compile at most once per partitioning epoch"
     /// guarantee (tests assert it stays flat across repeated batches and
-    /// resets work after a repartition).
+    /// resets work after a repartition). Thin shim over the pipeline's
+    /// telemetry counters ([`BatchPipeline::metrics`]).
     pub fn plan_compiles(&self) -> usize {
-        self.cache.lock().expect("compile cache poisoned").compiles
+        self.counters.compiles.get() as usize
+    }
+
+    /// Snapshot the pipeline's subsystem metrics: current delta backlog,
+    /// cumulative fold latency, and compile-cache hit/miss counts.
+    /// Lock-free; shared across pipeline clones (same cache, same
+    /// counters).
+    pub fn metrics(&self) -> PipelineMetrics {
+        let c = &*self.counters;
+        PipelineMetrics {
+            backlog: c.backlog.get(),
+            fold_ns: c.fold_ns.get(),
+            folds: c.folds.get(),
+            compiles: c.compiles.get(),
+            cache_hits: c.cache_hits.get(),
+            cache_misses: c.cache_misses.get(),
+        }
     }
 
     /// Bring `view` up to date with respect to `pending` (not consumed —
@@ -296,6 +374,12 @@ impl BatchPipeline {
         if pending.is_empty() {
             return Ok(run);
         }
+
+        // Backlog gauge: records accepted by this call, decremented as
+        // batches fold; the guard zeroes it on every exit (including `?`).
+        self.counters.backlog.set(run.records as i64);
+        let _backlog_reset = BacklogGuard(&self.counters.backlog);
+        let _maintain_span = self.tracer.as_deref().map(|t| t.span("maintain", "pipeline"));
 
         let info = svc_ivm::DeltaInfo::of(&pending);
         let eligible =
@@ -398,8 +482,11 @@ impl BatchPipeline {
         let exact = chunk_parallel_exact(&canonical.plan, &pending);
         let n_batches = if exact { run.records.div_ceil(batch_size) } else { 1 };
         for batch in pending.partition(n_batches) {
+            let records = batch.len();
+            let _batch_span = self.tracer.as_deref().map(|t| t.span("batch", "pipeline"));
             let plans =
                 self.run_change_batch(db, view, &canonical, &cat, &merge, batch, exact, &view_key)?;
+            self.counters.backlog.add(-(records as i64));
             run.batches += 1;
             run.plans_evaluated += plans;
         }
@@ -438,6 +525,8 @@ impl BatchPipeline {
         // Reduce stage (driver): fold each change table into the view. The
         // merge is associative for the change-table-eligible merge rules,
         // so chunk order does not matter.
+        let fold_start = Instant::now();
+        let _fold_span = self.tracer.as_deref().map(|t| t.span("fold", "pipeline"));
         let mut current = view.table().clone();
         for change in &changes {
             let next = {
@@ -453,6 +542,8 @@ impl BatchPipeline {
             };
             current = next;
         }
+        self.counters.fold_ns.add(fold_start.elapsed().as_nanos() as u64);
+        self.counters.folds.add(changes.len() as u64);
         view.set_table(current);
         Ok(compiled.len())
     }
@@ -487,8 +578,11 @@ impl BatchPipeline {
         if let Some(hit) =
             self.cache.lock().expect("compile cache poisoned").lookup(&self.catalog, &key)
         {
+            self.counters.cache_hits.inc();
             return Ok(hit);
         }
+        self.counters.cache_misses.inc();
+        let _compile_span = self.tracer.as_deref().map(|t| t.span("compile", "pipeline"));
 
         let plans = batch_change_plans(canonical, cat, chunks)?;
         let compiled: Vec<PhysicalPlan> = if self.optimize_plans {
@@ -520,6 +614,7 @@ impl BatchPipeline {
             key,
             compiled.clone(),
         );
+        self.counters.compiles.inc();
         Ok(compiled)
     }
 

@@ -35,6 +35,26 @@ pub struct SvcView {
     /// Configuration (ratio, hash, confidence, ...).
     pub config: SvcConfig,
     stale_sample: Table,
+    counters: SvcCounters,
+}
+
+/// Live cleaning counters. Atomic so the `&self` cleaning path can count;
+/// cloning an [`SvcView`] snapshots them (shared history, separate future).
+#[derive(Debug, Clone, Default)]
+struct SvcCounters {
+    cleanings: svc_telemetry::Counter,
+    rows_cleaned: svc_telemetry::Counter,
+}
+
+/// A point-in-time reading of one view's SVC telemetry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SvcMetrics {
+    /// Cleaning runs performed ([`SvcView::clean_sample`] and friends).
+    pub cleanings: u64,
+    /// Total up-to-date sample rows those runs materialized.
+    pub rows_cleaned: u64,
+    /// Time since the full view was last maintained (creation counts).
+    pub staleness_age: std::time::Duration,
 }
 
 /// A cleaned sample plus diagnostics of how it was materialized.
@@ -65,7 +85,17 @@ impl SvcView {
     ) -> Result<SvcView> {
         let view = MaterializedView::create(name, definition, db)?;
         let stale_sample = sample_by_key(view.table(), config.ratio, config.hash_spec());
-        Ok(SvcView { view, config, stale_sample })
+        Ok(SvcView { view, config, stale_sample, counters: SvcCounters::default() })
+    }
+
+    /// Read this view's telemetry: cleaning counters plus the staleness
+    /// age of the full materialized state.
+    pub fn metrics(&self) -> SvcMetrics {
+        SvcMetrics {
+            cleanings: self.counters.cleanings.get(),
+            rows_cleaned: self.counters.rows_cleaned.get(),
+            staleness_age: self.view.staleness_age(),
+        }
     }
 
     /// The stale sample `Ŝ` (canonical schema).
@@ -203,6 +233,8 @@ impl SvcView {
             svc_relalg::exec::compile(&plan, &bindings)?.run_with(&bindings, mode)?
         };
         let public = self.view.public_of(&canonical)?;
+        self.counters.cleanings.inc();
+        self.counters.rows_cleaned.add(canonical.len() as u64);
         Ok(CleanedSample { canonical, public, report, plan_kind })
     }
 

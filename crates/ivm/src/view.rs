@@ -30,6 +30,10 @@ pub struct MaterializedView {
     pub definition: Plan,
     canonical: Canonical,
     table: Table,
+    /// When the materialized state was last replaced (creation, a
+    /// `maintain*` call, or `set_table`) — the observable behind
+    /// [`MaterializedView::staleness_age`].
+    maintained_at: std::time::Instant,
 }
 
 /// Bind base tables, delta relations, and the stale view for evaluating a
@@ -57,7 +61,13 @@ impl MaterializedView {
         let (optimized, _) = optimize(&canonical.plan, db)?;
         let bindings = Bindings::from_database(db);
         let table = evaluate(&optimized, &bindings)?;
-        Ok(MaterializedView { name: name.into(), definition, canonical, table })
+        Ok(MaterializedView {
+            name: name.into(),
+            definition,
+            canonical,
+            table,
+            maintained_at: std::time::Instant::now(),
+        })
     }
 
     /// The canonical (internal) materialized state.
@@ -97,9 +107,17 @@ impl MaterializedView {
     }
 
     /// Replace the materialized state (used by tests and by SVC's periodic
-    /// full maintenance).
+    /// full maintenance). Resets the staleness clock.
     pub fn set_table(&mut self, table: Table) {
         self.table = table;
+        self.maintained_at = std::time::Instant::now();
+    }
+
+    /// Wall-clock time since the materialized state was last replaced —
+    /// the per-view staleness-age gauge: how long this view has been
+    /// accumulating unapplied deltas.
+    pub fn staleness_age(&self) -> std::time::Duration {
+        self.maintained_at.elapsed()
     }
 
     /// Build this view's maintenance plan for the given deltas without
@@ -163,7 +181,7 @@ impl MaterializedView {
             let bindings = maintenance_bindings(db, deltas, &self.table);
             compiled.run_with(&bindings, mode)?
         };
-        self.table = new_table;
+        self.set_table(new_table);
         Ok(kind)
     }
 

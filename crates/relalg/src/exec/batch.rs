@@ -18,6 +18,7 @@
 use std::cell::{Cell, RefCell};
 
 use svc_storage::Row;
+use svc_telemetry::LocalCounter;
 
 /// Buffers retained per thread. Beyond this the extra buffers are dropped:
 /// a deep plan briefly needs many live batches, but steady state needs few,
@@ -26,8 +27,12 @@ const POOL_CAP: usize = 8;
 
 thread_local! {
     static POOL: RefCell<Vec<Vec<Row>>> = const { RefCell::new(Vec::new()) };
-    static FRESH: Cell<usize> = const { Cell::new(0) };
+    static FRESH_CELL: Cell<u64> = const { Cell::new(0) };
 }
+
+/// Fresh-allocation counter behind [`fresh_batch_count`], on the shared
+/// telemetry counter mechanism.
+static FRESH: LocalCounter = LocalCounter::new(&FRESH_CELL);
 
 /// Take a batch buffer with at least `cap` capacity: recycled when the
 /// thread's pool has one, freshly allocated (and counted) otherwise.
@@ -39,7 +44,7 @@ pub(super) fn take(cap: usize) -> Vec<Row> {
             v
         }
         None => {
-            FRESH.with(|c| c.set(c.get() + 1));
+            FRESH.bump();
             Vec::with_capacity(cap)
         }
     })
@@ -62,7 +67,8 @@ pub(super) fn recycle(mut v: Vec<Row>) {
 /// guarantee: after a warm-up run, re-running a compiled plan allocates at
 /// most one fresh batch (the root buffer the output table keeps; every
 /// intermediate batch is served from the pool). Take a reading, run a
-/// plan, compare.
+/// plan, compare. Thin shim over the shared telemetry counter mechanism
+/// ([`svc_telemetry::LocalCounter`]).
 pub fn fresh_batch_count() -> usize {
-    FRESH.with(Cell::get)
+    FRESH.get() as usize
 }

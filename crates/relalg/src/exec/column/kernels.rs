@@ -268,8 +268,10 @@ fn live(valid: Option<&[bool]>, i: usize) -> bool {
 }
 
 impl ColPred {
-    /// Refine `sel` to the rows matching this predicate.
-    pub fn apply(&self, cols: &ColumnSet, sel: &mut SelVec, scratch: &mut Row) {
+    /// Refine `sel` to the rows matching this predicate. Returns the
+    /// number of predicate×slice decisions settled by a zone map without
+    /// scanning (the executor's `zone_skips` metric).
+    pub fn apply(&self, cols: &ColumnSet, sel: &mut SelVec, scratch: &mut Row) -> u32 {
         match self {
             ColPred::CmpColLit { col, op, lit } => {
                 let c = &cols.cols[*col];
@@ -277,7 +279,7 @@ impl ColPred {
                     // eval_cmp(_, NULL) is NULL for every row: nothing
                     // matches.
                     sel.clear();
-                    return;
+                    return 0;
                 }
                 // Zone-map short-circuit: decide the whole slice from the
                 // column's min/max when the bounds are conclusive.
@@ -285,9 +287,9 @@ impl ColPred {
                     match zone_check(*op, lo, hi, lv) {
                         ZoneHit::NoneMatch => {
                             sel.clear();
-                            return;
+                            return 1;
                         }
-                        ZoneHit::AllMatch if !c.has_nulls() => return,
+                        ZoneHit::AllMatch if !c.has_nulls() => return 1,
                         _ => {}
                     }
                 }
@@ -332,6 +334,7 @@ impl ColPred {
                         }
                     }
                 }
+                0
             }
             ColPred::CmpColCol { left, op, right } => {
                 let (lc, rc) = (&cols.cols[*left], &cols.cols[*right]);
@@ -357,6 +360,7 @@ impl ColPred {
                         .retain(|i| live(lv, i) && live(rv, i) && cmp_keeps(*op, a[i].cmp(&b[i]))),
                     _ => sel.retain(|i| value_cmp_matches(*op, &lc.value(i), &rc.value(i))),
                 }
+                0
             }
             ColPred::IsNull { col, negated } => {
                 let c = &cols.cols[*col];
@@ -364,27 +368,32 @@ impl ColPred {
                     if !*negated {
                         sel.clear();
                     }
-                    return;
+                    return 0;
                 }
                 let negated = *negated;
                 sel.retain(|i| c.is_null(i) != negated);
+                0
             }
             ColPred::And(ps) => {
+                let mut skips = 0;
                 for p in ps {
                     if sel.is_empty() {
-                        return;
+                        break;
                     }
-                    p.apply(cols, sel, scratch);
+                    skips += p.apply(cols, sel, scratch);
                 }
+                skips
             }
             ColPred::Or(p, q) => {
                 sel.retain(|i| p.matches_at(cols, i, scratch) || q.matches_at(cols, i, scratch));
+                0
             }
             ColPred::Row(e) => {
                 sel.retain(|i| {
                     cols.gather_row(i, scratch);
                     e.matches(scratch)
                 });
+                0
             }
         }
     }

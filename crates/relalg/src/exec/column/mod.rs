@@ -28,15 +28,18 @@ pub fn profitable(ops: &[VecOp]) -> bool {
 
 /// Run a vectorized operator chain over a chunk, in order. `scratch` is
 /// the shared row buffer for kernels that fall back to row evaluation.
+/// Returns the number of predicate×slice decisions settled by a zone map
+/// without scanning (the `zone_skips` metric; free to ignore).
 /// Under the `verify` feature, the chunk's integrity (column lengths,
 /// validity masks, selection-vector ordering — see
 /// [`crate::verify::columnar`]) is checked on entry and after every
 /// kernel; the hooks compile to nothing otherwise.
-pub fn run_ops(chunk: &mut ColumnChunk<'_>, ops: &[VecOp], scratch: &mut Row) {
+pub fn run_ops(chunk: &mut ColumnChunk<'_>, ops: &[VecOp], scratch: &mut Row) -> u32 {
     crate::verify::columnar::debug_check_chunk(chunk);
+    let mut zone_skips = 0;
     for op in ops {
         if chunk.is_empty() {
-            return;
+            return zone_skips;
         }
         match op {
             VecOp::Filter(pred) => {
@@ -45,7 +48,7 @@ pub fn run_ops(chunk: &mut ColumnChunk<'_>, ops: &[VecOp], scratch: &mut Row) {
                     ChunkCols::Shared(c) => *c,
                     ChunkCols::Owned(c) => &*c,
                 };
-                pred.apply(cs, sel, scratch);
+                zone_skips += pred.apply(cs, sel, scratch);
             }
             VecOp::Map(plan) => {
                 let mapped = plan.apply(chunk.columns(), &chunk.sel, scratch);
@@ -62,4 +65,5 @@ pub fn run_ops(chunk: &mut ColumnChunk<'_>, ops: &[VecOp], scratch: &mut Row) {
         }
         crate::verify::columnar::debug_check_chunk(chunk);
     }
+    zone_skips
 }

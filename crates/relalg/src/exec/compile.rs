@@ -152,6 +152,28 @@ impl Node {
         }
     }
 
+    /// Number of nodes in this subtree, root included, in the canonical
+    /// pre-order the telemetry layer indexes metric slots by: a node at
+    /// pre-order id `i` has its first child at `i + 1` and its second at
+    /// `i + 1 + first.subtree_size()`. A PK-probe join right side is not a
+    /// node (the probed leaf is resolved inline; its size shows up in the
+    /// join's `build_rows` metric).
+    pub fn subtree_size(&self) -> usize {
+        1 + match self {
+            Node::FusedScan { .. } => 0,
+            Node::Fused { input, .. } => input.subtree_size(),
+            Node::Join { left, right, .. } => {
+                left.subtree_size()
+                    + match right {
+                        JoinRight::PkProbeLeaf(_) => 0,
+                        JoinRight::Build(r) => r.subtree_size(),
+                    }
+            }
+            Node::Aggregate { input, .. } => input.subtree_size(),
+            Node::SetOp { left, right, .. } => left.subtree_size() + right.subtree_size(),
+        }
+    }
+
     /// Compact structural description (`fused-scan(T)[σ,η] → γ` style) for
     /// tests and debugging.
     pub fn describe(&self) -> String {

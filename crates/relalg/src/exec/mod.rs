@@ -32,12 +32,14 @@
 mod batch;
 pub mod column;
 pub mod compile;
+pub mod explain;
 pub mod pipeline;
 mod run;
 
 use std::fmt;
 
 use svc_storage::{Result, StorageError, Table};
+use svc_telemetry::MetricsSink;
 
 use crate::derive::{Derived, LeafProvider};
 use crate::eval::Bindings;
@@ -47,6 +49,7 @@ use crate::plan::Plan;
 pub use batch::fresh_batch_count;
 pub use column::{ColPred, ColumnChunk, MapPlan, SelVec, VecOp};
 pub use compile::{JoinRight, LeafRef, Node};
+pub use explain::{explain_analyze, Explain, ExplainNode};
 pub use pipeline::{FusedOp, RowSink};
 
 /// Something that can execute a batch of independent morsel tasks —
@@ -158,7 +161,7 @@ impl PhysicalPlan {
     /// Fused-scan segments run on the vectorized column kernels; the
     /// result is row-for-row identical to [`PhysicalPlan::run_rowwise`].
     pub fn run(&self, bindings: &Bindings<'_>) -> Result<Table> {
-        let rows = run::run_node(&self.root, bindings, true)?;
+        let rows = run::run_node(&self.root, bindings, true, None)?;
         run::finish_root(&self.root, &self.out, rows)
     }
 
@@ -166,7 +169,7 @@ impl PhysicalPlan {
     /// columnar kernels. Kept for the equivalence harnesses
     /// (`tests/exec_prop.rs`) and the `fig_vector` benchmark baseline.
     pub fn run_rowwise(&self, bindings: &Bindings<'_>) -> Result<Table> {
-        let rows = run::run_node(&self.root, bindings, false)?;
+        let rows = run::run_node(&self.root, bindings, false, None)?;
         run::finish_root(&self.root, &self.out, rows)
     }
 
@@ -185,7 +188,7 @@ impl PhysicalPlan {
         sched: &dyn MorselScheduler,
         morsel_size: usize,
     ) -> Result<Table> {
-        self.run_parallel_impl(bindings, sched, morsel_size, true)
+        self.run_parallel_impl(bindings, sched, morsel_size, true, None)
     }
 
     fn run_parallel_impl(
@@ -194,12 +197,13 @@ impl PhysicalPlan {
         sched: &dyn MorselScheduler,
         morsel_size: usize,
         vec: bool,
+        m: run::OptMeter<'_>,
     ) -> Result<Table> {
         if morsel_size == 0 {
             return Err(StorageError::Invalid("morsel_size must be at least 1".into()));
         }
         let par = run::Par { sched, morsel: morsel_size, vec };
-        let rows = run::run_node_par(&self.root, bindings, &par)?;
+        let rows = run::run_node_par(&self.root, bindings, &par, m)?;
         run::finish_root(&self.root, &self.out, rows)
     }
 
@@ -208,6 +212,15 @@ impl PhysicalPlan {
     /// size ([`ExecMode::morsel_auto`]) derives one from the largest
     /// bound leaf via [`auto_morsel_size`].
     pub fn run_with(&self, bindings: &Bindings<'_>, mode: ExecMode<'_>) -> Result<Table> {
+        self.dispatch(bindings, mode, None)
+    }
+
+    fn dispatch(
+        &self,
+        bindings: &Bindings<'_>,
+        mode: ExecMode<'_>,
+        m: run::OptMeter<'_>,
+    ) -> Result<Table> {
         match mode.sched {
             Some(sched) => {
                 let morsel = if mode.morsel == 0 {
@@ -216,11 +229,63 @@ impl PhysicalPlan {
                 } else {
                     mode.morsel
                 };
-                self.run_parallel_impl(bindings, sched, morsel, !mode.rowwise)
+                self.run_parallel_impl(bindings, sched, morsel, !mode.rowwise, m)
             }
-            None if mode.rowwise => self.run_rowwise(bindings),
-            None => self.run(bindings),
+            None => {
+                let rows = run::run_node(&self.root, bindings, !mode.rowwise, m)?;
+                run::finish_root(&self.root, &self.out, rows)
+            }
         }
+    }
+
+    /// Number of physical nodes in the compiled tree — the slot count a
+    /// [`MetricsSink`] for this plan must have. Node ids are pre-order:
+    /// the root is 0, a node's first child is `id + 1`, and a second child
+    /// follows the first child's whole subtree. PK-probed leaves are part
+    /// of their join node (reported as its `build_rows`), not nodes of
+    /// their own.
+    pub fn node_count(&self) -> usize {
+        self.root.subtree_size()
+    }
+
+    /// Allocate a metrics sink sized for this plan — one
+    /// [`svc_telemetry::OpSlot`] per physical node, addressed by pre-order
+    /// id.
+    pub fn metrics_sink(&self) -> MetricsSink {
+        MetricsSink::with_slots(self.node_count())
+    }
+
+    /// Operator labels in pre-order: `node_labels()[i]` names the operator
+    /// whose metrics land in sink slot `i`. Lets callers pair
+    /// [`MetricsSink::snapshots`] with operator names without building a
+    /// full [`Explain`].
+    pub fn node_labels(&self) -> Vec<String> {
+        explain::labels(&self.root)
+    }
+
+    /// [`PhysicalPlan::run_with`], recording per-operator execution
+    /// metrics into `sink` (not reset first — counts accumulate, so one
+    /// sink can total several runs). Morsel tasks fold stack-local
+    /// counters into the sink's per-node atomic slots at the session
+    /// barrier; the sums are commutative, so recorded totals — like the
+    /// rows themselves — depend on the morsel size only, never on the
+    /// scheduler's thread count. The plain `run*` paths never touch a
+    /// sink: with no sink installed the executor allocates zero metric
+    /// state (see `metric_allocs` and `tests/telemetry.rs`).
+    pub fn run_with_metrics(
+        &self,
+        bindings: &Bindings<'_>,
+        mode: ExecMode<'_>,
+        sink: &MetricsSink,
+    ) -> Result<Table> {
+        if sink.len() != self.node_count() {
+            return Err(StorageError::Invalid(format!(
+                "metrics sink has {} slots but the plan has {} nodes",
+                sink.len(),
+                self.node_count()
+            )));
+        }
+        self.dispatch(bindings, mode, Some(run::Meter { sink, id: 0 }))
     }
 
     /// The derived output type (schema + key) of the plan.

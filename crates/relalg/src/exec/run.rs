@@ -14,10 +14,19 @@
 //!   at the pipeline barrier, so the result — including output order at
 //!   the keyed root — is a function of the morsel size only, never of the
 //!   scheduler's thread count or interleaving.
+//!
+//! Both drivers take an optional [`Meter`]: with `None` (the plain `run`
+//! paths) no metric state is touched or allocated; with a sink installed,
+//! each node accumulates an [`OpMetrics`] on the stack (per morsel task in
+//! parallel) and merges it into the sink's per-node slot at the end — the
+//! same merge-at-the-barrier shape as the γ group maps, so instrumented
+//! totals are as deterministic as the rows.
 
 use std::sync::Mutex;
+use std::time::Instant;
 
-use svc_storage::{Result, Row, StorageError, Table};
+use svc_storage::{Result, Row, StorageError, Table, Value};
+use svc_telemetry::{MetricsSink, OpMetrics, OpSlot};
 
 use crate::aggregate::GroupMap;
 use crate::eval::Bindings;
@@ -28,8 +37,56 @@ use crate::setops::{difference_rows_into, intersect_rows_into, union_rows_into};
 use super::batch;
 use super::column::{run_ops, ColumnChunk};
 use super::compile::{JoinRight, Node};
-use super::pipeline::{feed_borrowed, feed_owned};
+use super::pipeline::{feed_borrowed, feed_owned, RowSink};
 use super::MorselScheduler;
+
+/// A metering handle for one plan node: the shared sink plus the node's
+/// pre-order slot id. Copied down the tree; absent (`None`) on the
+/// uninstrumented paths.
+#[derive(Clone, Copy)]
+pub(super) struct Meter<'m> {
+    /// The caller-owned sink (one slot per node).
+    pub sink: &'m MetricsSink,
+    /// Pre-order id of the node this handle meters.
+    pub id: usize,
+}
+
+impl<'m> Meter<'m> {
+    fn slot(&self) -> &'m OpSlot {
+        self.sink.slot(self.id)
+    }
+
+    fn at(self, id: usize) -> Meter<'m> {
+        Meter { sink: self.sink, id }
+    }
+}
+
+pub(super) type OptMeter<'m> = Option<Meter<'m>>;
+
+/// The meter for a node's child at pre-order offset `off` from the parent.
+fn child(m: OptMeter<'_>, off: usize) -> OptMeter<'_> {
+    m.map(|mm| mm.at(mm.id + off))
+}
+
+/// A [`RowSink`] adapter counting survivors on their way into a γ group
+/// map — used only when metered, so the uninstrumented streaming path
+/// keeps its direct `feed_borrowed(row, ops, &mut gm)` shape.
+struct Counting<'a, 'g> {
+    gm: &'a mut GroupMap<'g>,
+    n: &'a mut u64,
+}
+
+impl RowSink for Counting<'_, '_> {
+    fn owned(&mut self, row: Row) {
+        *self.n += 1;
+        self.gm.owned(row);
+    }
+
+    fn borrowed(&mut self, row: &[Value]) {
+        *self.n += 1;
+        RowSink::borrowed(self.gm, row);
+    }
+}
 
 /// A node's output rows for read-only consumers (join build sides, set-op
 /// right inputs): a bare leaf scan lends the bound table's rows directly —
@@ -58,39 +115,60 @@ impl std::ops::Deref for Batch<'_> {
     }
 }
 
-/// Run a node for a consumer that only reads the batch.
-fn run_node_ref<'a>(node: &Node, b: &Bindings<'a>, vec: bool) -> Result<Batch<'a>> {
+/// Run a node for a consumer that only reads the batch. A borrowed bare
+/// leaf never "runs", so when metered its slot records the pass-through
+/// row counts directly.
+fn run_node_ref<'a>(
+    node: &Node,
+    b: &Bindings<'a>,
+    vec: bool,
+    m: OptMeter<'_>,
+) -> Result<Batch<'a>> {
     match node {
         Node::FusedScan { leaf, ops, .. } if ops.is_empty() => {
-            Ok(Batch::Borrowed(leaf.resolve(b)?.rows()))
+            let t = leaf.resolve(b)?;
+            if let Some(mm) = m {
+                let n = t.len() as u64;
+                mm.slot().merge(&OpMetrics { rows_in: n, rows_out: n, ..Default::default() });
+            }
+            Ok(Batch::Borrowed(t.rows()))
         }
-        other => Ok(Batch::Owned(run_node(other, b, vec)?)),
+        other => Ok(Batch::Owned(run_node(other, b, vec, m)?)),
     }
 }
 
 /// Run a vectorized fused-scan segment over one chunk range of the shared
-/// column set, gathering the survivors into a fresh row batch.
+/// column set, gathering the survivors into a fresh row batch. Also
+/// returns the segment's zone-map skip count.
 fn run_vec_segment(
     cols: &svc_storage::ColumnSet,
     vops: &[super::column::VecOp],
     lo: usize,
     hi: usize,
-) -> Vec<Row> {
+) -> (Vec<Row>, u32) {
     let mut chunk = ColumnChunk::over(cols, lo, hi);
     let mut scratch = Row::new();
-    run_ops(&mut chunk, vops, &mut scratch);
+    let zone_skips = run_ops(&mut chunk, vops, &mut scratch);
     let mut out = batch::take(chunk.len());
     chunk.gather_into(&mut out);
-    out
+    (out, zone_skips)
 }
 
 /// Run a node to a materialized row batch. `vec` selects the vectorized
 /// kernels for fused-scan segments; everything downstream of the
 /// chunk→row boundary is identical either way.
-pub(super) fn run_node(node: &Node, b: &Bindings<'_>, vec: bool) -> Result<Vec<Row>> {
-    Ok(match node {
+pub(super) fn run_node(
+    node: &Node,
+    b: &Bindings<'_>,
+    vec: bool,
+    m: OptMeter<'_>,
+) -> Result<Vec<Row>> {
+    let t0 = m.is_some().then(Instant::now);
+    let mut stat = OpMetrics::default();
+    let out = match node {
         Node::FusedScan { leaf, ops, vops } => {
             let t = leaf.resolve(b)?;
+            stat.rows_in = t.len() as u64;
             if ops.is_empty() {
                 // Bare scan: every row survives; clone the rows, skip the
                 // per-row op dispatch.
@@ -101,8 +179,12 @@ pub(super) fn run_node(node: &Node, b: &Bindings<'_>, vec: bool) -> Result<Vec<R
                 // Leaf conversion: the bound table's cached columnar
                 // projection (built once per mutation epoch).
                 let cols = t.columns();
-                run_vec_segment(&cols, vops, 0, cols.len)
+                let (out, zone_skips) = run_vec_segment(&cols, vops, 0, cols.len);
+                stat.vec_chunks = 1;
+                stat.zone_skips = u64::from(zone_skips);
+                out
             } else {
+                stat.row_batches = 1;
                 let mut out = batch::take(0);
                 for row in t.rows() {
                     feed_borrowed(row, ops, &mut out);
@@ -111,7 +193,9 @@ pub(super) fn run_node(node: &Node, b: &Bindings<'_>, vec: bool) -> Result<Vec<R
             }
         }
         Node::Fused { input, ops } => {
-            let mut rows = run_node(input, b, vec)?;
+            let mut rows = run_node(input, b, vec, child(m, 1))?;
+            stat.rows_in = rows.len() as u64;
+            stat.row_batches = 1;
             let mut out = batch::take(rows.len());
             for row in rows.drain(..) {
                 feed_owned(row, ops, &mut out);
@@ -120,16 +204,19 @@ pub(super) fn run_node(node: &Node, b: &Bindings<'_>, vec: bool) -> Result<Vec<R
             out
         }
         Node::Join { left, right, kind, on_idx, pad_left, pad_right } => {
-            let mut lrows = run_node(left, b, vec)?;
+            let mut lrows = run_node(left, b, vec, child(m, 1))?;
+            stat.probe_rows = lrows.len() as u64;
             let left_cols: Vec<usize> = on_idx.iter().map(|&(l, _)| l).collect();
             let mut out = batch::take(lrows.len());
             match right {
                 JoinRight::PkProbeLeaf(leaf) => {
                     let t = leaf.resolve(b)?;
+                    stat.build_rows = t.len() as u64;
                     join_rows_pk_probe_into(&mut lrows, t, *kind, &left_cols, *pad_right, &mut out);
                 }
                 JoinRight::Build(rnode) => {
-                    let rrows = run_node_ref(rnode, b, vec)?;
+                    let rrows = run_node_ref(rnode, b, vec, child(m, 1 + left.subtree_size()))?;
+                    stat.build_rows = rrows.len() as u64;
                     let build = JoinBuild::new(&rrows, on_idx);
                     let mut matched: Vec<u32> = Vec::new();
                     build.probe(&mut lrows, *kind, &left_cols, *pad_right, &mut out, &mut matched);
@@ -139,6 +226,7 @@ pub(super) fn run_node(node: &Node, b: &Bindings<'_>, vec: bool) -> Result<Vec<R
                     rrows.recycle();
                 }
             }
+            stat.rows_in = stat.probe_rows + stat.build_rows;
             batch::recycle(lrows);
             out
         }
@@ -147,6 +235,7 @@ pub(super) fn run_node(node: &Node, b: &Bindings<'_>, vec: bool) -> Result<Vec<R
                 Some(h) => GroupMap::with_capacity(group_idx, aggs, *h),
                 None => GroupMap::with_input_len(group_idx, aggs, input_len),
             };
+            let cm = child(m, 1);
             let gm = match &**input {
                 // γ over a fused scan: the filtered input batch never
                 // exists. Vectorized, kernels refine the selection first
@@ -160,25 +249,53 @@ pub(super) fn run_node(node: &Node, b: &Bindings<'_>, vec: bool) -> Result<Vec<R
                     let cols = t.columns();
                     let mut chunk = ColumnChunk::over(&cols, 0, cols.len);
                     let mut scratch = Row::new();
-                    run_ops(&mut chunk, vops, &mut scratch);
+                    let zone_skips = run_ops(&mut chunk, vops, &mut scratch);
                     let mut gm = make(chunk.len());
                     let cs = chunk.columns();
                     for i in chunk.sel.iter() {
                         cs.gather_row(i, &mut scratch);
                         gm.push(&scratch);
                     }
+                    if let Some(c) = cm {
+                        c.slot().merge(&OpMetrics {
+                            rows_in: t.len() as u64,
+                            rows_out: chunk.len() as u64,
+                            vec_chunks: 1,
+                            zone_skips: u64::from(zone_skips),
+                            ..Default::default()
+                        });
+                    }
+                    stat.rows_in = chunk.len() as u64;
                     gm
                 }
                 Node::FusedScan { leaf, ops, .. } => {
                     let t = leaf.resolve(b)?;
                     let mut gm = make(t.len());
-                    for row in t.rows() {
-                        feed_borrowed(row, ops, &mut gm);
+                    if let Some(c) = cm {
+                        let mut survivors = 0u64;
+                        {
+                            let mut sink = Counting { gm: &mut gm, n: &mut survivors };
+                            for row in t.rows() {
+                                feed_borrowed(row, ops, &mut sink);
+                            }
+                        }
+                        c.slot().merge(&OpMetrics {
+                            rows_in: t.len() as u64,
+                            rows_out: survivors,
+                            row_batches: 1,
+                            ..Default::default()
+                        });
+                        stat.rows_in = survivors;
+                    } else {
+                        for row in t.rows() {
+                            feed_borrowed(row, ops, &mut gm);
+                        }
                     }
                     gm
                 }
                 other => {
-                    let rows = run_node(other, b, vec)?;
+                    let rows = run_node(other, b, vec, cm)?;
+                    stat.rows_in = rows.len() as u64;
                     let mut gm = make(rows.len());
                     for row in &rows {
                         gm.push(row);
@@ -187,26 +304,32 @@ pub(super) fn run_node(node: &Node, b: &Bindings<'_>, vec: bool) -> Result<Vec<R
                     gm
                 }
             };
+            stat.groups = gm.group_count() as u64;
             let mut out = batch::take(gm.group_count());
             gm.finish_into(&mut out);
             out
         }
         Node::SetOp { kind, left, right } => {
-            let mut lrows = run_node(left, b, vec)?;
+            let rm = child(m, 1 + left.subtree_size());
+            let mut lrows = run_node(left, b, vec, child(m, 1))?;
+            stat.rows_in = lrows.len() as u64;
             let mut out = batch::take(lrows.len());
             match kind {
                 crate::derive::SetOpKind::Union => {
-                    let mut rrows = run_node(right, b, vec)?;
+                    let mut rrows = run_node(right, b, vec, rm)?;
+                    stat.rows_in += rrows.len() as u64;
                     union_rows_into(&mut lrows, &mut rrows, &mut out);
                     batch::recycle(rrows);
                 }
                 crate::derive::SetOpKind::Intersect => {
-                    let rrows = run_node_ref(right, b, vec)?;
+                    let rrows = run_node_ref(right, b, vec, rm)?;
+                    stat.rows_in += rrows.len() as u64;
                     intersect_rows_into(&mut lrows, &rrows, &mut out);
                     rrows.recycle();
                 }
                 crate::derive::SetOpKind::Difference => {
-                    let rrows = run_node_ref(right, b, vec)?;
+                    let rrows = run_node_ref(right, b, vec, rm)?;
+                    stat.rows_in += rrows.len() as u64;
                     difference_rows_into(&mut lrows, &rrows, &mut out);
                     rrows.recycle();
                 }
@@ -214,7 +337,13 @@ pub(super) fn run_node(node: &Node, b: &Bindings<'_>, vec: bool) -> Result<Vec<R
             batch::recycle(lrows);
             out
         }
-    })
+    };
+    if let (Some(mm), Some(t0)) = (m, t0) {
+        stat.rows_out = out.len() as u64;
+        stat.wall_ns = t0.elapsed().as_nanos() as u64;
+        mm.slot().merge(&stat);
+    }
+    Ok(out)
 }
 
 /// Morsel-parallel execution context: the scheduler the morsel tasks run
@@ -296,27 +425,46 @@ fn concat(outs: Vec<Vec<Row>>) -> Vec<Row> {
 }
 
 /// Run a node for a read-only consumer, children morsel-parallel.
-fn run_node_ref_par<'a>(node: &Node, b: &Bindings<'a>, par: &Par<'_>) -> Result<Batch<'a>> {
+fn run_node_ref_par<'a>(
+    node: &Node,
+    b: &Bindings<'a>,
+    par: &Par<'_>,
+    m: OptMeter<'_>,
+) -> Result<Batch<'a>> {
     match node {
         Node::FusedScan { leaf, ops, .. } if ops.is_empty() => {
-            Ok(Batch::Borrowed(leaf.resolve(b)?.rows()))
+            let t = leaf.resolve(b)?;
+            if let Some(mm) = m {
+                let n = t.len() as u64;
+                mm.slot().merge(&OpMetrics { rows_in: n, rows_out: n, ..Default::default() });
+            }
+            Ok(Batch::Borrowed(t.rows()))
         }
-        other => Ok(Batch::Owned(run_node_par(other, b, par)?)),
+        other => Ok(Batch::Owned(run_node_par(other, b, par, m)?)),
     }
 }
 
 /// Run a node morsel-parallel to a materialized row batch. Inputs at or
 /// below the morsel size fall back to the sequential core inline — the
-/// scheduler is only engaged where a split exists.
-pub(super) fn run_node_par(node: &Node, b: &Bindings<'_>, par: &Par<'_>) -> Result<Vec<Row>> {
-    match node {
+/// scheduler is only engaged where a split exists (those delegations
+/// record through [`run_node`]'s meter, so metrics stay complete).
+pub(super) fn run_node_par(
+    node: &Node,
+    b: &Bindings<'_>,
+    par: &Par<'_>,
+    m: OptMeter<'_>,
+) -> Result<Vec<Row>> {
+    let t0 = m.is_some().then(Instant::now);
+    let mut stat = OpMetrics::default();
+    let out = match node {
         Node::FusedScan { leaf, ops, vops } => {
             let t = leaf.resolve(b)?;
             let rows = t.rows();
             // A bare scan is a plain copy; splitting it buys nothing.
             if ops.is_empty() || rows.len() <= par.morsel {
-                return run_node(node, b, par.vec);
+                return run_node(node, b, par.vec, m);
             }
+            stat.rows_in = rows.len() as u64;
             if par.vec && super::column::profitable(vops) {
                 // Morsels are chunk ranges over the one shared column set:
                 // the leaf conversion happens (at most) once per epoch, not
@@ -324,73 +472,96 @@ pub(super) fn run_node_par(node: &Node, b: &Bindings<'_>, par: &Par<'_>) -> Resu
                 let cols = t.columns();
                 let cols = &*cols;
                 let rs = ranges(cols.len, par.morsel);
-                let outs =
-                    fan_out(par, rs.len(), &|i| Ok(run_vec_segment(cols, vops, rs[i].0, rs[i].1)))?;
-                return Ok(concat(outs));
+                stat.morsels = rs.len() as u64;
+                stat.vec_chunks = rs.len() as u64;
+                // Zone skips are per-morsel facts; they flow straight into
+                // the slot's atomics (commutative adds — deterministic).
+                let slot = m.map(|mm| mm.slot());
+                let outs = fan_out(par, rs.len(), &|i| {
+                    let (out, zone_skips) = run_vec_segment(cols, vops, rs[i].0, rs[i].1);
+                    if let Some(s) = slot {
+                        s.add_zone_skips(u64::from(zone_skips));
+                    }
+                    Ok(out)
+                })?;
+                concat(outs)
+            } else {
+                let rs = ranges(rows.len(), par.morsel);
+                stat.morsels = rs.len() as u64;
+                stat.row_batches = rs.len() as u64;
+                let outs = fan_out(par, rs.len(), &|i| {
+                    let (lo, hi) = rs[i];
+                    let mut out = batch::take(0);
+                    for row in &rows[lo..hi] {
+                        feed_borrowed(row, ops, &mut out);
+                    }
+                    Ok(out)
+                })?;
+                concat(outs)
             }
-            let rs = ranges(rows.len(), par.morsel);
-            let outs = fan_out(par, rs.len(), &|i| {
-                let (lo, hi) = rs[i];
-                let mut out = batch::take(0);
-                for row in &rows[lo..hi] {
-                    feed_borrowed(row, ops, &mut out);
-                }
-                Ok(out)
-            })?;
-            Ok(concat(outs))
         }
         Node::Fused { input, ops } => {
-            let mut rows = run_node_par(input, b, par)?;
+            let mut rows = run_node_par(input, b, par, child(m, 1))?;
+            stat.rows_in = rows.len() as u64;
             if rows.len() <= par.morsel {
+                stat.row_batches = 1;
                 let mut out = batch::take(rows.len());
                 for row in rows.drain(..) {
                     feed_owned(row, ops, &mut out);
                 }
                 batch::recycle(rows);
-                return Ok(out);
+                out
+            } else {
+                let chunks = owned_chunks(rows, par.morsel);
+                stat.morsels = chunks.len() as u64;
+                stat.row_batches = chunks.len() as u64;
+                let outs = fan_out(par, chunks.len(), &|i| {
+                    let mut chunk = take_chunk(&chunks, i);
+                    let mut out = batch::take(chunk.len());
+                    for row in chunk.drain(..) {
+                        feed_owned(row, ops, &mut out);
+                    }
+                    batch::recycle(chunk);
+                    Ok(out)
+                })?;
+                concat(outs)
             }
-            let chunks = owned_chunks(rows, par.morsel);
-            let outs = fan_out(par, chunks.len(), &|i| {
-                let mut chunk = take_chunk(&chunks, i);
-                let mut out = batch::take(chunk.len());
-                for row in chunk.drain(..) {
-                    feed_owned(row, ops, &mut out);
-                }
-                batch::recycle(chunk);
-                Ok(out)
-            })?;
-            Ok(concat(outs))
         }
         Node::Join { left, right, kind, on_idx, pad_left, pad_right } => {
-            let mut lrows = run_node_par(left, b, par)?;
+            let mut lrows = run_node_par(left, b, par, child(m, 1))?;
+            stat.probe_rows = lrows.len() as u64;
             let left_cols: Vec<usize> = on_idx.iter().map(|&(l, _)| l).collect();
-            match right {
+            let out = match right {
                 JoinRight::PkProbeLeaf(leaf) => {
                     let t = leaf.resolve(b)?;
+                    stat.build_rows = t.len() as u64;
                     if lrows.len() <= par.morsel {
                         let mut out = batch::take(lrows.len());
                         join_rows_pk_probe_into(
                             &mut lrows, t, *kind, &left_cols, *pad_right, &mut out,
                         );
                         batch::recycle(lrows);
-                        return Ok(out);
+                        out
+                    } else {
+                        let chunks = owned_chunks(lrows, par.morsel);
+                        stat.morsels = chunks.len() as u64;
+                        let outs = fan_out(par, chunks.len(), &|i| {
+                            let mut chunk = take_chunk(&chunks, i);
+                            let mut out = batch::take(chunk.len());
+                            join_rows_pk_probe_into(
+                                &mut chunk, t, *kind, &left_cols, *pad_right, &mut out,
+                            );
+                            batch::recycle(chunk);
+                            Ok(out)
+                        })?;
+                        concat(outs)
                     }
-                    let chunks = owned_chunks(lrows, par.morsel);
-                    let outs = fan_out(par, chunks.len(), &|i| {
-                        let mut chunk = take_chunk(&chunks, i);
-                        let mut out = batch::take(chunk.len());
-                        join_rows_pk_probe_into(
-                            &mut chunk, t, *kind, &left_cols, *pad_right, &mut out,
-                        );
-                        batch::recycle(chunk);
-                        Ok(out)
-                    })?;
-                    Ok(concat(outs))
                 }
                 JoinRight::Build(rnode) => {
                     // Build side constructed once; every morsel probes it
                     // read-only.
-                    let rrows = run_node_ref_par(rnode, b, par)?;
+                    let rrows = run_node_ref_par(rnode, b, par, child(m, 1 + left.subtree_size()))?;
+                    stat.build_rows = rrows.len() as u64;
                     let build = JoinBuild::new(&rrows, on_idx);
                     let mut out;
                     let mut matched: Vec<u32> = Vec::new();
@@ -407,6 +578,7 @@ pub(super) fn run_node_par(node: &Node, b: &Bindings<'_>, par: &Par<'_>) -> Resu
                         batch::recycle(lrows);
                     } else {
                         let chunks = owned_chunks(lrows, par.morsel);
+                        stat.morsels = chunks.len() as u64;
                         let outs = fan_out(par, chunks.len(), &|i| {
                             let mut chunk = take_chunk(&chunks, i);
                             let mut rows = batch::take(chunk.len());
@@ -431,9 +603,11 @@ pub(super) fn run_node_par(node: &Node, b: &Bindings<'_>, par: &Par<'_>) -> Resu
                     }
                     drop(build);
                     rrows.recycle();
-                    Ok(out)
+                    out
                 }
-            }
+            };
+            stat.rows_in = stat.probe_rows + stat.build_rows;
+            out
         }
         Node::Aggregate { input, group_idx, aggs, groups_hint } => {
             // Per-morsel group maps, merged in morsel order at the barrier
@@ -443,46 +617,92 @@ pub(super) fn run_node_par(node: &Node, b: &Bindings<'_>, par: &Par<'_>) -> Resu
                 Some(h) => GroupMap::with_capacity(group_idx, aggs, (*h).min(len.max(8))),
                 None => GroupMap::with_input_len(group_idx, aggs, len),
             };
+            let cm = child(m, 1);
             let merged = match &**input {
                 Node::FusedScan { leaf, ops, vops } => {
                     let t = leaf.resolve(b)?;
                     let rows = t.rows();
                     if rows.len() <= par.morsel {
-                        return run_node(node, b, par.vec);
+                        return run_node(node, b, par.vec, m);
                     }
                     if par.vec && !ops.is_empty() && super::column::profitable(vops) {
                         let cols = t.columns();
                         let cols = &*cols;
                         let rs = ranges(cols.len, par.morsel);
+                        stat.morsels = rs.len() as u64;
                         let maps = fan_out(par, rs.len(), &|i| {
                             let (lo, hi) = rs[i];
                             let mut chunk = ColumnChunk::over(cols, lo, hi);
                             let mut scratch = Row::new();
-                            run_ops(&mut chunk, vops, &mut scratch);
+                            let zone_skips = run_ops(&mut chunk, vops, &mut scratch);
                             let mut gm = make(chunk.len());
                             let cs = chunk.columns();
                             for i in chunk.sel.iter() {
                                 cs.gather_row(i, &mut scratch);
                                 gm.push(&scratch);
                             }
-                            Ok(gm)
+                            Ok((gm, chunk.len() as u64, zone_skips))
                         })?;
-                        merge_maps(maps)
+                        let mut survivors = 0u64;
+                        let mut zone_skips = 0u64;
+                        let mut gms = Vec::with_capacity(maps.len());
+                        for (gm, n, zs) in maps {
+                            survivors += n;
+                            zone_skips += u64::from(zs);
+                            gms.push(gm);
+                        }
+                        if let Some(c) = cm {
+                            c.slot().merge(&OpMetrics {
+                                rows_in: rows.len() as u64,
+                                rows_out: survivors,
+                                vec_chunks: rs.len() as u64,
+                                zone_skips,
+                                ..Default::default()
+                            });
+                        }
+                        stat.rows_in = survivors;
+                        merge_maps(gms)
                     } else {
                         let rs = ranges(rows.len(), par.morsel);
+                        stat.morsels = rs.len() as u64;
+                        let metered = m.is_some();
                         let maps = fan_out(par, rs.len(), &|i| {
                             let (lo, hi) = rs[i];
                             let mut gm = make(hi - lo);
-                            for row in &rows[lo..hi] {
-                                feed_borrowed(row, ops, &mut gm);
+                            let mut survivors = 0u64;
+                            if metered {
+                                let mut sink = Counting { gm: &mut gm, n: &mut survivors };
+                                for row in &rows[lo..hi] {
+                                    feed_borrowed(row, ops, &mut sink);
+                                }
+                            } else {
+                                for row in &rows[lo..hi] {
+                                    feed_borrowed(row, ops, &mut gm);
+                                }
                             }
-                            Ok(gm)
+                            Ok((gm, survivors))
                         })?;
-                        merge_maps(maps)
+                        let mut survivors = 0u64;
+                        let mut gms = Vec::with_capacity(maps.len());
+                        for (gm, n) in maps {
+                            survivors += n;
+                            gms.push(gm);
+                        }
+                        if let Some(c) = cm {
+                            c.slot().merge(&OpMetrics {
+                                rows_in: rows.len() as u64,
+                                rows_out: survivors,
+                                row_batches: rs.len() as u64,
+                                ..Default::default()
+                            });
+                        }
+                        stat.rows_in = survivors;
+                        merge_maps(gms)
                     }
                 }
                 other => {
-                    let rows = run_node_par(other, b, par)?;
+                    let rows = run_node_par(other, b, par, cm)?;
+                    stat.rows_in = rows.len() as u64;
                     let merged = if rows.len() <= par.morsel {
                         let mut gm = make(rows.len());
                         for row in &rows {
@@ -491,6 +711,7 @@ pub(super) fn run_node_par(node: &Node, b: &Bindings<'_>, par: &Par<'_>) -> Resu
                         gm
                     } else {
                         let rs = ranges(rows.len(), par.morsel);
+                        stat.morsels = rs.len() as u64;
                         let maps = fan_out(par, rs.len(), &|i| {
                             let (lo, hi) = rs[i];
                             let mut gm = make(hi - lo);
@@ -505,36 +726,48 @@ pub(super) fn run_node_par(node: &Node, b: &Bindings<'_>, par: &Par<'_>) -> Resu
                     merged
                 }
             };
+            stat.groups = merged.group_count() as u64;
             let mut out = batch::take(merged.group_count());
             merged.finish_into(&mut out);
-            Ok(out)
+            out
         }
         Node::SetOp { kind, left, right } => {
             // Children run morsel-parallel; the set operation itself is a
             // driver-side pass (its global dedup set does not chunk).
-            let mut lrows = run_node_par(left, b, par)?;
+            let rm = child(m, 1 + left.subtree_size());
+            let mut lrows = run_node_par(left, b, par, child(m, 1))?;
+            stat.rows_in = lrows.len() as u64;
             let mut out = batch::take(lrows.len());
             match kind {
                 crate::derive::SetOpKind::Union => {
-                    let mut rrows = run_node_par(right, b, par)?;
+                    let mut rrows = run_node_par(right, b, par, rm)?;
+                    stat.rows_in += rrows.len() as u64;
                     union_rows_into(&mut lrows, &mut rrows, &mut out);
                     batch::recycle(rrows);
                 }
                 crate::derive::SetOpKind::Intersect => {
-                    let rrows = run_node_ref_par(right, b, par)?;
+                    let rrows = run_node_ref_par(right, b, par, rm)?;
+                    stat.rows_in += rrows.len() as u64;
                     intersect_rows_into(&mut lrows, &rrows, &mut out);
                     rrows.recycle();
                 }
                 crate::derive::SetOpKind::Difference => {
-                    let rrows = run_node_ref_par(right, b, par)?;
+                    let rrows = run_node_ref_par(right, b, par, rm)?;
+                    stat.rows_in += rrows.len() as u64;
                     difference_rows_into(&mut lrows, &rrows, &mut out);
                     rrows.recycle();
                 }
             }
             batch::recycle(lrows);
-            Ok(out)
+            out
         }
+    };
+    if let (Some(mm), Some(t0)) = (m, t0) {
+        stat.rows_out = out.len() as u64;
+        stat.wall_ns = t0.elapsed().as_nanos() as u64;
+        mm.slot().merge(&stat);
     }
+    Ok(out)
 }
 
 /// Merge per-morsel group maps in morsel order.

@@ -47,7 +47,7 @@ pub mod verify;
 pub use aggregate::{AggFunc, AggSpec};
 pub use derive::{derive, Derived, LeafProvider};
 pub use eval::{evaluate, evaluate_materializing, Bindings};
-pub use exec::{compile, compile_with, PhysicalPlan};
+pub use exec::{compile, compile_with, explain_analyze, Explain, ExplainNode, PhysicalPlan};
 pub use optimizer::{optimize, EtaReport, OptimizeReport, Optimizer};
 pub use plan::{JoinKind, Plan};
 pub use scalar::{col, lit, BinOp, BoundExpr, Expr, Func};

@@ -82,13 +82,17 @@ pub struct Table {
 }
 
 thread_local! {
-    /// Per-thread count of full-table clones (see [`Table::clone_count`]).
-    /// Thread-local on purpose: plan execution is synchronous on the
-    /// calling thread, so a test can read the counter, run a plan, and
-    /// compare without clones from concurrently-running tests (cargo runs
-    /// test binaries multi-threaded) polluting the reading.
-    static TABLE_CLONES: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+    static TABLE_CLONES_CELL: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
+
+/// Per-thread count of full-table clones (see [`Table::clone_count`]).
+/// A telemetry [`svc_telemetry::LocalCounter`] — thread-local on purpose:
+/// plan execution is synchronous on the calling thread, so a test can read
+/// the counter, run a plan, and compare without clones from
+/// concurrently-running tests (cargo runs test binaries multi-threaded)
+/// polluting the reading.
+static TABLE_CLONES: svc_telemetry::LocalCounter =
+    svc_telemetry::LocalCounter::new(&TABLE_CLONES_CELL);
 
 impl Clone for Table {
     fn clone(&self) -> Table {
@@ -96,7 +100,7 @@ impl Clone for Table {
         // index is cloned too. It is exactly the cost the streaming
         // executor exists to avoid on scan paths, so each clone is counted:
         // tests assert that fused pipelines never take this path.
-        TABLE_CLONES.with(|c| c.set(c.get() + 1));
+        TABLE_CLONES.bump();
         Table {
             schema: self.schema.clone(),
             key: self.key.clone(),
@@ -148,9 +152,10 @@ impl Table {
     /// Number of full-table clones performed **on this thread** since it
     /// started. Observability hook for the zero-scan-clone guarantee of
     /// the streaming executor: take a reading, run a plan (execution is
-    /// synchronous on the calling thread), compare.
+    /// synchronous on the calling thread), compare. Thin shim over the
+    /// shared telemetry counter mechanism ([`svc_telemetry::LocalCounter`]).
     pub fn clone_count() -> usize {
-        TABLE_CLONES.with(std::cell::Cell::get)
+        TABLE_CLONES.get() as usize
     }
 
     /// Bulk-build from rows already known to be key-unique and of the right

@@ -1,0 +1,196 @@
+//! Atomic counters, level gauges, and thread-local test counters.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::thread::LocalKey;
+
+/// A monotonically increasing event counter, shared across threads.
+/// Relaxed ordering: readings are taken after the work they observe has
+/// been joined (a pool barrier, a completed `maintain` call), so no extra
+/// synchronization is bought here.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Increment by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increment by `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Cloning a counter snapshots its current value into an independent
+/// counter — what a cloned owner (a cloned `SvcView`, a cache handle)
+/// wants: shared history, separate future.
+impl Clone for Counter {
+    fn clone(&self) -> Counter {
+        Counter(AtomicU64::new(self.get()))
+    }
+}
+
+/// A level gauge: goes up and down (queue depth, delta backlog).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub const fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Set the level outright.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Move the level by `delta` (negative to drain).
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Raise the level by one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Lower the level by one.
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Current level.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Clone for Gauge {
+    fn clone(&self) -> Gauge {
+        Gauge(AtomicI64::new(self.get()))
+    }
+}
+
+/// A per-thread counter for observability hooks that tests read
+/// synchronously: take a reading, run the code under test on the same
+/// thread, compare. Because each thread counts its own events, readings
+/// cannot be polluted by concurrently running tests — the design
+/// `Table::clone_count` and `fresh_batch_count` established, now shared
+/// through one mechanism.
+///
+/// Declare the backing cell with `thread_local!` and wrap it:
+///
+/// ```
+/// use std::cell::Cell;
+/// use svc_telemetry::LocalCounter;
+///
+/// thread_local! {
+///     static EVENTS_CELL: Cell<u64> = const { Cell::new(0) };
+/// }
+/// static EVENTS: LocalCounter = LocalCounter::new(&EVENTS_CELL);
+///
+/// let before = EVENTS.get();
+/// EVENTS.bump();
+/// assert_eq!(EVENTS.get(), before + 1);
+/// ```
+pub struct LocalCounter {
+    key: &'static LocalKey<Cell<u64>>,
+}
+
+impl LocalCounter {
+    /// Wrap a `thread_local!` cell.
+    pub const fn new(key: &'static LocalKey<Cell<u64>>) -> LocalCounter {
+        LocalCounter { key }
+    }
+
+    /// Increment this thread's count by one.
+    pub fn bump(&self) {
+        self.add(1);
+    }
+
+    /// Increment this thread's count by `n`.
+    pub fn add(&self, n: u64) {
+        self.key.with(|c| c.set(c.get() + n));
+    }
+
+    /// This thread's count since the thread started.
+    pub fn get(&self) -> u64 {
+        self.key.with(Cell::get)
+    }
+}
+
+thread_local! {
+    static METRIC_ALLOCS_CELL: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Metric-state allocations performed on this thread — the audit hook for
+/// the zero-cost-when-uninstrumented contract: running a compiled plan
+/// without a sink must leave this unchanged.
+static METRIC_ALLOCS: LocalCounter = LocalCounter::new(&METRIC_ALLOCS_CELL);
+
+/// Metric-state allocations performed **on this thread** since it started
+/// ([`MetricsSink::with_slots`](crate::MetricsSink::with_slots),
+/// [`TraceRecorder::new`](crate::TraceRecorder::new)). Take a reading, run
+/// a plan, compare — exactly like `Table::clone_count`.
+pub fn metric_allocs() -> u64 {
+    METRIC_ALLOCS.get()
+}
+
+/// Count one metric-state allocation (called by this crate's constructors;
+/// public so higher layers allocating their own metric state can stay
+/// under the same audit).
+pub fn note_metric_alloc() {
+    METRIC_ALLOCS.bump();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Clone snapshots the value: shared history, separate future.
+        let snap = c.clone();
+        c.inc();
+        assert_eq!(snap.get(), 5);
+        assert_eq!(c.get(), 6);
+
+        let g = Gauge::new();
+        g.inc();
+        g.inc();
+        g.dec();
+        assert_eq!(g.get(), 1);
+        g.set(-7);
+        assert_eq!(g.get(), -7);
+    }
+
+    #[test]
+    fn local_counter_is_per_thread() {
+        thread_local! {
+            static CELL: Cell<u64> = const { Cell::new(0) };
+        }
+        static EVENTS: LocalCounter = LocalCounter::new(&CELL);
+        let before = EVENTS.get();
+        EVENTS.bump();
+        EVENTS.add(2);
+        assert_eq!(EVENTS.get(), before + 3);
+        std::thread::spawn(|| assert_eq!(EVENTS.get(), 0)).join().unwrap();
+    }
+}

@@ -1,0 +1,187 @@
+//! A bounded span recorder with chrome-trace export.
+//!
+//! [`TraceRecorder`] keeps the most recent `capacity` completed spans in a
+//! ring; when full, the oldest span is dropped. Spans are coarse-grained —
+//! a plan run, a maintenance batch, a compile — recorded via the RAII
+//! [`TraceSpan`] guard, so the mutex on the ring is touched twice per span,
+//! never per row. [`TraceRecorder::chrome_trace_json`] exports the ring in
+//! the Trace Event Format (`"ph": "X"` complete events) that
+//! `chrome://tracing` and Perfetto load directly.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Small dense thread ids for trace rows: assigned once per OS thread, in
+/// first-span order (`ThreadId::as_u64` is unstable).
+fn trace_tid() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+/// One completed span.
+#[derive(Debug, Clone)]
+pub struct TraceEvent {
+    /// Span name (e.g. `"batch-fold"`, `"compile"`).
+    pub name: String,
+    /// Category tag, used by trace viewers for filtering/coloring.
+    pub cat: &'static str,
+    /// Start, microseconds since the recorder was created.
+    pub start_us: u64,
+    /// Duration in microseconds.
+    pub dur_us: u64,
+    /// Recorder-assigned dense id of the recording thread.
+    pub tid: u64,
+}
+
+/// The bounded span ring. Creation is counted by
+/// [`crate::metric_allocs`] — a recorder only exists when tracing was
+/// explicitly installed.
+#[derive(Debug)]
+pub struct TraceRecorder {
+    epoch: Instant,
+    capacity: usize,
+    ring: Mutex<VecDeque<TraceEvent>>,
+}
+
+impl TraceRecorder {
+    /// A recorder retaining at most `capacity` spans (minimum 1).
+    pub fn new(capacity: usize) -> TraceRecorder {
+        crate::note_metric_alloc();
+        let capacity = capacity.max(1);
+        TraceRecorder {
+            epoch: Instant::now(),
+            capacity,
+            ring: Mutex::new(VecDeque::with_capacity(capacity)),
+        }
+    }
+
+    /// Open a span; it is recorded when the returned guard drops.
+    pub fn span(&self, name: impl Into<String>, cat: &'static str) -> TraceSpan<'_> {
+        TraceSpan { rec: self, name: Some(name.into()), cat, start: Instant::now() }
+    }
+
+    /// Record an already-measured span.
+    pub fn record(&self, name: String, cat: &'static str, start: Instant, end: Instant) {
+        let start_us = start.saturating_duration_since(self.epoch).as_micros() as u64;
+        let dur_us = end.saturating_duration_since(start).as_micros() as u64;
+        let ev = TraceEvent { name, cat, start_us, dur_us, tid: trace_tid() };
+        let mut ring = self.ring.lock().expect("trace ring poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(ev);
+    }
+
+    /// Number of retained spans.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("trace ring poisoned").len()
+    }
+
+    /// True when no span has been recorded (or all have been evicted).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the retained spans, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring.lock().expect("trace ring poisoned").iter().cloned().collect()
+    }
+
+    /// Export the ring in Chrome Trace Event Format: a JSON object with a
+    /// `traceEvents` array of complete (`"ph": "X"`) events, loadable by
+    /// `chrome://tracing` and Perfetto.
+    pub fn chrome_trace_json(&self) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(64 + events.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        for (i, ev) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":0,\"tid\":{}}}",
+                escape_json(&ev.name),
+                escape_json(ev.cat),
+                ev.start_us,
+                ev.dur_us,
+                ev.tid
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// RAII span guard: records `name` into the recorder on drop.
+#[derive(Debug)]
+pub struct TraceSpan<'a> {
+    rec: &'a TraceRecorder,
+    name: Option<String>,
+    cat: &'static str,
+    start: Instant,
+}
+
+impl Drop for TraceSpan<'_> {
+    fn drop(&mut self) {
+        let name = self.name.take().unwrap_or_default();
+        self.rec.record(name, self.cat, self.start, Instant::now());
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_caps_and_exports_chrome_trace() {
+        let rec = TraceRecorder::new(2);
+        {
+            let _a = rec.span("first", "exec");
+        }
+        {
+            let _b = rec.span("second", "exec");
+        }
+        {
+            let _c = rec.span("third \"quoted\"", "exec");
+        }
+        assert_eq!(rec.len(), 2, "oldest span evicted at capacity");
+        let events = rec.events();
+        assert_eq!(events[0].name, "second");
+        assert_eq!(events[1].name, "third \"quoted\"");
+        let json = rec.chrome_trace_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\\\"quoted\\\""), "names must be JSON-escaped: {json}");
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn recorder_creation_is_counted() {
+        let before = crate::metric_allocs();
+        let _rec = TraceRecorder::new(8);
+        assert_eq!(crate::metric_allocs(), before + 1);
+    }
+}

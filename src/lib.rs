@@ -13,4 +13,5 @@ pub use svc_relalg as relalg;
 pub use svc_sampling as sampling;
 pub use svc_stats as stats;
 pub use svc_storage as storage;
+pub use svc_telemetry as telemetry;
 pub use svc_workloads as workloads;

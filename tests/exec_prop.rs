@@ -244,6 +244,33 @@ proptest! {
             "variant {} (hashed {}, optimized {}): vectorized and rowwise paths diverged",
             variant, hashed, optimized
         );
+        // Metered runs agree with unmetered ones, the root slot's rows_out
+        // equals the result length, and both exec modes record identical
+        // per-node row counts.
+        let sink = compiled.metrics_sink();
+        let metered = compiled
+            .run_with_metrics(&b, stale_view_cleaning::relalg::exec::ExecMode::sequential(), &sink)
+            .unwrap();
+        prop_assert!(metered.rows() == got.rows(), "metering changed the result");
+        prop_assert_eq!(sink.snapshot(0).rows_out as usize, got.len());
+        let vec_rows: Vec<(u64, u64)> =
+            sink.snapshots().iter().map(|m| (m.rows_in, m.rows_out)).collect();
+        let row_sink = compiled.metrics_sink();
+        compiled
+            .run_with_metrics(
+                &b,
+                stale_view_cleaning::relalg::exec::ExecMode::sequential().rowwise(),
+                &row_sink,
+            )
+            .unwrap();
+        let row_rows: Vec<(u64, u64)> =
+            row_sink.snapshots().iter().map(|m| (m.rows_in, m.rows_out)).collect();
+        prop_assert_eq!(
+            vec_rows, row_rows,
+            "variant {} (hashed {}, optimized {}): per-node metric row counts differ \
+             between vectorized and rowwise modes",
+            variant, hashed, optimized
+        );
     }
 
     /// Maintenance-strategy plans from svc-ivm, evaluated under maintenance

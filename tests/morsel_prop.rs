@@ -72,6 +72,39 @@ fn assert_matrix(
         rowwise.rows() == sequential.rows() && rowwise.schema() == sequential.schema(),
         "{label}: sequential vectorized and rowwise paths diverged"
     );
+
+    // Per-node metric row counts obey the same contract as the rows
+    // themselves: the row-shaped fields (in/out, build/probe, groups) are
+    // functions of plan + inputs only — identical across exec modes,
+    // schedulers, and morsel sizes. (Wall times, morsel and chunk counts
+    // legitimately vary and are excluded.)
+    let metric_rows = |mode: ExecMode<'_>| -> Vec<[u64; 5]> {
+        let sink = compiled.metrics_sink();
+        compiled.run_with_metrics(bindings, mode, &sink).unwrap();
+        sink.snapshots()
+            .iter()
+            .map(|m| [m.rows_in, m.rows_out, m.build_rows, m.probe_rows, m.groups])
+            .collect()
+    };
+    let node_rows = metric_rows(ExecMode::sequential());
+    assert_eq!(
+        node_rows,
+        metric_rows(ExecMode::sequential().rowwise()),
+        "{label}: rowwise mode changed per-node metric row counts"
+    );
+    assert_eq!(
+        node_rows,
+        metric_rows(ExecMode::morsel(&SequentialScheduler, 7)),
+        "{label}: morsel decomposition changed per-node metric row counts"
+    );
+    for pool in pools {
+        assert_eq!(
+            node_rows,
+            metric_rows(ExecMode::morsel(pool, 7)),
+            "{label}: {} workers changed per-node metric row counts",
+            pool.workers()
+        );
+    }
     for &morsel in &MORSELS {
         // The inline scheduler anchors the morsel decomposition; pools of
         // every worker count must reproduce it bit for bit.
