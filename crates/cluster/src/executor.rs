@@ -133,19 +133,33 @@ struct Session {
 #[derive(Debug)]
 struct Progress {
     remaining: usize,
-    panicked: bool,
+    /// The first panicking task's payload text, if any task panicked.
+    panic_msg: Option<String>,
 }
 
 impl Session {
     /// Record one finished task; wakes the submitter when the session
     /// completes.
-    fn complete(&self, panicked: bool) {
+    fn complete(&self, panic_msg: Option<String>) {
         let mut p = self.progress.lock().expect("session progress poisoned");
         p.remaining -= 1;
-        p.panicked |= panicked;
+        if p.panic_msg.is_none() {
+            p.panic_msg = panic_msg;
+        }
         if p.remaining == 0 {
             self.done.notify_all();
         }
+    }
+}
+
+/// Human-readable text of a caught panic payload.
+pub(crate) fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -311,16 +325,24 @@ impl WorkerPool {
         // a deadlock when the pool is saturated.
         if let Some((pool, w)) = CURRENT_WORKER.with(std::cell::Cell::get) {
             if pool == self.id {
-                let mut panicked = false;
+                let mut panic_msg: Option<String> = None;
                 for i in 0..n {
-                    let p = catch_unwind(AssertUnwindSafe(|| run(i, w))).is_err();
+                    // Failpoint site (inline nested dispatch): inside the
+                    // `catch_unwind`, so injected failures abort the
+                    // session, never the worker.
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        svc_fault::fail_point_panic!(svc_fault::site::POOL_DISPATCH);
+                        run(i, w);
+                    }));
                     self.shared.counters.tasks.inc();
-                    if p {
+                    if let Err(payload) = outcome {
                         self.shared.counters.panics.inc();
+                        if panic_msg.is_none() {
+                            panic_msg = Some(panic_text(payload.as_ref()));
+                        }
                     }
-                    panicked |= p;
                 }
-                return session_outcome(panicked);
+                return session_outcome(panic_msg);
             }
         }
         // SAFETY: erase the borrow to queue it on 'static worker threads.
@@ -330,7 +352,7 @@ impl WorkerPool {
             unsafe { std::mem::transmute(run) };
         let session = Arc::new(Session {
             run: RawTask(run_static as *const _),
-            progress: Mutex::new(Progress { remaining: n, panicked: false }),
+            progress: Mutex::new(Progress { remaining: n, panic_msg: None }),
             done: Condvar::new(),
         });
         {
@@ -345,7 +367,7 @@ impl WorkerPool {
         while p.remaining > 0 {
             p = session.done.wait(p).expect("session progress poisoned");
         }
-        session_outcome(p.panicked)
+        session_outcome(p.panic_msg.take())
     }
 
     /// Run `stages` sequentially; within a stage, tasks are pulled from the
@@ -484,16 +506,16 @@ impl MorselScheduler for WorkerPool {
     }
 }
 
-/// Map a session's panic flag to the submit result.
-fn session_outcome(panicked: bool) -> Result<()> {
-    if panicked {
-        Err(StorageError::Invalid(
-            "a worker task panicked; its session was aborted (other sessions on the pool are \
-             unaffected)"
-                .into(),
-        ))
-    } else {
-        Ok(())
+/// Map a session's panic record to the submit result, carrying the first
+/// panic's payload text so callers (and chaos harnesses) can tell injected
+/// failures from real ones.
+fn session_outcome(panic_msg: Option<String>) -> Result<()> {
+    match panic_msg {
+        Some(msg) => Err(StorageError::Invalid(format!(
+            "a worker task panicked: {msg}; its session was aborted (other sessions on the pool \
+             are unaffected)"
+        ))),
+        None => Ok(()),
     }
 }
 
@@ -521,13 +543,20 @@ fn worker_loop(shared: &PoolShared, pool_id: usize, w: usize) {
         // call returns — the closure is alive for the whole call.
         let run = unsafe { &*task.session.run.0 };
         let t0 = Instant::now();
-        let panicked = catch_unwind(AssertUnwindSafe(|| run(task.index, w))).is_err();
+        // Failpoint site: inside the `catch_unwind`, so an injected failure
+        // is indistinguishable from a task panic — the session gets the
+        // error, the worker thread survives.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            svc_fault::fail_point_panic!(svc_fault::site::POOL_DISPATCH);
+            run(task.index, w);
+        }));
         shared.counters.busy_ns[w].add(t0.elapsed().as_nanos() as u64);
         shared.counters.tasks.inc();
-        if panicked {
+        let panic_msg = outcome.err().map(|payload| {
             shared.counters.panics.inc();
-        }
-        task.session.complete(panicked);
+            panic_text(payload.as_ref())
+        });
+        task.session.complete(panic_msg);
     }
 }
 
@@ -676,6 +705,52 @@ mod tests {
         // No worker died: the pool still drains new sessions.
         let after = pool.run_batch(16, |i| Ok(i + 1)).unwrap();
         assert_eq!(after, (0..16).map(|i| i + 1).collect::<Vec<_>>());
+    }
+
+    /// A *storm* of panics — many sessions, several panicking tasks each,
+    /// interleaved with healthy sessions from another thread — must leave
+    /// the pool fully usable, report every sick session as an error, and
+    /// keep the panic gauge exact. Extends the single-panic isolation test
+    /// above to sustained failure load.
+    #[test]
+    fn panic_storms_leave_the_pool_usable_and_the_gauge_exact() {
+        let pool = std::sync::Arc::new(WorkerPool::new(2));
+        let before = pool.metrics();
+        let rounds = 12usize;
+        let mut expected_panics = 0u64;
+        std::thread::scope(|s| {
+            // Healthy traffic competing with the storm on the same queue.
+            let healthy_pool = pool.clone();
+            let healthy = s.spawn(move || {
+                for _ in 0..rounds {
+                    let out = healthy_pool.run_batch(16, |i| Ok(i * 3)).unwrap();
+                    assert_eq!(out, (0..16).map(|i| i * 3).collect::<Vec<_>>());
+                }
+            });
+            for round in 0..rounds {
+                // 1..=3 panicking tasks out of 8, at shifting indices.
+                let bad = round % 3 + 1;
+                let res = pool.submit(8, &|i, _w| {
+                    if (i + round) % 8 < bad {
+                        panic!("storm round {round} task {i}");
+                    }
+                });
+                assert!(res.is_err(), "round {round}: a panicking session must error");
+                expected_panics += bad as u64;
+            }
+            healthy.join().expect("healthy traffic must be unaffected by the storm");
+        });
+        let m = pool.metrics();
+        assert_eq!(m.panics - before.panics, expected_panics, "panic gauge drifted");
+        assert_eq!(
+            m.sessions - before.sessions,
+            2 * rounds as u64,
+            "every storm and healthy session accounted"
+        );
+        assert_eq!(m.queue_depth, 0, "queue drained");
+        // The pool is still fully usable afterwards.
+        let out = pool.run_batch(32, |i| Ok(i + 7)).unwrap();
+        assert_eq!(out, (0..32).map(|i| i + 7).collect::<Vec<_>>());
     }
 
     #[test]

@@ -27,8 +27,9 @@
 //! against an idealized Spark-like scheduler.
 
 use std::collections::{BTreeMap, HashMap};
-use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
 
 use svc_catalog::Catalog;
 use svc_ivm::delta::{del_leaf, del_leaf_at, ins_leaf, ins_leaf_at};
@@ -41,10 +42,10 @@ use svc_relalg::eval::Bindings;
 use svc_relalg::exec::{compile, PhysicalPlan};
 use svc_relalg::optimizer::{optimize, optimize_with};
 use svc_relalg::plan::Plan;
-use svc_storage::{Database, Deltas, Result, StorageError};
+use svc_storage::{Database, Deltas, Result, StorageError, Table};
 use svc_telemetry::{Counter, Gauge, TraceRecorder};
 
-use crate::executor::{spin, WorkerPool};
+use crate::executor::{panic_text, spin, WorkerPool};
 
 /// One measured point of the throughput curve.
 #[derive(Debug, Clone, Copy)]
@@ -67,6 +68,11 @@ pub struct BatchRun {
     /// Batches that could not use chunk-parallel change tables and ran the
     /// sequential maintenance plan instead.
     pub fallback_batches: usize,
+    /// Re-attempts after transient batch failures (retry policy only).
+    pub retries: usize,
+    /// Batches that exhausted their retries and moved to the dead-letter
+    /// queue ([`BatchPipeline::quarantined`]); the view was marked dirty.
+    pub quarantined: usize,
     /// Wall-clock seconds.
     pub seconds: f64,
 }
@@ -80,6 +86,65 @@ impl BatchRun {
             0.0
         }
     }
+}
+
+/// How [`BatchPipeline::maintain`] responds to a failing mini-batch.
+///
+/// Under either policy the view itself is safe: maintain folds batches into
+/// a *shadow* table and commits it to the view in one epoch swap at the
+/// end, so no failure mode can expose a partial fold.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// The default: the first failing batch aborts the call with an error
+    /// naming the batch; the view keeps its pre-maintain epoch and the
+    /// caller's deltas are untouched (retry the whole call, or switch
+    /// policy).
+    #[default]
+    Strict,
+    /// Degrade gracefully: a failing batch is retried up to `retries`
+    /// times with bounded linear backoff; when retries are exhausted it
+    /// moves to the dead-letter queue with a diagnosis
+    /// ([`BatchPipeline::quarantined`]), the view is marked dirty, and the
+    /// pipeline keeps folding subsequent healthy batches (sound because
+    /// change-table contributions of disjoint delta subsets are
+    /// independent and additive — the quarantined batch can be re-folded
+    /// later via [`BatchPipeline::retry_quarantined`], or the view
+    /// recovered wholesale via [`BatchPipeline::recover_via_recompute`]).
+    /// Task panics are caught at the batch boundary and treated as
+    /// transient failures too.
+    RetryQuarantine {
+        /// Re-attempts per batch after its first failure.
+        retries: u32,
+        /// Base backoff: attempt `n` sleeps `n × backoff_ms`, capped at
+        /// `8 × backoff_ms`. Zero disables sleeping.
+        backoff_ms: u64,
+    },
+}
+
+impl FailurePolicy {
+    /// Retry each failing batch `retries` times with a 1 ms backoff base,
+    /// then quarantine it.
+    pub fn retry(retries: u32) -> FailurePolicy {
+        FailurePolicy::RetryQuarantine { retries, backoff_ms: 1 }
+    }
+}
+
+/// A mini-batch that exhausted its retries: parked in the pipeline's
+/// dead-letter queue with everything needed to diagnose and re-fold it.
+#[derive(Debug, Clone)]
+pub struct QuarantinedBatch {
+    /// Name of the view whose maintenance failed.
+    pub view: String,
+    /// Zero-based index of the batch within its `maintain` call.
+    pub batch_index: usize,
+    /// Delta records in the batch.
+    pub records: usize,
+    /// Attempts made (1 + retries).
+    pub attempts: u32,
+    /// The last failure's diagnosis.
+    pub error: String,
+    /// The batch's delta records, retained for re-folding.
+    pub deltas: Deltas,
 }
 
 /// A mini-batch maintenance pipeline executing *real* maintenance plans on
@@ -115,6 +180,12 @@ pub struct BatchPipeline {
     /// JSON ([`TraceRecorder::chrome_trace_json`]). `None` (the default)
     /// records nothing.
     pub tracer: Option<Arc<TraceRecorder>>,
+    /// What a failing mini-batch does: abort the call (strict, the
+    /// default) or retry-then-quarantine (see [`FailurePolicy`]).
+    pub policy: FailurePolicy,
+    /// Dead-letter queue of quarantined batches, shared by clones like the
+    /// cache.
+    quarantine: Arc<Mutex<Vec<QuarantinedBatch>>>,
     /// Compiled per-partition change plans, cached across batches and
     /// `maintain` calls. Shared by clones (same pipeline, same cache);
     /// entries are keyed by the partitioning-epoch knobs and the attached
@@ -140,6 +211,16 @@ struct PipelineCounters {
     cache_hits: Counter,
     /// Compile-cache misses (each implies one compile).
     cache_misses: Counter,
+    /// Batch re-attempts after transient failures (retry policy).
+    retries: Counter,
+    /// Batches moved to the dead-letter queue.
+    quarantined: Counter,
+    /// Successful recoveries: re-folded quarantined batches plus fallback
+    /// recomputes.
+    recoveries: Counter,
+    /// Poisoned compile-cache locks recovered (cache flushed, poison
+    /// cleared).
+    cache_poisons: Counter,
 }
 
 /// A point-in-time snapshot of a pipeline's subsystem metrics.
@@ -157,6 +238,15 @@ pub struct PipelineMetrics {
     pub cache_hits: u64,
     /// Compile-cache misses.
     pub cache_misses: u64,
+    /// Batch re-attempts after transient failures.
+    pub retries: u64,
+    /// Batches moved to the dead-letter queue.
+    pub quarantined: u64,
+    /// Successful recoveries (re-folded quarantined batches, fallback
+    /// recomputes).
+    pub recoveries: u64,
+    /// Poisoned compile-cache locks recovered.
+    pub cache_poisons: u64,
 }
 
 impl PipelineMetrics {
@@ -253,6 +343,8 @@ impl BatchPipeline {
             catalog: None,
             morsel_size: None,
             tracer: None,
+            policy: FailurePolicy::default(),
+            quarantine: Arc::default(),
             cache: Arc::default(),
             counters: Arc::default(),
         }
@@ -268,6 +360,8 @@ impl BatchPipeline {
             catalog: None,
             morsel_size: None,
             tracer: None,
+            policy: FailurePolicy::default(),
+            quarantine: Arc::default(),
             cache: Arc::default(),
             counters: Arc::default(),
         }
@@ -276,6 +370,12 @@ impl BatchPipeline {
     /// Attach a statistics catalog (see [`BatchPipeline::catalog`]).
     pub fn with_catalog(mut self, catalog: Arc<Catalog>) -> BatchPipeline {
         self.catalog = Some(catalog);
+        self
+    }
+
+    /// Set the failure policy (see [`FailurePolicy`]).
+    pub fn with_policy(mut self, policy: FailurePolicy) -> BatchPipeline {
+        self.policy = policy;
         self
     }
 
@@ -339,7 +439,42 @@ impl BatchPipeline {
             compiles: c.compiles.get(),
             cache_hits: c.cache_hits.get(),
             cache_misses: c.cache_misses.get(),
+            retries: c.retries.get(),
+            quarantined: c.quarantined.get(),
+            recoveries: c.recoveries.get(),
+            cache_poisons: c.cache_poisons.get(),
         }
+    }
+
+    /// Lock the compile cache, recovering from poison: a panic while the
+    /// cache was held may have left a half-written entry behind, so the
+    /// poisoned contents are dropped wholesale (everything recompiles at
+    /// most once — the same crude-but-safe move the entry cap makes) and
+    /// the poison is cleared so later locks return to the fast path.
+    fn cache_lock(&self) -> MutexGuard<'_, CompileCache> {
+        match self.cache.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => {
+                let mut guard = poisoned.into_inner();
+                guard.entries.clear();
+                guard.catalogs.clear();
+                self.cache.clear_poison();
+                self.counters.cache_poisons.inc();
+                guard
+            }
+        }
+    }
+
+    /// The dead-letter queue: batches that exhausted their retries, with
+    /// diagnoses. Shared across pipeline clones.
+    pub fn quarantined(&self) -> Vec<QuarantinedBatch> {
+        self.quarantine_lock().clone()
+    }
+
+    /// The dead-letter queue itself must survive poisoning (it is written
+    /// from paths that run next to injected panics).
+    fn quarantine_lock(&self) -> MutexGuard<'_, Vec<QuarantinedBatch>> {
+        self.quarantine.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// Bring `view` up to date with respect to `pending` (not consumed —
@@ -399,54 +534,40 @@ impl BatchPipeline {
             // maintenance plan — a real plan (delta-apply or recompute).
             // Splitting it into mini-batches would be unsound: each batch's
             // plan reads the *original* base tables, so earlier batches
-            // would be forgotten. With a morsel size set, this single plan
-            // runs morsel-parallel on the pool (a lone sequential plan is
-            // exactly where intra-plan parallelism pays); otherwise it runs
-            // as one pool task.
+            // would be forgotten.
             let (plan, _kind) = maintenance_plan(&canonical, &cat, &info)?;
-            let bindings = maintenance_bindings(db, &pending, view.table());
-            // The maintenance plan reads the stale view and the plain
-            // `__ins.T`/`__del.T` leaves; overlay stats for both.
-            let scoped = if self.optimize_plans {
-                self.catalog.as_deref().map(|c| {
-                    delta_leaf_stats(c, Some(view.table()), std::slice::from_ref(&pending), false)
-                })
-            } else {
-                None
-            };
-            let est = scoped.as_ref().map(|s| s.estimator());
-            let est: Option<&dyn svc_relalg::optimizer::CardEstimator> =
-                est.as_ref().map(|e| e as &dyn svc_relalg::optimizer::CardEstimator);
-            let result = if let Some(morsel) =
-                self.resolved_morsel(db, &canonical.plan.leaf_tables(), Some(view.table()))
-            {
-                let optimized = if self.optimize_plans {
-                    match est {
-                        Some(e) => optimize_with(&plan, &cat, e)?.0,
-                        None => optimize(&plan, &cat)?.0,
+            let committed = match self.policy {
+                FailurePolicy::Strict => {
+                    let result = self
+                        .run_fallback_plan(db, view, &cat, &canonical, &plan, &pending)
+                        .map_err(|e| {
+                            StorageError::Invalid(format!(
+                                "fallback maintenance failed; view kept its pre-maintain \
+                                     epoch, deltas unconsumed: {e}"
+                            ))
+                        })?;
+                    view.set_table(result);
+                    true
+                }
+                FailurePolicy::RetryQuarantine { retries, backoff_ms } => {
+                    let attempt = self.with_retries(retries, backoff_ms, &mut run, || {
+                        self.run_fallback_plan(db, view, &cat, &canonical, &plan, &pending)
+                    });
+                    match attempt {
+                        Ok(result) => {
+                            view.set_table(result);
+                            true
+                        }
+                        Err(e) => {
+                            self.quarantine_batch(view, 0, pending.clone(), retries + 1, &e);
+                            run.quarantined += 1;
+                            false
+                        }
                     }
-                } else {
-                    plan
-                };
-                svc_relalg::exec::compile_with(&optimized, &cat, est)?.run_parallel(
-                    &bindings,
-                    self.pool.as_ref(),
-                    morsel,
-                )?
-            } else if self.optimize_plans {
-                self.pool
-                    .evaluate_plans_with(std::slice::from_ref(&plan), &bindings, est)?
-                    .pop()
-                    .expect("one plan, one result")
-            } else {
-                self.pool
-                    .evaluate_plans_raw(std::slice::from_ref(&plan), &bindings)?
-                    .pop()
-                    .expect("one plan, one result")
+                }
             };
-            view.set_table(result);
             run.batches = 1;
-            run.plans_evaluated = 1;
+            run.plans_evaluated = usize::from(committed);
             run.fallback_batches = 1;
             run.seconds = start.elapsed().as_secs_f64();
             return Ok(run);
@@ -481,22 +602,48 @@ impl BatchPipeline {
         // state, so batches (like chunks) must not interact.
         let exact = chunk_parallel_exact(&canonical.plan, &pending);
         let n_batches = if exact { run.records.div_ceil(batch_size) } else { 1 };
-        for batch in pending.partition(n_batches) {
+        // Shadow fold: batches accumulate into a local table and the view
+        // commits exactly once at the end, so an error (or panic) anywhere
+        // in the loop leaves the view at its pre-maintain epoch with every
+        // delta unconsumed — no failure mode exposes a partial fold.
+        let batches = pending.partition(n_batches);
+        let total = batches.len();
+        let mut folded: Option<Table> = None;
+        for (idx, batch) in batches.into_iter().enumerate() {
             let records = batch.len();
             let _batch_span = self.tracer.as_deref().map(|t| t.span("batch", "pipeline"));
-            let plans =
-                self.run_change_batch(db, view, &canonical, &cat, &merge, batch, exact, &view_key)?;
+            if let Some((next, plans)) = self.fold_one_batch(
+                db,
+                view,
+                &canonical,
+                &cat,
+                &merge,
+                batch,
+                exact,
+                &view_key,
+                folded.as_ref(),
+                idx,
+                total,
+                &mut run,
+            )? {
+                folded = Some(next);
+                run.plans_evaluated += plans;
+            }
             self.counters.backlog.add(-(records as i64));
             run.batches += 1;
-            run.plans_evaluated += plans;
+        }
+        if let Some(table) = folded {
+            view.set_table(table);
         }
         run.seconds = start.elapsed().as_secs_f64();
         Ok(run)
     }
 
-    /// Execute one change-table mini-batch; returns the plan count.
+    /// Fold one mini-batch into the shadow table under the pipeline's
+    /// failure policy. Returns the folded-so-far table and the plan count,
+    /// or `Ok(None)` when the batch was quarantined (retry policy only).
     #[allow(clippy::too_many_arguments)]
-    fn run_change_batch(
+    fn fold_one_batch(
         &self,
         db: &Database,
         view: &mut MaterializedView,
@@ -506,7 +653,255 @@ impl BatchPipeline {
         batch: Deltas,
         chunk_parallel: bool,
         view_key: &str,
+        folded: Option<&Table>,
+        idx: usize,
+        total: usize,
+        run: &mut BatchRun,
+    ) -> Result<Option<(Table, usize)>> {
+        match self.policy {
+            FailurePolicy::Strict => {
+                let stale = folded.unwrap_or_else(|| view.table());
+                self.run_change_batch(
+                    db,
+                    canonical,
+                    cat,
+                    merge,
+                    batch,
+                    chunk_parallel,
+                    view_key,
+                    stale,
+                )
+                .map(Some)
+                .map_err(|e| {
+                    StorageError::Invalid(format!(
+                        "mini-batch {}/{} failed; view kept its pre-maintain epoch, deltas \
+                             unconsumed: {e}",
+                        idx + 1,
+                        total
+                    ))
+                })
+            }
+            FailurePolicy::RetryQuarantine { retries, backoff_ms } => {
+                let stale = folded.unwrap_or_else(|| view.table());
+                let attempt = self.with_retries(retries, backoff_ms, run, || {
+                    self.run_change_batch(
+                        db,
+                        canonical,
+                        cat,
+                        merge,
+                        batch.clone(),
+                        chunk_parallel,
+                        view_key,
+                        stale,
+                    )
+                });
+                match attempt {
+                    Ok(folded) => Ok(Some(folded)),
+                    Err(e) => {
+                        self.quarantine_batch(view, idx, batch, retries + 1, &e);
+                        run.quarantined += 1;
+                        Ok(None)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Run `attempt` up to `1 + retries` times, sleeping a bounded linear
+    /// backoff between tries. Panics inside an attempt are caught at this
+    /// boundary and treated as transient failures (the pool already
+    /// isolates worker panics per session; this additionally covers
+    /// driver-side folds and compilation).
+    fn with_retries<T>(
+        &self,
+        retries: u32,
+        backoff_ms: u64,
+        run: &mut BatchRun,
+        attempt: impl Fn() -> Result<T>,
+    ) -> Result<T> {
+        let mut last = StorageError::Invalid("batch never attempted".into());
+        for attempt_no in 0..=retries {
+            if attempt_no > 0 {
+                run.retries += 1;
+                self.counters.retries.inc();
+                if backoff_ms > 0 {
+                    let sleep = backoff_ms
+                        .saturating_mul(u64::from(attempt_no))
+                        .min(backoff_ms.saturating_mul(8));
+                    std::thread::sleep(Duration::from_millis(sleep));
+                }
+            }
+            match catch_unwind(AssertUnwindSafe(&attempt)) {
+                Ok(Ok(value)) => return Ok(value),
+                Ok(Err(e)) => last = e,
+                Err(payload) => {
+                    last = StorageError::Invalid(format!(
+                        "batch task panicked: {}",
+                        panic_text(payload.as_ref())
+                    ));
+                }
+            }
+        }
+        Err(last)
+    }
+
+    /// Move a failed batch to the dead-letter queue and mark the view
+    /// dirty (its table no longer reflects all accepted deltas).
+    fn quarantine_batch(
+        &self,
+        view: &mut MaterializedView,
+        batch_index: usize,
+        deltas: Deltas,
+        attempts: u32,
+        error: &StorageError,
+    ) {
+        self.counters.quarantined.inc();
+        view.mark_dirty();
+        self.quarantine_lock().push(QuarantinedBatch {
+            view: view.name.clone(),
+            batch_index,
+            records: deltas.len(),
+            attempts,
+            error: error.to_string(),
+            deltas,
+        });
+    }
+
+    /// Re-drive every quarantined batch belonging to `view` through
+    /// [`BatchPipeline::maintain`] (sound because change-table folds of
+    /// disjoint delta subsets are additive, so a late fold lands the same
+    /// state). Returns the number of batches recovered; batches that fail
+    /// again under the current policy are re-quarantined (retry policy) or
+    /// put back verbatim (strict policy, which also propagates the error).
+    /// Clears the view's dirty flag once its queue is empty.
+    pub fn retry_quarantined(
+        &self,
+        db: &Database,
+        view: &mut MaterializedView,
+        batch_size: usize,
     ) -> Result<usize> {
+        let mine: Vec<QuarantinedBatch> = {
+            let mut q = self.quarantine_lock();
+            let (mine, rest) =
+                std::mem::take(&mut *q).into_iter().partition(|e| e.view == view.name);
+            *q = rest;
+            mine
+        };
+        let mut recovered = 0;
+        let mut entries = mine.into_iter();
+        for entry in entries.by_ref() {
+            match self.maintain(db, view, &entry.deltas, batch_size.max(1)) {
+                Ok(inner) if inner.quarantined == 0 => {
+                    recovered += 1;
+                    self.counters.recoveries.inc();
+                }
+                Ok(_) => {} // re-quarantined by the nested maintain call
+                Err(e) => {
+                    let mut q = self.quarantine_lock();
+                    q.push(entry);
+                    q.extend(entries);
+                    return Err(e);
+                }
+            }
+        }
+        if !self.quarantine_lock().iter().any(|e| e.view == view.name) {
+            view.mark_clean();
+        }
+        Ok(recovered)
+    }
+
+    /// Last-resort recovery: recompute the view fresh over base tables plus
+    /// `pending` (which must include the deltas of any quarantined batches),
+    /// commit the result, and drop the view's dead-letter entries. Always
+    /// converges regardless of what state the quarantined folds were in.
+    pub fn recover_via_recompute(
+        &self,
+        db: &Database,
+        view: &mut MaterializedView,
+        pending: &Deltas,
+    ) -> Result<()> {
+        let fresh = view.recompute_fresh(db, pending)?;
+        view.set_table(fresh);
+        self.quarantine_lock().retain(|e| e.view != view.name);
+        view.mark_clean();
+        self.counters.recoveries.inc();
+        Ok(())
+    }
+
+    /// Run the whole pending set through the view's full maintenance plan
+    /// (non-eligible views). With a morsel size set, this single plan runs
+    /// morsel-parallel on the pool (a lone sequential plan is exactly where
+    /// intra-plan parallelism pays); otherwise it runs as one pool task.
+    /// Returns the new view table without committing it.
+    fn run_fallback_plan(
+        &self,
+        db: &Database,
+        view: &MaterializedView,
+        cat: &MaintCatalog<'_>,
+        canonical: &svc_ivm::Canonical,
+        plan: &Plan,
+        pending: &Deltas,
+    ) -> Result<Table> {
+        svc_fault::fail_point!(svc_fault::site::BATCH_FALLBACK, StorageError::Invalid);
+        let bindings = maintenance_bindings(db, pending, view.table());
+        // The maintenance plan reads the stale view and the plain
+        // `__ins.T`/`__del.T` leaves; overlay stats for both.
+        let scoped = if self.optimize_plans {
+            self.catalog.as_deref().map(|c| {
+                delta_leaf_stats(c, Some(view.table()), std::slice::from_ref(pending), false)
+            })
+        } else {
+            None
+        };
+        let est = scoped.as_ref().map(|s| s.estimator());
+        let est: Option<&dyn svc_relalg::optimizer::CardEstimator> =
+            est.as_ref().map(|e| e as &dyn svc_relalg::optimizer::CardEstimator);
+        if let Some(morsel) =
+            self.resolved_morsel(db, &canonical.plan.leaf_tables(), Some(view.table()))
+        {
+            let optimized = if self.optimize_plans {
+                match est {
+                    Some(e) => optimize_with(plan, cat, e)?.0,
+                    None => optimize(plan, cat)?.0,
+                }
+            } else {
+                plan.clone()
+            };
+            svc_relalg::exec::compile_with(&optimized, cat, est)?.run_parallel(
+                &bindings,
+                self.pool.as_ref(),
+                morsel,
+            )
+        } else if self.optimize_plans {
+            Ok(self
+                .pool
+                .evaluate_plans_with(std::slice::from_ref(plan), &bindings, est)?
+                .pop()
+                .expect("one plan, one result"))
+        } else {
+            Ok(self
+                .pool
+                .evaluate_plans_raw(std::slice::from_ref(plan), &bindings)?
+                .pop()
+                .expect("one plan, one result"))
+        }
+    }
+
+    /// Execute one change-table mini-batch against `stale` (the shadow
+    /// table folded so far) without touching the view; returns the next
+    /// shadow table and the plan count.
+    #[allow(clippy::too_many_arguments)]
+    fn run_change_batch(
+        &self,
+        db: &Database,
+        canonical: &svc_ivm::Canonical,
+        cat: &MaintCatalog<'_>,
+        merge: &PhysicalPlan,
+        batch: Deltas,
+        chunk_parallel: bool,
+        view_key: &str,
+        stale: &Table,
+    ) -> Result<(Table, usize)> {
         // Map stage: one signed change table per delta chunk, all plans
         // bound side by side (`Deltas::partition` never emits empty chunks,
         // so no worker slot is burned on a no-op partition). The batch is
@@ -520,32 +915,37 @@ impl BatchPipeline {
                 bindings.bind(del_leaf_at(name, p), &set.deletions);
             }
         }
+        svc_fault::fail_point!(svc_fault::site::BATCH_EVALUATE, StorageError::Invalid);
         let changes = self.pool.run_compiled(&compiled, &bindings)?;
 
-        // Reduce stage (driver): fold each change table into the view. The
-        // merge is associative for the change-table-eligible merge rules,
-        // so chunk order does not matter.
+        // Reduce stage (driver): fold each change table into the shadow
+        // table. The merge is associative for the change-table-eligible
+        // merge rules, so chunk order does not matter.
         let fold_start = Instant::now();
         let _fold_span = self.tracer.as_deref().map(|t| t.span("fold", "pipeline"));
-        let mut current = view.table().clone();
+        let mut current: Option<Table> = None;
         for change in &changes {
+            svc_fault::fail_point!(svc_fault::site::BATCH_FOLD, StorageError::Invalid);
+            let stale_now: &Table = current.as_ref().unwrap_or(stale);
             let next = {
                 let mut mb = Bindings::new();
-                mb.bind(STALE_LEAF, &current);
+                mb.bind(STALE_LEAF, stale_now);
                 mb.bind(CHANGE_LEAF, change);
                 // The merge plan's inputs are the stale view and one change
                 // table; the view dominates, so it sizes the morsels.
-                match self.resolved_morsel(db, &[], Some(&current)) {
+                match self.resolved_morsel(db, &[], Some(stale_now)) {
                     Some(morsel) => merge.run_parallel(&mb, self.pool.as_ref(), morsel)?,
                     None => merge.run(&mb)?,
                 }
             };
-            current = next;
+            current = Some(next);
         }
         self.counters.fold_ns.add(fold_start.elapsed().as_nanos() as u64);
         self.counters.folds.add(changes.len() as u64);
-        view.set_table(current);
-        Ok(compiled.len())
+        // `Deltas::partition` never emits empty chunks and the batch is
+        // non-empty, so at least one change table always folds.
+        let folded = current.unwrap_or_else(|| stale.clone());
+        Ok((folded, compiled.len()))
     }
 
     /// The compiled per-partition change plans for one batch: served from
@@ -575,13 +975,12 @@ impl BatchPipeline {
                 );
             }
         }
-        if let Some(hit) =
-            self.cache.lock().expect("compile cache poisoned").lookup(&self.catalog, &key)
-        {
+        if let Some(hit) = self.cache_lock().lookup(&self.catalog, &key) {
             self.counters.cache_hits.inc();
             return Ok(hit);
         }
         self.counters.cache_misses.inc();
+        svc_fault::fail_point!(svc_fault::site::BATCH_COMPILE, StorageError::Invalid);
         let _compile_span = self.tracer.as_deref().map(|t| t.span("compile", "pipeline"));
 
         let plans = batch_change_plans(canonical, cat, chunks)?;
@@ -609,11 +1008,7 @@ impl BatchPipeline {
             self.pool.run_batch(plans.len(), |i| compile(&plans[i], cat))?
         };
         let compiled = Arc::new(compiled);
-        self.cache.lock().expect("compile cache poisoned").store(
-            &self.catalog,
-            key,
-            compiled.clone(),
-        );
+        self.cache_lock().store(&self.catalog, key, compiled.clone());
         self.counters.compiles.inc();
         Ok(compiled)
     }
@@ -1229,5 +1624,38 @@ mod tests {
         let pts = p.throughput_curve(4_000, &[250, 1_000, 4_000]);
         assert_eq!(pts.len(), 3);
         assert!(pts[2].throughput > pts[0].throughput);
+    }
+
+    /// A panic while the compile cache is held must not wedge the pipeline
+    /// forever: the poisoned contents are dropped and maintenance proceeds.
+    #[test]
+    fn poisoned_compile_cache_recovers() {
+        let db = db();
+        let view = MaterializedView::create("v", visit_view(), &db).unwrap();
+        let deltas = log_stream(&db, 400);
+        let expected = view.recompute_fresh(&db, &deltas).unwrap();
+
+        let pipeline = BatchPipeline::new(2);
+        // Warm the cache, then poison it: a thread panics mid-critical-section.
+        let mut v = view.clone();
+        pipeline.maintain(&db, &mut v, &deltas, 200).unwrap();
+        let cache = pipeline.cache.clone();
+        std::thread::spawn(move || {
+            let _guard = cache.lock().unwrap();
+            panic!("simulated panic while holding the compile cache");
+        })
+        .join()
+        .unwrap_err();
+        assert!(pipeline.cache.is_poisoned(), "setup: cache should be poisoned");
+
+        let mut v = view;
+        let run = pipeline.maintain(&db, &mut v, &deltas, 200).unwrap();
+        assert!(v.table().approx_same_contents(&expected, 1e-9));
+        assert!(run.batches > 0);
+        assert!(!pipeline.cache.is_poisoned(), "poison must be cleared, not just bypassed");
+        let m = pipeline.metrics();
+        assert_eq!(m.cache_poisons, 1, "recovery should be counted exactly once");
+        // The poisoned entries were dropped, so this maintain recompiled.
+        assert!(m.cache_misses >= 2);
     }
 }

@@ -208,6 +208,7 @@ impl SvcView {
         catalog: Option<&Catalog>,
         mode: svc_relalg::exec::ExecMode<'_>,
     ) -> Result<CleanedSample> {
+        svc_fault::fail_point!(svc_fault::site::CORE_CLEAN, StorageError::Invalid);
         let (plan, report, plan_kind) = self.cleaning_plan_with(db, deltas, catalog)?;
         // When the η reached every stale-view leaf, those branches read only
         // hash-selected rows, so binding the (much smaller) stale sample is

@@ -1,7 +1,9 @@
 //! Materialized views: definition + canonical materialized state +
 //! maintenance.
 
-use svc_storage::{Database, Deltas, Result, Table};
+use std::sync::Arc;
+
+use svc_storage::{Database, Deltas, Result, StorageError, Table};
 
 use svc_relalg::derive::{derive_project, Derived};
 use svc_relalg::eval::{evaluate, Bindings};
@@ -29,11 +31,36 @@ pub struct MaterializedView {
     /// The definition as written by the user.
     pub definition: Plan,
     canonical: Canonical,
-    table: Table,
+    /// The materialized canonical state, behind an `Arc` so commits are
+    /// pointer swaps: readers holding a [`ViewSnapshot`] keep the old
+    /// epoch's table alive while maintenance installs the next one —
+    /// nothing is ever mutated in place.
+    table: Arc<Table>,
+    /// Commit counter: bumped on every state replacement (epoch-swapped
+    /// commits). Readers pair it with the table via
+    /// [`MaterializedView::snapshot`].
+    epoch: u64,
+    /// Set when maintenance degraded (a batch was quarantined): the state
+    /// is self-consistent for some prefix of the deltas but not fully
+    /// caught up. Cleared by a successful full commit path
+    /// ([`MaterializedView::mark_clean`], called by recovery).
+    dirty: bool,
     /// When the materialized state was last replaced (creation, a
     /// `maintain*` call, or `set_table`) — the observable behind
     /// [`MaterializedView::staleness_age`].
     maintained_at: std::time::Instant,
+}
+
+/// A consistent point-in-time read of a view: the commit epoch and the
+/// table that was current at it. Cheap to take (an `Arc` clone) and immune
+/// to concurrent commits — the groundwork snapshot readers of the serving
+/// layer hold while maintenance swaps epochs underneath them.
+#[derive(Debug, Clone)]
+pub struct ViewSnapshot {
+    /// The commit epoch this snapshot observed.
+    pub epoch: u64,
+    /// The canonical state at that epoch.
+    pub table: Arc<Table>,
 }
 
 /// Bind base tables, delta relations, and the stale view for evaluating a
@@ -65,7 +92,9 @@ impl MaterializedView {
             name: name.into(),
             definition,
             canonical,
-            table,
+            table: Arc::new(table),
+            epoch: 0,
+            dirty: false,
             maintained_at: std::time::Instant::now(),
         })
     }
@@ -106,11 +135,47 @@ impl MaterializedView {
         self.public_of(&self.table)
     }
 
-    /// Replace the materialized state (used by tests and by SVC's periodic
-    /// full maintenance). Resets the staleness clock.
+    /// Replace the materialized state — the **commit point** of every
+    /// maintenance path: an atomic epoch swap (the old table stays alive
+    /// behind outstanding snapshots), bumping [`MaterializedView::epoch`]
+    /// and resetting the staleness clock. Does not touch the dirty flag:
+    /// callers that commit a degraded state mark it explicitly.
     pub fn set_table(&mut self, table: Table) {
-        self.table = table;
+        self.table = Arc::new(table);
+        self.epoch += 1;
         self.maintained_at = std::time::Instant::now();
+    }
+
+    /// The commit epoch: how many times the materialized state has been
+    /// replaced since creation. A `maintain` call that fails before its
+    /// commit point leaves this unchanged — the observable behind the
+    /// all-or-nothing fold contract.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// A consistent `(epoch, table)` read — an `Arc` clone, never a table
+    /// copy. Commits after this call do not affect the snapshot.
+    pub fn snapshot(&self) -> ViewSnapshot {
+        ViewSnapshot { epoch: self.epoch, table: Arc::clone(&self.table) }
+    }
+
+    /// True when maintenance degraded (a quarantined batch left the view
+    /// not fully caught up). See [`MaterializedView::mark_dirty`].
+    pub fn is_dirty(&self) -> bool {
+        self.dirty
+    }
+
+    /// Flag the view as not fully caught up (set by the batch pipeline
+    /// when it quarantines a failing batch).
+    pub fn mark_dirty(&mut self) {
+        self.dirty = true;
+    }
+
+    /// Clear the dirty flag (called by recovery paths once the view is
+    /// known fresh again: a drained quarantine or a fallback recompute).
+    pub fn mark_clean(&mut self) {
+        self.dirty = false;
     }
 
     /// Wall-clock time since the materialized state was last replaced —
@@ -167,6 +232,11 @@ impl MaterializedView {
         mode: svc_relalg::exec::ExecMode<'_>,
     ) -> Result<PlanKind> {
         let info = DeltaInfo::of(deltas);
+        if info.is_empty() {
+            // Nothing pending: don't copy the whole view through the
+            // `Scan __stale` no-op plan, and don't commit a new epoch.
+            return Ok(PlanKind::NoOp);
+        }
         let cat = MaintCatalog {
             db,
             stale: Derived { schema: self.table.schema().clone(), key: self.table.key().to_vec() },
@@ -181,6 +251,9 @@ impl MaterializedView {
             let bindings = maintenance_bindings(db, deltas, &self.table);
             compiled.run_with(&bindings, mode)?
         };
+        // Failpoint site: everything above is side-effect free on `self`,
+        // so an injected failure here proves the commit is all-or-nothing.
+        svc_fault::fail_point!(svc_fault::site::VIEW_MAINTAIN, StorageError::Invalid);
         self.set_table(new_table);
         Ok(kind)
     }
@@ -485,5 +558,34 @@ mod tests {
         let kind = view.maintain(&db, &deltas).unwrap();
         assert_eq!(kind, PlanKind::Recompute);
         assert!(view.table().approx_same_contents(&expected, 1e-9));
+    }
+
+    #[test]
+    fn commits_are_epoch_swaps_and_snapshots_outlive_them() {
+        let db = db();
+        let mut view = MaterializedView::create("v", visit_view(), &db).unwrap();
+        assert_eq!(view.epoch(), 0);
+        assert!(!view.is_dirty());
+
+        let before = view.snapshot();
+        let deltas = mixed_deltas(&db);
+        view.maintain(&db, &deltas).unwrap();
+        assert_eq!(view.epoch(), 1, "one maintain, one commit");
+        let after = view.snapshot();
+        assert_eq!(after.epoch, 1);
+        // The pre-commit snapshot still reads the old state: the commit
+        // swapped the table out from under it without mutating it.
+        assert_eq!(before.epoch, 0);
+        assert!(!before.table.same_contents(&after.table), "deltas must have changed the view");
+        assert!(after.table.same_contents(view.table()));
+
+        // A no-op maintain does not commit.
+        view.maintain(&db, &Deltas::new()).unwrap();
+        assert_eq!(view.epoch(), 1, "no deltas, no commit");
+
+        view.mark_dirty();
+        assert!(view.is_dirty());
+        view.mark_clean();
+        assert!(!view.is_dirty());
     }
 }

@@ -378,6 +378,24 @@ fn fan_out<T: Send>(
 ) -> Result<Vec<T>> {
     let slots: Vec<Mutex<Option<Result<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
     par.sched.run_tasks(n, &|i| {
+        // Failpoint site: one morsel of a parallel run. The closure has no
+        // error channel of its own, so an injected `Error` lands in the
+        // morsel's result slot (surfacing through the index-order collect
+        // below) and an injected `Panic` unwinds into the scheduler's
+        // per-session panic isolation — both the paths a real morsel
+        // failure would take.
+        if cfg!(feature = "failpoints") {
+            if let Some(fired) = svc_fault::check(svc_fault::site::EXEC_MORSEL) {
+                match fired.action {
+                    svc_fault::FailAction::Panic => panic!("{}", fired.message),
+                    svc_fault::FailAction::Error => {
+                        *slots[i].lock().expect("morsel slot poisoned") =
+                            Some(Err(StorageError::Invalid(fired.message)));
+                        return;
+                    }
+                }
+            }
+        }
         *slots[i].lock().expect("morsel slot poisoned") = Some(f(i));
     })?;
     slots

@@ -256,6 +256,7 @@ impl Table {
 
     /// Insert a row; errors on arity mismatch or duplicate key.
     pub fn insert(&mut self, row: Row) -> Result<()> {
+        svc_fault::fail_point!(svc_fault::site::TABLE_MUTATE, StorageError::Invalid);
         if row.len() != self.schema.len() {
             return Err(StorageError::ArityMismatch {
                 expected: self.schema.len(),
@@ -274,6 +275,7 @@ impl Table {
 
     /// Insert or replace by primary key; returns the replaced row, if any.
     pub fn upsert(&mut self, row: Row) -> Result<Option<Row>> {
+        svc_fault::fail_point!(svc_fault::site::TABLE_MUTATE, StorageError::Invalid);
         if row.len() != self.schema.len() {
             return Err(StorageError::ArityMismatch {
                 expected: self.schema.len(),

@@ -8,6 +8,7 @@
 pub use svc_catalog as catalog;
 pub use svc_cluster as cluster;
 pub use svc_core as core;
+pub use svc_fault as fault;
 pub use svc_ivm as ivm;
 pub use svc_relalg as relalg;
 pub use svc_sampling as sampling;
