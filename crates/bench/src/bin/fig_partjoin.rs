@@ -1,0 +1,278 @@
+//! Partitioned parallel hash joins on real plans.
+//!
+//! Two plans over the TPC-D workload, both forced onto the build-side
+//! hash-join path (a filtered right side defeats the pk-probe shortcut)
+//! or the partitioned set-op dedup:
+//!
+//! * `build-join` — lineitem ⋈ σ(orders) on the order key, rolled up by
+//!   customer: the orders build side is hash-partitioned, per-partition
+//!   chain maps are built concurrently on the pool, and probes stay
+//!   morsel-parallel and partition-local.
+//! * `union-dedup` — the union of two overlapping lineitem selections:
+//!   the dedup set is hash-partitioned by whole-row hash with
+//!   partition-local survivor sets.
+//!
+//! Each plan runs the full matrix of pools {1, 2, 4 workers} × partition
+//! counts {1, 8, auto}. Every arm is checked row-for-row (order included)
+//! against the sequential run — the determinism contract says partition
+//! count and worker count must never show in the result — and the
+//! per-operator telemetry (including the new `partitions` /
+//! `part_max_rows` fields) is embedded per scenario row.
+//!
+//! Writes `experiments/fig_partjoin.csv` / `.json`. Assertions scale with
+//! the machine exactly like `fig_contention`: on ≥4 hardware threads the
+//! best partitioned 4-worker arm must not lose to sequential (15% margin);
+//! with 2–3 threads only a loose bound applies; single-core machines run
+//! correctness-only. At full scale on ≥4 threads the partitioned build
+//! must show a real speedup.
+
+use std::sync::Arc;
+
+use svc_bench::{bench_median_ms, bench_scale, operator_metrics_json, tpcd, write_json, Report};
+use svc_cluster::executor::WorkerPool;
+use svc_ivm::view::MaterializedView;
+use svc_relalg::aggregate::{AggFunc, AggSpec};
+use svc_relalg::eval::Bindings;
+use svc_relalg::exec::{compile, ExecMode, PhysicalPlan};
+use svc_relalg::plan::{JoinKind, Plan};
+use svc_relalg::scalar::{col, lit};
+use svc_storage::Table;
+use svc_workloads::tpcd_views::revenue_expr;
+
+fn bench_ms(reps: usize, f: impl FnMut()) -> f64 {
+    bench_median_ms(reps, 1, f)
+}
+
+/// Row-for-row order-sensitive comparison with float tolerance —
+/// partitioned execution must not even reorder the output.
+fn same_rows_in_order(a: &Table, b: &Table) -> bool {
+    a.len() == b.len()
+        && a.rows().iter().zip(b.rows()).all(|(ra, rb)| {
+            ra.iter().zip(rb).all(|(x, y)| match (x.as_f64(), y.as_f64()) {
+                (Some(p), Some(q)) => (p - q).abs() <= 1e-9 * p.abs().max(q.abs()).max(1.0),
+                _ => x == y,
+            })
+        })
+}
+
+struct Arm {
+    plan: &'static str,
+    workers: usize,
+    partitions: &'static str,
+    rows_out: usize,
+    t_seq_ms: f64,
+    t_par_ms: f64,
+    operators: String,
+}
+
+/// Partition-count axis: single map (the pre-partition behavior), a fixed
+/// fan-out wider than any pool here, and the auto-tuned count.
+const PARTS: [(usize, &str); 3] = [(1, "1"), (8, "8"), (0, "auto")];
+
+fn measure(
+    label: &'static str,
+    compiled: &PhysicalPlan,
+    bindings: &Bindings<'_>,
+    pools: &[Arc<WorkerPool>],
+    morsel_of: impl Fn(usize) -> usize,
+    reps: usize,
+    arms: &mut Vec<Arm>,
+) {
+    let seq_out = compiled.run(bindings).expect("sequential run");
+    let t_seq = bench_ms(reps, || {
+        std::hint::black_box(compiled.run(bindings).expect("run"));
+    });
+    for pool in pools {
+        let morsel = morsel_of(pool.workers());
+        for &(parts, parts_label) in &PARTS {
+            let mode = ExecMode::morsel(pool.as_ref(), morsel).partitions(parts);
+            let par_out = compiled.run_with(bindings, mode).expect("partitioned run");
+            assert!(
+                same_rows_in_order(&par_out, &seq_out),
+                "{label} on {} workers, {parts_label} partitions: result diverged",
+                pool.workers()
+            );
+            let t_par = bench_ms(reps, || {
+                std::hint::black_box(compiled.run_with(bindings, mode).expect("run_with"));
+            });
+            arms.push(Arm {
+                plan: label,
+                workers: pool.workers(),
+                partitions: parts_label,
+                rows_out: par_out.len(),
+                t_seq_ms: t_seq,
+                t_par_ms: t_par,
+                operators: operator_metrics_json(compiled, bindings, mode),
+            });
+        }
+    }
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let data = tpcd(2.0, 2.0, 42);
+    let db = &data.db;
+    let lineitem_rows = db.table("lineitem").expect("lineitem").len();
+    let orders_rows = db.table("orders").expect("orders").len();
+    println!(
+        "lineitem: {lineitem_rows} rows, orders: {orders_rows} rows (scale {}), \
+         {cores} hardware threads",
+        bench_scale()
+    );
+    let pools: Vec<Arc<WorkerPool>> =
+        [1usize, 2, 4].iter().map(|&w| Arc::new(WorkerPool::new(w))).collect();
+    let reps = 5;
+    let mut arms: Vec<Arm> = Vec::new();
+
+    // ── build-join: filtered orders build side, revenue per customer ─────
+    {
+        // The trivially-true filter keeps every orders row but makes the
+        // right side a non-leaf, so the compiler cannot take the pk-probe
+        // shortcut: the full orders table goes through the partitioned
+        // hash-map build.
+        let plan = Plan::scan("lineitem")
+            .join(
+                Plan::scan("orders").select(col("o_custkey").ge(lit(0i64))),
+                JoinKind::Inner,
+                &[("l_orderkey", "o_orderkey")],
+            )
+            .aggregate(
+                &["o_custkey"],
+                vec![
+                    AggSpec::count_all("n"),
+                    AggSpec::new("revenue", AggFunc::Sum, revenue_expr()),
+                ],
+            );
+        let b = Bindings::from_database(db);
+        let compiled = compile(&plan, &b).expect("compile build-join");
+        let morsel = |w: usize| (lineitem_rows / (8 * w)).max(256);
+        measure("build-join", &compiled, &b, &pools, morsel, reps, &mut arms);
+    }
+
+    // ── union-dedup: partitioned set-op survivor sets ────────────────────
+    {
+        let plan = Plan::scan("lineitem")
+            .select(col("l_discount").ge(lit(0.03)))
+            .union(Plan::scan("lineitem").select(col("l_discount").le(lit(0.07))));
+        let b = Bindings::from_database(db);
+        let compiled = compile(&plan, &b).expect("compile union-dedup");
+        let morsel = |w: usize| (lineitem_rows / (8 * w)).max(256);
+        measure("union-dedup", &compiled, &b, &pools, morsel, reps, &mut arms);
+    }
+
+    // Spot-check the auto tuner end to end on the maintenance stack: a
+    // view over the build-side join maintains identically with and without
+    // the pipeline's join-partition knob.
+    {
+        let def = Plan::scan("lineitem")
+            .join(
+                Plan::scan("orders").select(col("o_custkey").ge(lit(0i64))),
+                JoinKind::Inner,
+                &[("l_orderkey", "o_orderkey")],
+            )
+            .aggregate(
+                &["o_custkey"],
+                vec![
+                    AggSpec::count_all("n"),
+                    AggSpec::new("revenue", AggFunc::Sum, revenue_expr()),
+                ],
+            );
+        let view = MaterializedView::create("rev_cust", def, db).expect("view");
+        let deltas = data.updates(0.10, 13).expect("deltas");
+        let expected = view.recompute_fresh(db, &deltas).expect("fresh");
+        for parts in [0usize, 8] {
+            let mut pipeline = svc_cluster::minibatch::BatchPipeline::on_pool(pools[2].clone());
+            pipeline.morsel_size = Some((lineitem_rows / 32).max(256));
+            pipeline.join_partitions = parts;
+            let mut v = view.clone();
+            let batch = (deltas.len() / 6).max(1);
+            pipeline.maintain(db, &mut v, &deltas, batch).expect("maintain");
+            assert!(
+                v.table().approx_same_contents(&expected, 1e-9),
+                "maintenance with join_partitions={parts} diverged"
+            );
+        }
+    }
+
+    // ── report ───────────────────────────────────────────────────────────
+    let mut report = Report::new(
+        "fig_partjoin",
+        &["plan", "workers", "partitions", "rows", "t_seq_ms", "t_par_ms", "speedup"],
+    );
+    let mut json_rows = Vec::new();
+    let mut best_partitioned = 0.0f64;
+    let mut best_single_map = 0.0f64;
+    for a in &arms {
+        let speedup = a.t_seq_ms / a.t_par_ms.max(1e-9);
+        if a.workers == 4 {
+            if a.partitions == "1" {
+                best_single_map = best_single_map.max(speedup);
+            } else {
+                best_partitioned = best_partitioned.max(speedup);
+            }
+        }
+        report.row(vec![
+            a.plan.into(),
+            a.workers.to_string(),
+            a.partitions.into(),
+            a.rows_out.to_string(),
+            format!("{:.3}", a.t_seq_ms),
+            format!("{:.3}", a.t_par_ms),
+            format!("{speedup:.2}"),
+        ]);
+        json_rows.push(format!(
+            "{{\"plan\":\"{}\",\"workers\":{},\"partitions\":\"{}\",\"rows\":{},\
+             \"t_seq_ms\":{},\"t_par_ms\":{},\"speedup\":{speedup},\"operators\":{}}}",
+            a.plan, a.workers, a.partitions, a.rows_out, a.t_seq_ms, a.t_par_ms, a.operators
+        ));
+    }
+    report.finish(
+        "partitioned parallel hash join / set-op dedup vs sequential (t_seq/t_par ms) \
+         across pools x partition counts",
+    );
+    let json = format!(
+        "{{\"bench\":\"fig_partjoin\",\"workload\":\"tpcd\",\"scale\":{},\
+         \"lineitem_rows\":{lineitem_rows},\"orders_rows\":{orders_rows},\
+         \"hardware_threads\":{cores},\"rows\":[{}]}}\n",
+        bench_scale(),
+        json_rows.join(",")
+    );
+    write_json("fig_partjoin", &json);
+
+    // The partitioned build's telemetry must actually report its fan-out:
+    // every multi-partition build-join arm carries partitions > 1.
+    assert!(
+        arms.iter()
+            .filter(|a| a.plan == "build-join" && a.partitions == "8")
+            .all(|a| a.operators.contains("\"partitions\":8")),
+        "8-partition arms must report partitions=8 in operator telemetry"
+    );
+
+    // Hardware-scaled guards, mirroring fig_contention: partitioned
+    // execution must not lose to sequential where the hardware can carry
+    // the pool; on narrow machines only sanity bounds apply.
+    if cores >= 4 {
+        assert!(
+            best_partitioned >= 0.85,
+            "partitioned join must not be slower at 4 workers on {cores}-thread hardware: \
+             best speedup {best_partitioned:.2}x (single-map best {best_single_map:.2}x)"
+        );
+    } else if cores >= 2 {
+        assert!(
+            best_partitioned >= 0.6,
+            "partitioned join collapsed on oversubscribed {cores}-thread hardware: \
+             best speedup {best_partitioned:.2}x"
+        );
+    }
+    if bench_scale() >= 1.0 && cores >= 4 {
+        assert!(
+            best_partitioned >= 1.5,
+            "the partitioned build must show a real speedup at 4 workers at full scale, \
+             got {best_partitioned:.2}x"
+        );
+        println!(
+            "best 4-worker speedup at full scale: partitioned {best_partitioned:.2}x, \
+             single-map {best_single_map:.2}x"
+        );
+    }
+}

@@ -95,7 +95,8 @@ pub fn operator_metrics_json(
             format!(
                 "{{\"id\":{id},\"op\":\"{}\",\"rows_in\":{},\"rows_out\":{},\"wall_ns\":{},\
                  \"morsels\":{},\"vec_chunks\":{},\"row_batches\":{},\"zone_skips\":{},\
-                 \"build_rows\":{},\"probe_rows\":{},\"groups\":{}}}",
+                 \"build_rows\":{},\"probe_rows\":{},\"partitions\":{},\
+                 \"part_max_rows\":{},\"groups\":{}}}",
                 label.replace('"', "'"),
                 m.rows_in,
                 m.rows_out,
@@ -106,6 +107,8 @@ pub fn operator_metrics_json(
                 m.zone_skips,
                 m.build_rows,
                 m.probe_rows,
+                m.partitions,
+                m.part_max_rows,
                 m.groups
             )
         })

@@ -175,6 +175,16 @@ pub struct BatchPipeline {
     /// Per-partition change plans keep their inter-plan fan-out (many
     /// small plans already saturate the pool).
     pub morsel_size: Option<usize>,
+    /// Hash-partition count for join builds and set-op dedup inside the
+    /// morsel-parallel plan runs above (the fallback maintenance plan and
+    /// the merge fold); distinct from [`BatchPipeline::partitions`], which
+    /// chunks *deltas* across change plans. `0` (the default) auto-tunes
+    /// from the build input size
+    /// ([`svc_relalg::exec::auto_partition_count`]); any value is rounded
+    /// up to a power of two. Results are identical for every value — this
+    /// is purely a parallelism/skew knob. Ignored when `morsel_size` is
+    /// `None` (sequential plan runs build one map).
+    pub join_partitions: usize,
     /// Optional span recorder: when attached, `maintain` records
     /// batch/fold spans into its ring buffer, exportable as chrome-trace
     /// JSON ([`TraceRecorder::chrome_trace_json`]). `None` (the default)
@@ -342,6 +352,7 @@ impl BatchPipeline {
             optimize_plans: true,
             catalog: None,
             morsel_size: None,
+            join_partitions: 0,
             tracer: None,
             policy: FailurePolicy::default(),
             quarantine: Arc::default(),
@@ -359,6 +370,7 @@ impl BatchPipeline {
             optimize_plans: true,
             catalog: None,
             morsel_size: None,
+            join_partitions: 0,
             tracer: None,
             policy: FailurePolicy::default(),
             quarantine: Arc::default(),
@@ -867,10 +879,10 @@ impl BatchPipeline {
             } else {
                 plan.clone()
             };
-            svc_relalg::exec::compile_with(&optimized, cat, est)?.run_parallel(
+            svc_relalg::exec::compile_with(&optimized, cat, est)?.run_with(
                 &bindings,
-                self.pool.as_ref(),
-                morsel,
+                svc_relalg::exec::ExecMode::morsel(self.pool.as_ref(), morsel)
+                    .partitions(self.join_partitions),
             )
         } else if self.optimize_plans {
             Ok(self
@@ -934,7 +946,11 @@ impl BatchPipeline {
                 // The merge plan's inputs are the stale view and one change
                 // table; the view dominates, so it sizes the morsels.
                 match self.resolved_morsel(db, &[], Some(stale_now)) {
-                    Some(morsel) => merge.run_parallel(&mb, self.pool.as_ref(), morsel)?,
+                    Some(morsel) => merge.run_with(
+                        &mb,
+                        svc_relalg::exec::ExecMode::morsel(self.pool.as_ref(), morsel)
+                            .partitions(self.join_partitions),
+                    )?,
                     None => merge.run(&mb)?,
                 }
             };
@@ -1556,6 +1572,27 @@ mod tests {
             assert!(
                 v.table().approx_same_contents(&expected, 1e-9),
                 "morsel_size {morsel:?} changed the maintenance result"
+            );
+        }
+    }
+
+    /// `join_partitions` is a parallelism/skew knob only: every count
+    /// (auto, 1, non-power-of-two, large) maintains to the same view.
+    #[test]
+    fn join_partitions_are_result_invariant() {
+        let db = db();
+        let deltas = log_stream(&db, 400);
+        let view = MaterializedView::create("v", visit_view(), &db).unwrap();
+        let expected = view.recompute_fresh(&db, &deltas).unwrap();
+        for parts in [0usize, 1, 3, 8, 64] {
+            let mut pipeline = BatchPipeline::new(2);
+            pipeline.morsel_size = Some(16);
+            pipeline.join_partitions = parts;
+            let mut v = view.clone();
+            pipeline.maintain(&db, &mut v, &deltas, 80).unwrap();
+            assert!(
+                v.table().approx_same_contents(&expected, 1e-9),
+                "join_partitions {parts} changed the maintenance result"
             );
         }
     }

@@ -224,6 +224,10 @@ pub mod site {
     pub const TABLE_MUTATE: &str = "storage::table::mutate";
     /// One morsel task of a parallel plan run (`exec::run` fan-out).
     pub const EXEC_MORSEL: &str = "relalg::exec::morsel";
+    /// One per-partition map-build task of a partitioned hash join
+    /// (`exec::partition::build_join_par` fan-out), mid-build: the scatter
+    /// pass has run, the build's partition maps are half-assembled.
+    pub const JOIN_BUILD: &str = "relalg::exec::join_build";
     /// `WorkerPool` task dispatch, inside the per-task `catch_unwind` (so
     /// injected failures become session errors, never dead workers).
     pub const POOL_DISPATCH: &str = "cluster::pool::dispatch";
@@ -241,9 +245,10 @@ pub mod site {
     pub const CORE_CLEAN: &str = "core::svc::clean";
 
     /// Every site, for schedule generators.
-    pub const ALL: [&str; 9] = [
+    pub const ALL: [&str; 10] = [
         TABLE_MUTATE,
         EXEC_MORSEL,
+        JOIN_BUILD,
         POOL_DISPATCH,
         BATCH_COMPILE,
         BATCH_EVALUATE,

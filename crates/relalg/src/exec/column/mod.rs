@@ -13,6 +13,7 @@ pub mod kernels;
 pub mod selection;
 
 pub use chunk::{ChunkCols, ColumnChunk};
+pub(crate) use kernels::hash_key_at;
 pub use kernels::{apply_hash, compile_map, compile_pred, ColPred, MapPlan, VecOp};
 pub use selection::SelVec;
 

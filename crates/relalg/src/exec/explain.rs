@@ -90,6 +90,9 @@ impl fmt::Display for Explain {
             if m.build_rows > 0 || m.probe_rows > 0 {
                 write!(f, "  build={} probe={}", m.build_rows, m.probe_rows)?;
             }
+            if m.partitions > 0 {
+                write!(f, "  partitions={} part_max={}", m.partitions, m.part_max_rows)?;
+            }
             if m.groups > 0 {
                 write!(f, "  groups={}", m.groups)?;
             }

@@ -33,6 +33,7 @@ mod batch;
 pub mod column;
 pub mod compile;
 pub mod explain;
+mod partition;
 pub mod pipeline;
 mod run;
 
@@ -90,31 +91,46 @@ pub struct ExecMode<'a> {
     /// Rows per morsel; `0` with a scheduler attached means "derive from
     /// the bound leaf sizes at run time" ([`auto_morsel_size`]).
     morsel: usize,
+    /// Hash partitions for join builds and set-op dedup; `0` means
+    /// "derive from the build input size at run time"
+    /// ([`auto_partition_count`]). Rounded up to a power of two.
+    partitions: usize,
     rowwise: bool,
 }
 
 impl<'a> ExecMode<'a> {
     /// Sequential execution on the calling thread.
     pub fn sequential() -> ExecMode<'static> {
-        ExecMode { sched: None, morsel: 0, rowwise: false }
+        ExecMode { sched: None, morsel: 0, partitions: 0, rowwise: false }
     }
 
     /// Morsel-parallel execution on `sched` with `morsel_size` rows per
     /// morsel.
     pub fn morsel(sched: &'a dyn MorselScheduler, morsel_size: usize) -> ExecMode<'a> {
-        ExecMode { sched: Some(sched), morsel: morsel_size, rowwise: false }
+        ExecMode { sched: Some(sched), morsel: morsel_size, partitions: 0, rowwise: false }
     }
 
     /// Morsel-parallel execution with the morsel size derived from the
     /// largest bound leaf at run time ([`auto_morsel_size`]).
     pub fn morsel_auto(sched: &'a dyn MorselScheduler) -> ExecMode<'a> {
-        ExecMode { sched: Some(sched), morsel: 0, rowwise: false }
+        ExecMode { sched: Some(sched), morsel: 0, partitions: 0, rowwise: false }
     }
 
     /// Switch to the row-at-a-time reference path (the vectorized kernels
     /// are the default). Used by the equivalence harnesses and benches.
     pub fn rowwise(mut self) -> ExecMode<'a> {
         self.rowwise = true;
+        self
+    }
+
+    /// Set the hash-partition count for join builds and set-op dedup
+    /// (rounded up to a power of two; `0` restores the size-based auto
+    /// tune). Join results are identical for every value — partitioning a
+    /// chain map by key hash cannot change which rows a probe key finds,
+    /// or their order — so this is purely a parallelism/skew knob.
+    /// Ignored without a scheduler: sequential runs build one map.
+    pub fn partitions(mut self, partitions: usize) -> ExecMode<'a> {
+        self.partitions = partitions;
         self
     }
 
@@ -127,9 +143,15 @@ impl<'a> ExecMode<'a> {
 impl fmt::Debug for ExecMode<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let path = if self.rowwise { "rowwise" } else { "vectorized" };
+        let parts: &dyn fmt::Display = match self.partitions {
+            0 => &"auto",
+            ref p => p,
+        };
         match self.sched {
-            Some(_) if self.morsel == 0 => write!(f, "ExecMode::Morsel(auto, {path})"),
-            Some(_) => write!(f, "ExecMode::Morsel({}, {path})", self.morsel),
+            Some(_) if self.morsel == 0 => {
+                write!(f, "ExecMode::Morsel(auto, parts={parts}, {path})")
+            }
+            Some(_) => write!(f, "ExecMode::Morsel({}, parts={parts}, {path})", self.morsel),
             None => write!(f, "ExecMode::Sequential({path})"),
         }
     }
@@ -144,6 +166,16 @@ pub fn auto_morsel_size(rows: usize, width: usize) -> usize {
     let by_width = TARGET_VALUES / width.max(1);
     let by_split = rows.div_ceil(8).max(1);
     by_width.min(by_split).clamp(256, 65_536)
+}
+
+/// Hash partitions for a join build (or set-op dedup) over `rows` input
+/// rows: ~4k rows per partition, always a power of two (so the partition
+/// of a hash is a mask), clamped to `[1, 64]`. Small inputs resolve to 1 —
+/// a single map built inline, no scatter pass — so partitioning only
+/// engages where a fan-out can pay for itself.
+pub fn auto_partition_count(rows: usize) -> usize {
+    const TARGET_ROWS: usize = 4096;
+    (rows / TARGET_ROWS).next_power_of_two().clamp(1, 64)
 }
 
 /// A compiled, reusable physical plan. `Send + Sync`: worker pools share
@@ -177,9 +209,13 @@ impl PhysicalPlan {
     /// chunk ranges over the leaf's shared column set, one vectorized
     /// pass runs per morsel on the scheduler, join morsels probe a build
     /// side constructed once, and per-morsel γ group maps merge at the
-    /// pipeline barrier. The result — including output order at the keyed
-    /// root — is a function of the morsel size only, never of the
-    /// scheduler's thread count or interleaving; it matches
+    /// pipeline barrier. Hash-join build sides (and large set-op dedups)
+    /// hash-partition ([`auto_partition_count`] partitions by default) and
+    /// build one map shard per partition concurrently — each shard owned by
+    /// exactly one task, probed read-only by every morsel. The result —
+    /// including output order at the keyed root — is a function of the
+    /// morsel size only, never of the scheduler's thread count,
+    /// interleaving, or the partition count; it matches
     /// [`PhysicalPlan::run`] exactly up to float-sum rounding (partial sums
     /// per morsel combine at the barrier).
     pub fn run_parallel(
@@ -188,7 +224,7 @@ impl PhysicalPlan {
         sched: &dyn MorselScheduler,
         morsel_size: usize,
     ) -> Result<Table> {
-        self.run_parallel_impl(bindings, sched, morsel_size, true, None)
+        self.run_parallel_impl(bindings, sched, morsel_size, 0, true, None)
     }
 
     fn run_parallel_impl(
@@ -196,13 +232,14 @@ impl PhysicalPlan {
         bindings: &Bindings<'_>,
         sched: &dyn MorselScheduler,
         morsel_size: usize,
+        partitions: usize,
         vec: bool,
         m: run::OptMeter<'_>,
     ) -> Result<Table> {
         if morsel_size == 0 {
             return Err(StorageError::Invalid("morsel_size must be at least 1".into()));
         }
-        let par = run::Par { sched, morsel: morsel_size, vec };
+        let par = run::Par { sched, morsel: morsel_size, vec, parts: partitions };
         let rows = run::run_node_par(&self.root, bindings, &par, m)?;
         run::finish_root(&self.root, &self.out, rows)
     }
@@ -229,7 +266,7 @@ impl PhysicalPlan {
                 } else {
                     mode.morsel
                 };
-                self.run_parallel_impl(bindings, sched, morsel, !mode.rowwise, m)
+                self.run_parallel_impl(bindings, sched, morsel, mode.partitions, !mode.rowwise, m)
             }
             None => {
                 let rows = run::run_node(&self.root, bindings, !mode.rowwise, m)?;
@@ -606,6 +643,52 @@ mod tests {
         for width in [1, 2, 7, 64, 300] {
             let m = auto_morsel_size(5_000_000, width);
             assert!(m * width <= TARGET.max(256 * width), "width {width} gave {m}");
+        }
+    }
+
+    /// The partition auto-tuner: powers of two only, `[1, 64]`, and 1 for
+    /// anything too small to be worth a scatter pass.
+    #[test]
+    fn auto_partition_count_bounds() {
+        assert_eq!(auto_partition_count(0), 1);
+        assert_eq!(auto_partition_count(4_095), 1);
+        assert_eq!(auto_partition_count(4_096), 1);
+        assert_eq!(auto_partition_count(8_192), 2);
+        assert_eq!(auto_partition_count(40_000), 16);
+        assert_eq!(auto_partition_count(1 << 30), 64);
+        for rows in [0, 1, 100, 5_000, 123_456, usize::MAX / 2] {
+            let p = auto_partition_count(rows);
+            assert!(p.is_power_of_two() && (1..=64).contains(&p), "{rows} gave {p}");
+        }
+    }
+
+    /// The partition knob never changes results — build joins and set ops
+    /// included — for any count, on either kernel path.
+    #[test]
+    fn partition_count_is_result_invariant() {
+        let db = video_db();
+        let b = Bindings::from_database(&db);
+        for plan in [
+            // Non-key right column forces the hash-build join path.
+            Plan::scan("log").join(Plan::scan("video"), JoinKind::Left, &[("videoId", "ownerId")]),
+            Plan::scan("video").union(Plan::scan("video").select(col("ownerId").ge(lit(2i64)))),
+            Plan::scan("video").intersect(Plan::scan("video").select(col("ownerId").le(lit(5i64)))),
+        ] {
+            let compiled = compile(&plan, &b).unwrap();
+            let seq = compiled.run(&b).unwrap();
+            for parts in [1usize, 2, 3, 8, 64] {
+                for rowwise in [false, true] {
+                    let mut mode = ExecMode::morsel(&SequentialScheduler, 16).partitions(parts);
+                    if rowwise {
+                        mode = mode.rowwise();
+                    }
+                    let got = compiled.run_with(&b, mode).unwrap();
+                    assert!(
+                        got.rows() == seq.rows(),
+                        "parts={parts} rowwise={rowwise} changed rows or order on {plan:?}"
+                    );
+                }
+            }
         }
     }
 

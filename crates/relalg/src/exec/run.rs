@@ -218,6 +218,8 @@ pub(super) fn run_node(
                     let rrows = run_node_ref(rnode, b, vec, child(m, 1 + left.subtree_size()))?;
                     stat.build_rows = rrows.len() as u64;
                     let build = JoinBuild::new(&rrows, on_idx);
+                    stat.partitions = build.partition_count() as u64;
+                    stat.part_max_rows = build.max_partition_rows();
                     let mut matched: Vec<u32> = Vec::new();
                     build.probe(&mut lrows, *kind, &left_cols, *pad_right, &mut out, &mut matched);
                     if matches!(kind, JoinKind::Right | JoinKind::Full) {
@@ -347,16 +349,29 @@ pub(super) fn run_node(
 }
 
 /// Morsel-parallel execution context: the scheduler the morsel tasks run
-/// on, the rows-per-morsel split size, and whether fused-scan segments
-/// run vectorized.
+/// on, the rows-per-morsel split size, whether fused-scan segments run
+/// vectorized, and the hash-partition count for join builds and set-op
+/// dedup (`0` = derive from the build input size at run time).
 pub(super) struct Par<'e> {
     pub sched: &'e dyn MorselScheduler,
     pub morsel: usize,
     pub vec: bool,
+    pub parts: usize,
+}
+
+/// The effective partition count for a hash phase over `rows` build-side
+/// rows: the explicit knob rounded up to a power of two, or the size-based
+/// auto tune.
+fn resolve_parts(knob: usize, rows: usize) -> usize {
+    if knob == 0 {
+        super::auto_partition_count(rows)
+    } else {
+        knob.next_power_of_two()
+    }
 }
 
 /// Split `len` rows into morsel-sized `(lo, hi)` index ranges.
-fn ranges(len: usize, morsel: usize) -> Vec<(usize, usize)> {
+pub(super) fn ranges(len: usize, morsel: usize) -> Vec<(usize, usize)> {
     let mut out = Vec::with_capacity(len.div_ceil(morsel));
     let mut lo = 0;
     while lo < len {
@@ -371,7 +386,7 @@ fn ranges(len: usize, morsel: usize) -> Vec<(usize, usize)> {
 /// per-morsel results in morsel order. A scheduler failure (a panicked
 /// morsel) surfaces as the scheduler's error; individual morsel errors come
 /// back in index order.
-fn fan_out<T: Send>(
+pub(super) fn fan_out<T: Send>(
     par: &Par<'_>,
     n: usize,
     f: &(dyn Fn(usize) -> Result<T> + Sync),
@@ -577,10 +592,42 @@ pub(super) fn run_node_par(
                 }
                 JoinRight::Build(rnode) => {
                     // Build side constructed once; every morsel probes it
-                    // read-only.
-                    let rrows = run_node_ref_par(rnode, b, par, child(m, 1 + left.subtree_size()))?;
+                    // read-only. A bare leaf resolves inline (instead of
+                    // through `run_node_ref_par`) so the partition scatter
+                    // can hash its cached columnar projection directly.
+                    let rm = child(m, 1 + left.subtree_size());
+                    let (rrows, leaf_cols) = match &**rnode {
+                        Node::FusedScan { leaf, ops, .. } if ops.is_empty() => {
+                            let t = leaf.resolve(b)?;
+                            if let Some(mm) = rm {
+                                let n = t.len() as u64;
+                                mm.slot().merge(&OpMetrics {
+                                    rows_in: n,
+                                    rows_out: n,
+                                    ..Default::default()
+                                });
+                            }
+                            (Batch::Borrowed(t.rows()), par.vec.then(|| t.columns()))
+                        }
+                        other => (Batch::Owned(run_node_par(other, b, par, rm)?), None),
+                    };
                     stat.build_rows = rrows.len() as u64;
-                    let build = JoinBuild::new(&rrows, on_idx);
+                    let parts = resolve_parts(par.parts, rrows.len());
+                    let build = if parts == 1 || rrows.len() <= par.morsel {
+                        // Too small to fan out: build the shards inline —
+                        // same maps, same probe results, by construction.
+                        JoinBuild::with_partitions(&rrows, on_idx, parts)
+                    } else {
+                        super::partition::build_join_par(
+                            &rrows,
+                            leaf_cols.as_deref(),
+                            on_idx,
+                            parts,
+                            par,
+                        )?
+                    };
+                    stat.partitions = build.partition_count() as u64;
+                    stat.part_max_rows = build.max_partition_rows();
                     let mut out;
                     let mut matched: Vec<u32> = Vec::new();
                     if lrows.len() <= par.morsel {
@@ -750,8 +797,13 @@ pub(super) fn run_node_par(
             out
         }
         Node::SetOp { kind, left, right } => {
-            // Children run morsel-parallel; the set operation itself is a
-            // driver-side pass (its global dedup set does not chunk).
+            // Children run morsel-parallel. The dedup itself partitions by
+            // whole-row hash when the combined input is worth fanning out
+            // (equal rows share a partition, so partition-local sets answer
+            // global membership; the merge drains inputs in order — output
+            // bit-identical to the sequential cores, see
+            // [`super::partition`]). Small inputs keep the driver-side
+            // single-set pass.
             let rm = child(m, 1 + left.subtree_size());
             let mut lrows = run_node_par(left, b, par, child(m, 1))?;
             stat.rows_in = lrows.len() as u64;
@@ -760,19 +812,46 @@ pub(super) fn run_node_par(
                 crate::derive::SetOpKind::Union => {
                     let mut rrows = run_node_par(right, b, par, rm)?;
                     stat.rows_in += rrows.len() as u64;
-                    union_rows_into(&mut lrows, &mut rrows, &mut out);
+                    let total = lrows.len() + rrows.len();
+                    let parts = resolve_parts(par.parts, total);
+                    if parts > 1 && total > par.morsel {
+                        stat.partitions = parts as u64;
+                        stat.part_max_rows = super::partition::union_rows_par(
+                            &mut lrows, &mut rrows, parts, par, &mut out,
+                        )?;
+                    } else {
+                        union_rows_into(&mut lrows, &mut rrows, &mut out);
+                    }
                     batch::recycle(rrows);
                 }
                 crate::derive::SetOpKind::Intersect => {
                     let rrows = run_node_ref_par(right, b, par, rm)?;
                     stat.rows_in += rrows.len() as u64;
-                    intersect_rows_into(&mut lrows, &rrows, &mut out);
+                    let total = lrows.len() + rrows.len();
+                    let parts = resolve_parts(par.parts, total);
+                    if parts > 1 && total > par.morsel {
+                        stat.partitions = parts as u64;
+                        stat.part_max_rows = super::partition::filter_rows_par(
+                            true, &mut lrows, &rrows, parts, par, &mut out,
+                        )?;
+                    } else {
+                        intersect_rows_into(&mut lrows, &rrows, &mut out);
+                    }
                     rrows.recycle();
                 }
                 crate::derive::SetOpKind::Difference => {
                     let rrows = run_node_ref_par(right, b, par, rm)?;
                     stat.rows_in += rrows.len() as u64;
-                    difference_rows_into(&mut lrows, &rrows, &mut out);
+                    let total = lrows.len() + rrows.len();
+                    let parts = resolve_parts(par.parts, total);
+                    if parts > 1 && total > par.morsel {
+                        stat.partitions = parts as u64;
+                        stat.part_max_rows = super::partition::filter_rows_par(
+                            false, &mut lrows, &rrows, parts, par, &mut out,
+                        )?;
+                    } else {
+                        difference_rows_into(&mut lrows, &rrows, &mut out);
+                    }
                     rrows.recycle();
                 }
             }

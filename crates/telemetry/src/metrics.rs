@@ -34,6 +34,13 @@ pub struct OpMetrics {
     pub build_rows: u64,
     /// Join probe-side rows.
     pub probe_rows: u64,
+    /// Hash partitions of a join build or set-op dedup (0 when the node
+    /// has no hash-partitioned phase).
+    pub partitions: u64,
+    /// Rows landing in the fullest hash partition — the skew profile of
+    /// the partitioned build/dedup (equal to the keyed input under
+    /// all-rows-one-key skew, ~input/partitions when uniform).
+    pub part_max_rows: u64,
     /// Distinct groups a γ produced.
     pub groups: u64,
 }
@@ -50,6 +57,8 @@ impl OpMetrics {
         self.zone_skips += other.zone_skips;
         self.build_rows += other.build_rows;
         self.probe_rows += other.probe_rows;
+        self.partitions += other.partitions;
+        self.part_max_rows += other.part_max_rows;
         self.groups += other.groups;
     }
 }
@@ -68,6 +77,8 @@ pub struct OpSlot {
     zone_skips: AtomicU64,
     build_rows: AtomicU64,
     probe_rows: AtomicU64,
+    partitions: AtomicU64,
+    part_max_rows: AtomicU64,
     groups: AtomicU64,
 }
 
@@ -85,6 +96,8 @@ impl OpSlot {
             (&self.zone_skips, m.zone_skips),
             (&self.build_rows, m.build_rows),
             (&self.probe_rows, m.probe_rows),
+            (&self.partitions, m.partitions),
+            (&self.part_max_rows, m.part_max_rows),
             (&self.groups, m.groups),
         ] {
             if v != 0 {
@@ -112,6 +125,8 @@ impl OpSlot {
             zone_skips: self.zone_skips.load(Ordering::Relaxed),
             build_rows: self.build_rows.load(Ordering::Relaxed),
             probe_rows: self.probe_rows.load(Ordering::Relaxed),
+            partitions: self.partitions.load(Ordering::Relaxed),
+            part_max_rows: self.part_max_rows.load(Ordering::Relaxed),
             groups: self.groups.load(Ordering::Relaxed),
         }
     }
@@ -128,6 +143,8 @@ impl OpSlot {
             &self.zone_skips,
             &self.build_rows,
             &self.probe_rows,
+            &self.partitions,
+            &self.part_max_rows,
             &self.groups,
         ] {
             cell.store(0, Ordering::Relaxed);

@@ -454,6 +454,174 @@ fn partial_fold_failure_rolls_back_and_names_the_batch() {
     assert!(v.table().same_contents(&expected));
 }
 
+/// Database for the partitioned-join chaos sweep: `video` carries a
+/// non-key `ownerId` column, so a join on it cannot take the pk-probe
+/// path — it must build a partitioned hash map, which is where the
+/// `JOIN_BUILD` failpoint lives.
+fn chaos_db_owner() -> Database {
+    let mut db = Database::new();
+    let mut video = Table::new(
+        Schema::from_pairs(&[
+            ("videoId", DataType::Int),
+            ("ownerId", DataType::Int),
+            ("duration", DataType::Float),
+        ])
+        .unwrap(),
+        &["videoId"],
+    )
+    .unwrap();
+    for v in 0..64i64 {
+        video
+            .insert(vec![
+                Value::Int(v),
+                Value::Int(v % 16),
+                Value::Float(0.25 * (1 + v % 13) as f64),
+            ])
+            .unwrap();
+    }
+    let mut log = Table::new(
+        Schema::from_pairs(&[("sessionId", DataType::Int), ("ownerId", DataType::Int)]).unwrap(),
+        &["sessionId"],
+    )
+    .unwrap();
+    for s in 0..600i64 {
+        log.insert(vec![Value::Int(s), Value::Int((s * 13 + 7) % 16)]).unwrap();
+    }
+    db.create_table("video", video);
+    db.create_table("log", log);
+    db
+}
+
+/// Median keeps the view outside the change-table class (every batch runs
+/// the fallback recompute), and the non-key equi-join forces a hash-map
+/// build on the 64-row video side — larger than the 8-row morsels below,
+/// so with `join_partitions = 4` every batch runs the parallel partitioned
+/// build fan-out.
+fn owner_median_view() -> Plan {
+    Plan::scan("log")
+        .join(Plan::scan("video"), JoinKind::Inner, &[("ownerId", "ownerId")])
+        .aggregate(
+            &["ownerId"],
+            vec![AggSpec::new("medDur", AggFunc::Median, col("duration")), AggSpec::count_all("n")],
+        )
+}
+
+/// Satellite regression, ~48 seeds: injected errors and panics inside the
+/// partitioned join-build fan-out (scatter/build pass 2) abort the batch
+/// atomically — the view stays bit-identical to its pre-maintain table at
+/// its pre-maintain epoch with every delta unconsumed — and a clean re-run
+/// on the same pipeline and pool converges to the failure-free baseline.
+#[test]
+fn join_build_failures_roll_back_atomically_and_converge() {
+    let _g = chaos_guard();
+    let db = chaos_db_owner();
+    let view = MaterializedView::create("o", owner_median_view(), &db).unwrap();
+    let mut deltas = Deltas::new();
+    for s in 600..840i64 {
+        deltas.insert(&db, "log", vec![Value::Int(s), Value::Int(s % 16)]).unwrap();
+    }
+
+    let mk_pipeline = || {
+        let mut p = BatchPipeline::new(2);
+        p.morsel_size = Some(8);
+        p.join_partitions = 4;
+        p
+    };
+    let expected = {
+        fault::clear_all();
+        let mut v = view.clone();
+        mk_pipeline().maintain(&db, &mut v, &deltas, BATCH).expect("failure-free baseline");
+        v.table().clone()
+    };
+
+    // Reachability gate: an always-on error spec must actually fire inside
+    // this workload's build fan-out, or the whole sweep is vacuous.
+    {
+        let mut v = view.clone();
+        fault::set(site::JOIN_BUILD, FailSpec::immediate(u64::MAX, FailAction::Error));
+        let err = mk_pipeline()
+            .maintain(&db, &mut v, &deltas, BATCH)
+            .expect_err("partitioned build must be on this workload's path");
+        assert!(err.to_string().contains("failpoint"), "got: {err}");
+        assert!(fault::fired(site::JOIN_BUILD) > 0, "JOIN_BUILD failpoint never reached");
+        fault::clear_all();
+        assert!(v.table().same_contents(view.table()) && v.epoch() == view.epoch());
+    }
+
+    let base = base_seed();
+    let mut injected_runs = 0u64;
+    for i in 0..48u64 {
+        let seed = base.wrapping_mul(424_243).wrapping_add(i);
+        // 4 partition tasks per build, one build per batch: keep the skip
+        // inside the first couple of builds so most seeds land mid-build.
+        fault::set(
+            site::JOIN_BUILD,
+            FailSpec {
+                skip: seed % 6,
+                count: 1 + seed % 2,
+                action: if i % 2 == 0 { FailAction::Error } else { FailAction::Panic },
+            },
+        );
+
+        let pipeline = mk_pipeline();
+        let mut v = view.clone();
+        let pre_epoch = v.epoch();
+        let outcome =
+            catch_unwind(AssertUnwindSafe(|| pipeline.maintain(&db, &mut v, &deltas, BATCH)));
+        let fired = fault::fired(site::JOIN_BUILD);
+        fault::clear_all();
+        injected_runs += u64::from(fired > 0);
+
+        match outcome {
+            Ok(Ok(_)) => {
+                assert_eq!(fired, 0, "seed {seed}: a fired build failpoint cannot commit");
+                assert!(v.table().same_contents(&expected), "seed {seed}: diverged");
+            }
+            Ok(Err(e)) => {
+                assert!(
+                    e.to_string().contains("failpoint"),
+                    "seed {seed}: non-injected error: {e}"
+                );
+                assert!(
+                    v.table().same_contents(view.table()),
+                    "seed {seed}: mid-build failure exposed a partial fold"
+                );
+                assert_eq!(v.epoch(), pre_epoch, "seed {seed}: failed run must not commit");
+            }
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+                    .unwrap_or_default();
+                assert!(msg.contains("failpoint"), "seed {seed}: non-injected panic: {msg}");
+                assert!(
+                    v.table().same_contents(view.table()),
+                    "seed {seed}: mid-build panic exposed a partial fold"
+                );
+                assert_eq!(v.epoch(), pre_epoch, "seed {seed}: unwound run must not commit");
+            }
+        }
+
+        // Deltas were never consumed on failure: the same pipeline and pool
+        // must now converge bit-identically to the baseline.
+        if v.epoch() == pre_epoch {
+            pipeline.maintain(&db, &mut v, &deltas, BATCH).unwrap_or_else(|e| {
+                panic!("seed {seed}: clean re-run failed after injected build failure: {e}")
+            });
+            assert!(
+                v.table().same_contents(&expected),
+                "seed {seed}: clean re-run diverged from baseline"
+            );
+        }
+        assert_eq!(pipeline.pool.metrics().queue_depth, 0, "seed {seed}: queue left non-empty");
+    }
+    assert!(
+        injected_runs >= 24,
+        "only {injected_runs}/48 schedules fired inside the build fan-out — sweep is toothless"
+    );
+}
+
 /// Satellite regression: the non-change-table fallback path quarantines
 /// the whole pending set as one batch and recovers via recompute.
 #[test]

@@ -1,8 +1,13 @@
 //! Shared randomized-workload generators for the executor equivalence
-//! harnesses (`tests/exec_prop.rs`, `tests/morsel_prop.rs`): a snowflake
-//! fact/dim database, plan shapes covering every operator the executor
-//! lowers, and signed delta streams. One copy, so both harnesses always
-//! test the same plan space.
+//! harnesses (`tests/exec_prop.rs`, `tests/morsel_prop.rs`,
+//! `tests/partition_prop.rs`): a snowflake fact/dim database, plan shapes
+//! covering every operator the executor lowers, adversarial join-key
+//! distributions, and signed delta streams. One copy, so the harnesses
+//! always test the same plan space.
+
+// Each harness binary compiles its own copy of this module and uses a
+// different subset of the generators.
+#![allow(dead_code)]
 
 use stale_view_cleaning::relalg::aggregate::{AggFunc, AggSpec};
 use stale_view_cleaning::relalg::plan::{JoinKind, Plan};
@@ -187,6 +192,141 @@ pub fn mixed_plan_variant(variant: u8) -> Plan {
         // Cross-type-rank literal over Mixed (Int literal vs Str values),
         // then η over the (non-null) primary key.
         _ => Plan::scan("mixed").select(col("m").gt(lit(5i64))),
+    }
+}
+
+/// `n` distinct Int key values whose [`join_hash`] values collide in their
+/// low 12 bits — they land in the same hash partition for every partition
+/// count up to 4096, driving the partitioned join's skew path as hard as
+/// an adversary can without full 64-bit collisions.
+///
+/// [`join_hash`]: stale_view_cleaning::relalg::join::join_hash
+pub fn colliding_int_keys(n: usize) -> Vec<i64> {
+    use stale_view_cleaning::relalg::join::join_hash;
+    use stale_view_cleaning::storage::Value;
+    let spec = join_hash();
+    let low = |v: i64| spec.hash_key(&[Value::Int(v)]) & 0xFFF;
+    let target = low(0);
+    let mut out = vec![0i64];
+    let mut x = 1i64;
+    while out.len() < n {
+        if low(x) == target {
+            out.push(x);
+        }
+        x += 1;
+    }
+    out
+}
+
+/// Adversarial join-key distributions for the partition equivalence
+/// harness: a fact table whose `dimId` column is drawn from one of four
+/// hostile distributions, and a dim table whose non-key `altId` column
+/// carries duplicates (so `dimId = altId` joins always take the hash-build
+/// path, never the PK probe).
+///
+/// `skew % 4` selects the distribution:
+/// * `0` — Zipf-like geometric skew (key `k` with probability `~2^-k`):
+///   a handful of keys hold most rows, deep chains in few partitions.
+/// * `1` — all rows one key: the worst partition imbalance possible; one
+///   partition holds the entire build side.
+/// * `2` — null-heavy: ~half the join keys are NULL (never match, never
+///   enter the build maps — exercising the null-skip on both hash twins).
+/// * `3` — hash-collision-prone: distinct keys whose [`join_hash`] values
+///   share their low 12 bits ([`colliding_int_keys`]), so every key lands
+///   in the same partition at any realistic partition count.
+///
+/// [`join_hash`]: stale_view_cleaning::relalg::join::join_hash
+pub fn build_db_adversarial(n_facts: usize, skew: u8, data_seed: u64) -> Database {
+    let mut s = data_seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        s ^= s << 13;
+        s ^= s >> 7;
+        s ^= s << 17;
+        s
+    };
+    let colliders = colliding_int_keys(8);
+    let key_domain: Vec<i64> = match skew % 4 {
+        3 => colliders.clone(),
+        _ => (0..16).collect(),
+    };
+    let mut dim = Table::new(
+        Schema::from_pairs(&[
+            ("dimId", DataType::Int),
+            ("altId", DataType::Int),
+            ("weight", DataType::Float),
+        ])
+        .unwrap(),
+        &["dimId"],
+    )
+    .unwrap();
+    for i in 0..32i64 {
+        dim.insert(vec![
+            Value::Int(i),
+            // Duplicated non-key join column over the same key domain.
+            Value::Int(key_domain[i as usize % key_domain.len()]),
+            Value::Float(0.25 * (i % 7) as f64),
+        ])
+        .unwrap();
+    }
+    let mut fact = Table::new(
+        Schema::from_pairs(&[
+            ("factId", DataType::Int),
+            ("dimId", DataType::Int),
+            ("x", DataType::Float),
+        ])
+        .unwrap(),
+        &["factId"],
+    )
+    .unwrap();
+    for i in 0..n_facts as i64 {
+        let r = next();
+        let key = match skew % 4 {
+            // Geometric: P(k) ~ 2^-(k+1), capped at 15.
+            0 => Value::Int(i64::from(r.trailing_zeros().min(15))),
+            1 => Value::Int(7),
+            2 => {
+                if r % 2 == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(((r >> 1) % 16) as i64)
+                }
+            }
+            _ => Value::Int(colliders[(r % colliders.len() as u64) as usize]),
+        };
+        fact.insert(vec![Value::Int(i), key, Value::Float(0.25 * ((r >> 32) % 40) as f64)])
+            .unwrap();
+    }
+    let mut db = Database::new();
+    db.create_table("dim", dim);
+    db.create_table("fact", fact);
+    db
+}
+
+/// Plan shapes over [`build_db_adversarial`] aimed at the partitioned
+/// paths: every join targets the *non-key* `altId` column (hash build,
+/// duplicate right keys, matched-bitmap outer emission) and the set ops
+/// exercise the partitioned whole-row dedup.
+pub fn adversarial_plan_variant(variant: u8) -> Plan {
+    match variant % 8 {
+        0 => Plan::scan("fact").join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "altId")]),
+        1 => Plan::scan("fact")
+            .join(Plan::scan("dim"), JoinKind::Left, &[("dimId", "altId")])
+            .select(col("weight").gt(lit(0.4)).or(col("weight").is_null())),
+        2 => Plan::scan("fact").join(Plan::scan("dim"), JoinKind::Full, &[("dimId", "altId")]),
+        3 => Plan::scan("fact").join(Plan::scan("dim"), JoinKind::Anti, &[("dimId", "altId")]),
+        4 => Plan::scan("fact").join(Plan::scan("dim"), JoinKind::Semi, &[("dimId", "altId")]),
+        5 => Plan::scan("fact")
+            .select(col("x").lt(lit(7.0)))
+            .union(Plan::scan("fact").select(col("x").ge(lit(3.0)))),
+        6 => Plan::scan("fact")
+            .difference(Plan::scan("fact").select(col("x").gt(lit(5.0))))
+            .intersect(Plan::scan("fact").select(col("x").le(lit(9.0)))),
+        _ => Plan::scan("fact")
+            .join(Plan::scan("dim"), JoinKind::Inner, &[("dimId", "altId")])
+            .aggregate(
+                &["dimId"],
+                vec![AggSpec::count_all("n"), AggSpec::new("sw", AggFunc::Sum, col("weight"))],
+            ),
     }
 }
 

@@ -116,6 +116,18 @@ fn assert_matrix(
             anchor_rw.rows() == anchor.rows(),
             "{label}: morsel {morsel} parallel rowwise diverged from parallel vectorized"
         );
+        // The partition knob shards hash-join builds and set-op dedup by
+        // key hash; equal keys land in the same partition in the same
+        // order, so it must never show up in the result. (The dedicated
+        // partition-count × worker-count matrix lives in
+        // `tests/partition_prop.rs`.)
+        let anchor_p = compiled
+            .run_with(bindings, ExecMode::morsel(&SequentialScheduler, morsel).partitions(4))
+            .unwrap();
+        assert!(
+            anchor_p.rows() == anchor.rows(),
+            "{label}: morsel {morsel} with 4 partitions diverged from the unpartitioned build"
+        );
         assert!(
             approx_same_rows_in_order(&anchor, &sequential, 1e-9),
             "{label}: morsel {morsel} diverged from sequential in rows or order \
